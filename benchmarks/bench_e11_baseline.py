@@ -1,0 +1,79 @@
+"""E11 — the Section 3.1 head-to-head: ∃-encoding vs the paper's Figure 9.
+
+The headline table (who type-checks on what): regenerated over the corpus
+and recorded in `extra_info`, alongside translation-cost comparisons on
+the simply-typed fragment where both compilers succeed.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro import cc
+from repro.baseline import classify_failure, translate_existential
+from repro.closconv import compile_term, translate
+from repro.surface import parse_term
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tests"))
+from corpus import CORPUS  # noqa: E402
+
+_EMPTY = cc.Context.empty()
+
+SIMPLY_TYPED = [
+    parse_term(r"\ (x : Nat). x"),
+    parse_term(r"\ (x : Nat). \ (y : Bool). x"),
+    parse_term(r"\ (f : Nat -> Nat). \ (g : Nat -> Nat). \ (x : Nat). f (g x)"),
+    parse_term(r"(\ (f : Nat -> Nat) (x : Nat). f (f x)) (\ (y : Nat). succ y) 5"),
+]
+
+
+def test_corpus_success_table(benchmark):
+    """The E11 headline: ours always type-preserves; the baseline's score
+    and failure modes land in extra_info."""
+
+    def tabulate():
+        outcomes = {"type-preserving": 0, "universe": 0, "mismatch": 0, "other": 0}
+        ours = 0
+        for _name, ctx, term in CORPUS:
+            outcomes[classify_failure(ctx, term)] += 1
+            compile_term(ctx, term, verify=True)
+            ours += 1
+        return outcomes, ours
+
+    benchmark.group = "E11 success table"
+    outcomes, ours = benchmark(tabulate)
+    benchmark.extra_info["existential_outcomes"] = outcomes
+    benchmark.extra_info["figure9_type_preserving"] = ours
+    assert ours == len(CORPUS)
+    assert outcomes["type-preserving"] < len(CORPUS)
+    assert outcomes["universe"] > 0 and outcomes["mismatch"] > 0
+
+
+@pytest.mark.parametrize("index", range(len(SIMPLY_TYPED)))
+def test_existential_translation_cost(benchmark, index):
+    term = SIMPLY_TYPED[index]
+    benchmark.group = "E11 translate (existential)"
+    output = benchmark(lambda: translate_existential(_EMPTY, term))
+    cc.infer(_EMPTY, output)  # type preserving on this fragment
+
+
+@pytest.mark.parametrize("index", range(len(SIMPLY_TYPED)))
+def test_figure9_translation_cost(benchmark, index):
+    term = SIMPLY_TYPED[index]
+    benchmark.group = "E11 translate (figure 9)"
+    benchmark(lambda: translate(_EMPTY, term))
+
+
+@pytest.mark.parametrize("index", [0, 3])
+def test_output_size_comparison(benchmark, index):
+    """The ∃-encoding's output is much larger (packs, unpacks, Church ∃)."""
+    term = SIMPLY_TYPED[index]
+    ours = translate(_EMPTY, term)
+    theirs = translate_existential(_EMPTY, term)
+    from repro import cccc
+
+    benchmark.extra_info["figure9_size"] = cccc.term_size(ours)
+    benchmark.extra_info["existential_size"] = cc.term_size(theirs)
+    benchmark.group = "E11 output size"
+    benchmark(lambda: (cccc.term_size(ours), cc.term_size(theirs)))

@@ -1,0 +1,101 @@
+"""E12 — hoisting + machine vs normalizer vs untyped baseline (§3 & §7).
+
+Regenerates the cost table of the compiler-pipeline example: wall-clock
+and counter series (closure allocations, environment-tuple allocations,
+projections) for the same programs across three execution strategies:
+
+* substitution normalizer on compiled CC-CC terms,
+* the hoisted CBV machine (static code table, two-slot frames),
+* the untyped baseline's CBV interpreter.
+
+The allocation counters quantify the paper's Section 7 remark that
+abstract closure conversion introduces extra allocations/dereferences.
+"""
+
+import pytest
+
+from repro import cc, cccc
+from repro.baseline import erase, uconvert, ueval
+from repro.baseline.untyped import EvalStats
+from repro.closconv import compile_term
+from repro.machine import MachineStats, hoist, machine_observation, run
+from workloads import church_sum, nat_sum, nested_lambdas
+
+_EMPTY = cc.Context.empty()
+_TARGET_EMPTY = cccc.Context.empty()
+
+
+def _applied_nested(depth: int) -> cc.Term:
+    term = nested_lambdas(depth)
+    return cc.make_app(term, *[cc.nat_literal(i) for i in range(depth)])
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_machine_nat_sum(benchmark, n):
+    program = hoist(compile_term(_EMPTY, nat_sum(n), verify=False).target)
+    benchmark.group = "E12 machine (nat_sum)"
+    stats = MachineStats()
+    value, _ = run(program, stats)
+    benchmark.extra_info["closure_allocs"] = stats.closure_allocs
+    benchmark.extra_info["tuple_allocs"] = stats.tuple_allocs
+    benchmark.extra_info["projections"] = stats.projections
+    result = benchmark(lambda: run(program)[0])
+    assert machine_observation(result) == 2 * n
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_normalizer_nat_sum(benchmark, n):
+    target = compile_term(_EMPTY, nat_sum(n), verify=False).target
+    benchmark.group = "E12 normalizer (nat_sum)"
+    result = benchmark(lambda: cccc.normalize(_TARGET_EMPTY, target))
+    assert cccc.nat_value(result) == 2 * n
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_untyped_nat_sum(benchmark, n):
+    converted = uconvert(erase(nat_sum(n)))
+    benchmark.group = "E12 untyped (nat_sum)"
+    result = benchmark(lambda: ueval(converted))
+    assert result == 2 * n
+
+
+@pytest.mark.parametrize("depth", [4, 8])
+def test_machine_nested_applied(benchmark, depth):
+    program = hoist(compile_term(_EMPTY, _applied_nested(depth), verify=False).target)
+    stats = MachineStats()
+    run(program, stats)
+    benchmark.extra_info["closure_allocs"] = stats.closure_allocs
+    benchmark.extra_info["tuple_allocs"] = stats.tuple_allocs
+    benchmark.extra_info["projections"] = stats.projections
+    benchmark.extra_info["code_blocks"] = program.code_count
+    benchmark.group = "E12 machine (nested λ applied)"
+    value = benchmark(lambda: run(program)[0])
+    assert machine_observation(value) == 0
+
+
+@pytest.mark.parametrize("depth", [4, 8])
+def test_untyped_nested_applied(benchmark, depth):
+    converted = uconvert(erase(_applied_nested(depth)))
+    stats = EvalStats()
+    ueval(converted, stats)
+    benchmark.extra_info["closure_allocs"] = stats.closure_allocs
+    benchmark.extra_info["env_allocs"] = stats.env_allocs
+    benchmark.extra_info["projections"] = stats.projections
+    benchmark.group = "E12 untyped (nested λ applied)"
+    value = benchmark(lambda: ueval(converted))
+    assert value == 0
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_machine_church(benchmark, n):
+    program = hoist(compile_term(_EMPTY, church_sum(n), verify=False).target)
+    benchmark.group = "E12 machine (church_sum)"
+    value = benchmark(lambda: run(program)[0])
+    assert machine_observation(value) == 2 * n
+
+
+def test_hoisting_cost(benchmark):
+    target = compile_term(_EMPTY, church_sum(4), verify=False).target
+    benchmark.group = "E12 hoist"
+    program = benchmark(lambda: hoist(target))
+    assert program.code_count > 0

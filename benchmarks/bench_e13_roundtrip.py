@@ -1,0 +1,48 @@
+"""E13 — the Section 6 conjecture ``e ≡ (e⁺)°``: cost of checking the
+compile-then-decompile round trip, plus a generated-corpus sweep whose
+pass-rate lands in extra_info (empirical evidence for the conjecture)."""
+
+import pytest
+
+from repro import cc
+from repro.gen import TermGenerator
+from repro.properties import check_roundtrip
+from workloads import church_sum, nested_lambdas
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_roundtrip_nested(benchmark, depth):
+    term = nested_lambdas(depth)
+    benchmark.group = "E13 roundtrip (nested λ)"
+    assert benchmark(lambda: check_roundtrip(_EMPTY, term))
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_roundtrip_church(benchmark, n):
+    term = church_sum(n)
+    benchmark.group = "E13 roundtrip (church)"
+    assert benchmark(lambda: check_roundtrip(_EMPTY, term))
+
+
+def test_roundtrip_generated_sweep(benchmark):
+    """100 random programs; pass-rate must be 100%."""
+    triples = []
+    for seed in range(100):
+        triple = TermGenerator(seed + 900_000).well_typed_term(max_attempts=5)
+        if triple is not None:
+            triples.append(triple)
+
+    def sweep():
+        passed = 0
+        for ctx, term, _ in triples:
+            if check_roundtrip(ctx, term):
+                passed += 1
+        return passed
+
+    benchmark.group = "E13 roundtrip sweep"
+    passed = benchmark(sweep)
+    benchmark.extra_info["checked"] = len(triples)
+    benchmark.extra_info["passed"] = passed
+    assert passed == len(triples)

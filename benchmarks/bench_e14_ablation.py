@@ -1,0 +1,68 @@
+"""E14 — ablations: what fails when a design ingredient is removed.
+
+Tabulates, over the corpus, how often (1) the shallow-FV compiler loses
+Theorem 5.6 and (2) the η-less equivalence loses Lemma 5.1 — the
+quantitative version of the paper's Sections 3.2 and 5.1 discussions.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+from repro import cc
+from repro.closconv.ablation import (
+    compositionality_without_clo_eta,
+    shallow_fv_type_preservation,
+)
+from repro.properties import check_compositionality
+from repro.surface import parse_term
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tests"))
+from corpus import CORPUS  # noqa: E402
+
+_EMPTY = cc.Context.empty()
+
+
+def test_shallow_fv_failure_table(benchmark):
+    def tabulate():
+        survives = 0
+        for _name, ctx, term in CORPUS:
+            if shallow_fv_type_preservation(ctx, term):
+                survives += 1
+        return survives
+
+    benchmark.group = "E14 shallow-FV ablation"
+    survives = benchmark(tabulate)
+    benchmark.extra_info["corpus_size"] = len(CORPUS)
+    benchmark.extra_info["shallow_fv_survives"] = survives
+    # The ablation must lose at least the dependency-heavy programs.
+    assert survives < len(CORPUS)
+
+
+def test_clo_eta_ablation_table(benchmark):
+    cases = [
+        (_EMPTY, "y", cc.Nat(), parse_term(r"\ (w : Nat). y"), cc.nat_literal(3)),
+        (
+            _EMPTY,
+            "g",
+            cc.arrow(cc.Nat(), cc.Nat()),
+            parse_term(r"\ (w : Nat). g w"),
+            parse_term(r"\ (k : Nat). succ k"),
+        ),
+        (_EMPTY, "T", cc.Star(), parse_term(r"\ (w : T). w"), cc.Nat()),
+    ]
+
+    def tabulate():
+        with_eta = sum(1 for case in cases if check_compositionality(*case))
+        without_eta = sum(
+            1 for case in cases if compositionality_without_clo_eta(*case)
+        )
+        return with_eta, without_eta
+
+    benchmark.group = "E14 closure-η ablation"
+    with_eta, without_eta = benchmark(tabulate)
+    benchmark.extra_info["lemma51_with_eta"] = with_eta
+    benchmark.extra_info["lemma51_without_eta"] = without_eta
+    assert with_eta == len(cases)
+    assert without_eta < with_eta

@@ -1,0 +1,69 @@
+"""E1 — the CC kernel (paper Figures 1–4): type checking and normalization.
+
+Series: cost of `infer` and `normalize` across workload families and
+sizes.  These are the baseline curves every later experiment is measured
+against (the compiler and model re-run this kernel on bigger terms).
+"""
+
+import pytest
+
+from repro import cc
+from repro.cc import prelude
+from workloads import church_sum, nat_sum, nested_lambdas, pair_tower
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_typecheck_church_sum(benchmark, n):
+    term = church_sum(n)
+    benchmark.group = "E1 infer(church_sum)"
+    benchmark(lambda: cc.infer(_EMPTY, term))
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_typecheck_nested_lambdas(benchmark, depth):
+    term = nested_lambdas(depth)
+    benchmark.group = "E1 infer(nested_lambdas)"
+    benchmark(lambda: cc.infer(_EMPTY, term))
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_typecheck_pair_tower(benchmark, depth):
+    term = pair_tower(depth)
+    benchmark.group = "E1 infer(pair_tower)"
+    benchmark(lambda: cc.infer(_EMPTY, term))
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_normalize_nat_sum(benchmark, n):
+    term = nat_sum(n)
+    benchmark.group = "E1 normalize(nat_sum)"
+    result = benchmark(lambda: cc.normalize(_EMPTY, term))
+    assert cc.nat_value(result) == 2 * n
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_normalize_church_sum(benchmark, n):
+    term = church_sum(n)
+    benchmark.group = "E1 normalize(church_sum)"
+    result = benchmark(lambda: cc.normalize(_EMPTY, term))
+    assert cc.nat_value(result) == 2 * n
+
+
+def test_equivalence_with_eta(benchmark):
+    ctx = _EMPTY.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+    expanded = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+    benchmark.group = "E1 equivalence"
+    assert benchmark(lambda: cc.equivalent(ctx, expanded, cc.Var("f")))
+
+
+def test_typecheck_prelude(benchmark):
+    terms = [
+        prelude.polymorphic_identity,
+        prelude.nat_add,
+        prelude.church_add,
+        prelude.positive_nat_value(3),
+    ]
+    benchmark.group = "E1 infer(prelude)"
+    benchmark(lambda: [cc.infer(_EMPTY, t) for t in terms])

@@ -1,0 +1,60 @@
+"""E2 — the CC-CC kernel (paper Figures 5–7): checking code/closures and
+running closure β-chains, including the closure η equivalence rules."""
+
+import pytest
+
+from repro import cc, cccc
+from repro.closconv import compile_term
+from repro.cccc.ntuple import bind_env, env_sigma, env_tuple
+from workloads import church_sum, nat_sum, nested_lambdas
+
+_EMPTY = cc.Context.empty()
+_TARGET_EMPTY = cccc.Context.empty()
+
+
+def _compiled(term: cc.Term) -> cccc.Term:
+    return compile_term(_EMPTY, term, verify=False).target
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_typecheck_compiled_lambdas(benchmark, depth):
+    target = _compiled(nested_lambdas(depth))
+    benchmark.group = "E2 infer(compiled nested_lambdas)"
+    benchmark(lambda: cccc.infer(_TARGET_EMPTY, target))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_typecheck_compiled_church(benchmark, n):
+    target = _compiled(church_sum(n))
+    benchmark.group = "E2 infer(compiled church_sum)"
+    benchmark(lambda: cccc.infer(_TARGET_EMPTY, target))
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_normalize_compiled_nat_sum(benchmark, n):
+    target = _compiled(nat_sum(n))
+    benchmark.group = "E2 normalize(compiled nat_sum)"
+    result = benchmark(lambda: cccc.normalize(_TARGET_EMPTY, target))
+    assert cccc.nat_value(result) == 2 * n
+
+
+@pytest.mark.parametrize("width", [2, 8, 16])
+def test_closure_eta_equivalence(benchmark, width):
+    """[≡-Clo]: compare a closure capturing `width` values against its
+    fully inlined form."""
+    telescope = [(f"y{i}", cccc.Nat()) for i in range(width)]
+    captured = cccc.Clo(
+        cccc.CodeLam(
+            "n",
+            env_sigma(telescope),
+            "x",
+            cccc.Nat(),
+            bind_env(telescope, cccc.Var("n"), cccc.Var("y0")),
+        ),
+        env_tuple(telescope, [cccc.nat_literal(i) for i in range(width)]),
+    )
+    inlined = cccc.Clo(
+        cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Zero()), cccc.UnitVal()
+    )
+    benchmark.group = "E2 closure-eta"
+    assert benchmark(lambda: cccc.equivalent(_TARGET_EMPTY, captured, inlined))

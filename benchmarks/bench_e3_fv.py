@@ -1,0 +1,51 @@
+"""E3 — the dependent FV metafunction (paper Figure 10).
+
+Series: FV cost against environment width and dependency-chain length —
+the dependency *closure* is what distinguishes Figure 10 from simply
+typed free-variable computation.
+"""
+
+import pytest
+
+from repro import cc
+from repro.closconv.fv import dependent_free_vars
+from workloads import wide_capture
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+def test_fv_wide(benchmark, width):
+    ctx, term = wide_capture(width)
+    benchmark.group = "E3 FV(wide capture)"
+    result = benchmark(lambda: dependent_free_vars(ctx, term))
+    assert len(result) == width
+
+
+@pytest.mark.parametrize("length", [4, 16, 64])
+def test_fv_dependency_chain(benchmark, length):
+    """h : P x_{n} drags in the whole chain through types only."""
+    ctx = _EMPTY.extend("A", cc.Star()).extend("P", cc.arrow(cc.Var("A"), cc.Star()))
+    previous = None
+    for index in range(length):
+        name = f"x{index}"
+        ctx = ctx.extend(name, cc.Var("A"))
+        previous = name
+    ctx = ctx.extend("h", cc.App(cc.Var("P"), cc.Var(previous)))
+    term = cc.Lam("q", cc.Nat(), cc.Var("h"))
+    benchmark.group = "E3 FV(dependency chain)"
+    result = benchmark(lambda: dependent_free_vars(ctx, term))
+    # h, its type's P and x_{n-1}, x's type A — but not the unrelated x_i.
+    assert {b.name for b in result} == {"A", "P", previous, "h"}
+
+
+@pytest.mark.parametrize("noise", [10, 100, 400])
+def test_fv_ignores_unrelated_context(benchmark, noise):
+    ctx = _EMPTY
+    for index in range(noise):
+        ctx = ctx.extend(f"junk{index}", cc.Nat())
+    ctx = ctx.extend("y", cc.Nat())
+    term = cc.Lam("x", cc.Nat(), cc.Var("y"))
+    benchmark.group = "E3 FV(noisy context)"
+    result = benchmark(lambda: dependent_free_vars(ctx, term))
+    assert len(result) == 1

@@ -1,0 +1,48 @@
+"""E4 — Lemma 5.1 (Compositionality): cost of deciding
+``(e1[e2/x])⁺ ≡ e1⁺[e2⁺/x]`` as the captured environment grows.
+
+The check exercises the closure η-rule on closures whose environments
+differ in shape — the paper's central equivalence innovation.
+"""
+
+import pytest
+
+from repro import cc
+from repro.cc import prelude
+from repro.properties import check_compositionality
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("width", [1, 4, 8])
+def test_compositionality_wide_env(benchmark, width):
+    prefix = _EMPTY
+    for index in range(width):
+        prefix = prefix.extend(f"v{index}", cc.Nat())
+    body_core: cc.Term = cc.Var("hole")
+    for index in range(width):
+        body_core = cc.make_app(prelude.nat_add, body_core, cc.Var(f"v{index}"))
+    body = cc.Lam("w", cc.Nat(), body_core)
+    benchmark.group = "E4 compositionality(width)"
+    assert benchmark(
+        lambda: check_compositionality(prefix, "hole", cc.Nat(), body, cc.nat_literal(3))
+    )
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_compositionality_nested(benchmark, depth):
+    body: cc.Term = cc.Var("hole")
+    for index in range(depth):
+        body = cc.Lam(f"w{index}", cc.Nat(), body)
+    benchmark.group = "E4 compositionality(nesting)"
+    assert benchmark(
+        lambda: check_compositionality(_EMPTY, "hole", cc.Nat(), body, cc.nat_literal(1))
+    )
+
+
+def test_compositionality_type_substitution(benchmark):
+    body = cc.Lam("w", cc.Var("hole"), cc.Var("w"))
+    benchmark.group = "E4 compositionality(type)"
+    assert benchmark(
+        lambda: check_compositionality(_EMPTY, "hole", cc.Star(), body, cc.Nat())
+    )

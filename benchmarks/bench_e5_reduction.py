@@ -1,0 +1,60 @@
+"""E5 — Lemmas 5.2–5.4: preservation of reduction and coherence.
+
+Also reports the *step-count overhead* of compiled programs: closure
+conversion inserts one ζ-chain (environment unpacking) per call, so the
+target takes more reduction steps for the same value — the series below
+quantifies the factor (source steps vs target steps), our stand-in for the
+paper's Section 7 cost discussion at the calculus level.
+"""
+
+import pytest
+
+from repro import cc, cccc
+from repro.closconv import compile_term
+from repro.properties import check_coherence, check_preservation_of_reduction
+from workloads import church_sum, nat_sum
+
+_EMPTY = cc.Context.empty()
+_TARGET_EMPTY = cccc.Context.empty()
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_reduction_preservation_check(benchmark, n):
+    term = nat_sum(n)
+    benchmark.group = "E5 check(reduction preservation)"
+    assert benchmark(lambda: check_preservation_of_reduction(_EMPTY, term))
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_coherence_check(benchmark, n):
+    left = nat_sum(n)
+    right = cc.nat_literal(2 * n)
+    benchmark.group = "E5 check(coherence)"
+    assert benchmark(lambda: check_coherence(_EMPTY, left, right))
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_step_overhead_nat(benchmark, n):
+    """Reduction-step factor target/source for nat_sum(n)."""
+    term = nat_sum(n)
+    target = compile_term(_EMPTY, term, verify=False).target
+    _, source_steps = cc.normalize_counting(_EMPTY, term)
+    _, target_steps = cccc.normalize_counting(_TARGET_EMPTY, target)
+    benchmark.extra_info["source_steps"] = source_steps
+    benchmark.extra_info["target_steps"] = target_steps
+    benchmark.extra_info["overhead_factor"] = round(target_steps / source_steps, 2)
+    benchmark.group = "E5 step overhead (nat_sum)"
+    benchmark(lambda: cccc.normalize(_TARGET_EMPTY, target))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_step_overhead_church(benchmark, n):
+    term = church_sum(n)
+    target = compile_term(_EMPTY, term, verify=False).target
+    _, source_steps = cc.normalize_counting(_EMPTY, term)
+    _, target_steps = cccc.normalize_counting(_TARGET_EMPTY, target)
+    benchmark.extra_info["source_steps"] = source_steps
+    benchmark.extra_info["target_steps"] = target_steps
+    benchmark.extra_info["overhead_factor"] = round(target_steps / source_steps, 2)
+    benchmark.group = "E5 step overhead (church_sum)"
+    benchmark(lambda: cccc.normalize(_TARGET_EMPTY, target))

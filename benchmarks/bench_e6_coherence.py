@@ -1,0 +1,35 @@
+"""E6 — Lemma 5.4 (Coherence) in isolation: the η cases.
+
+The proof's delicate case is source η-equivalence mapping to the closure
+η-principle; the series measures the cost of deciding that equivalence as
+the captured environment grows.
+"""
+
+import pytest
+
+from repro import cc
+from repro.properties import check_coherence
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("captures", [0, 4, 8])
+def test_eta_coherence_with_captures(benchmark, captures):
+    ctx = _EMPTY.extend("A", cc.Star())
+    for index in range(captures):
+        ctx = ctx.extend(f"v{index}", cc.Var("A"))
+    ctx = ctx.extend("f", cc.arrow(cc.Var("A"), cc.Var("A")))
+    expanded = cc.Lam("x", cc.Var("A"), cc.App(cc.Var("f"), cc.Var("x")))
+    benchmark.group = "E6 coherence (eta)"
+    assert benchmark(lambda: check_coherence(ctx, expanded, cc.Var("f")))
+
+
+@pytest.mark.parametrize("chain", [1, 4, 8])
+def test_reduction_chain_coherence(benchmark, chain):
+    """e ≡ e′ where e′ is e after `chain` reduction steps."""
+    term: cc.Term = cc.nat_literal(0)
+    for _ in range(chain):
+        term = cc.App(cc.Lam("x", cc.Nat(), cc.Succ(cc.Var("x"))), term)
+    reduced = cc.normalize(_EMPTY, term)
+    benchmark.group = "E6 coherence (reduction chain)"
+    assert benchmark(lambda: check_coherence(_EMPTY, term, reduced))

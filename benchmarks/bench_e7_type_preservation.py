@@ -1,0 +1,58 @@
+"""E7 — Theorem 5.6 (Type Preservation): the cost of the *whole deal* —
+translate, then re-check the output with the CC-CC kernel.
+
+Series: compile-with-verification time against term family and size, plus
+the translation-only cost for comparison (the gap is the price of running
+the target kernel, i.e. of machine-checking the theorem instance).
+"""
+
+import pytest
+
+from repro import cc
+from repro.closconv import compile_term, translate
+from workloads import church_sum, nested_lambdas, wide_capture
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_translate_only_nested(benchmark, depth):
+    term = nested_lambdas(depth)
+    benchmark.group = "E7 translate only (nested)"
+    benchmark(lambda: translate(_EMPTY, term))
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_compile_verified_nested(benchmark, depth):
+    term = nested_lambdas(depth)
+    benchmark.group = "E7 compile+verify (nested)"
+    benchmark(lambda: compile_term(_EMPTY, term, verify=True))
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+def test_compile_verified_wide(benchmark, width):
+    ctx, term = wide_capture(width)
+    benchmark.group = "E7 compile+verify (wide env)"
+    benchmark(lambda: compile_term(ctx, term, verify=True))
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_compile_verified_church(benchmark, n):
+    term = church_sum(n)
+    benchmark.group = "E7 compile+verify (church)"
+    benchmark(lambda: compile_term(_EMPTY, term, verify=True))
+
+
+def test_corpus_compile_verified(benchmark):
+    """The entire hand-written corpus, compiled and verified in one go."""
+    import sys, pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tests"))
+    from corpus import CORPUS
+
+    def run():
+        for _name, ctx, term in CORPUS:
+            compile_term(ctx, term, verify=True)
+
+    benchmark.group = "E7 corpus"
+    benchmark(run)

@@ -1,0 +1,54 @@
+"""E8 — Theorem 5.7 / Corollary 5.8: the separate-compilation pipeline.
+
+Series: end-to-end cost of (check γ, link-then-run in CC, compile, γ⁺,
+link-then-run in CC-CC, compare observations) as components grow.
+"""
+
+import pytest
+
+from repro import cc
+from repro.cc import prelude
+from repro.linking import ClosingSubstitution
+from repro.properties import check_separate_compilation
+
+_EMPTY = cc.Context.empty()
+
+
+def _component(imports: int):
+    """A component with `imports` Nat imports summed together."""
+    ctx = _EMPTY
+    gamma = {}
+    body: cc.Term = cc.Zero()
+    for index in range(imports):
+        name = f"m{index}"
+        ctx = ctx.extend(name, cc.Nat())
+        gamma[name] = cc.nat_literal(index + 1)
+        body = cc.make_app(prelude.nat_add, body, cc.Var(name))
+    return ctx, body, ClosingSubstitution(gamma)
+
+
+@pytest.mark.parametrize("imports", [1, 4, 8])
+def test_separate_compilation_scaling(benchmark, imports):
+    ctx, term, gamma = _component(imports)
+    benchmark.group = "E8 Theorem 5.7 pipeline"
+    report = benchmark(lambda: check_separate_compilation(ctx, term, gamma))
+    assert report.agrees
+    assert report.observation == sum(range(1, imports + 1))
+
+
+def test_polymorphic_import(benchmark):
+    ctx = _EMPTY.extend("id", prelude.polymorphic_identity_type)
+    term = cc.make_app(cc.Var("id"), cc.Nat(), cc.nat_literal(7))
+    gamma = ClosingSubstitution({"id": prelude.polymorphic_identity})
+    benchmark.group = "E8 Theorem 5.7 pipeline"
+    report = benchmark(lambda: check_separate_compilation(ctx, term, gamma))
+    assert report.agrees and report.observation == 7
+
+
+def test_proof_carrying_import(benchmark):
+    ctx = _EMPTY.extend("pos", prelude.positive_nat())
+    term = cc.Succ(cc.Fst(cc.Var("pos")))
+    gamma = ClosingSubstitution({"pos": prelude.positive_nat_value(3)})
+    benchmark.group = "E8 Theorem 5.7 pipeline"
+    report = benchmark(lambda: check_separate_compilation(ctx, term, gamma))
+    assert report.agrees and report.observation == 4

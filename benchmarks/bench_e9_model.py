@@ -1,0 +1,52 @@
+"""E9/E10 — the model (Figure 8) and the consistency/type-safety theorems.
+
+Series: cost of decompiling compiler output back into CC and re-checking
+it there (the executable content of Lemmas 4.2–4.6), plus the type-safety
+observable (closed programs normalize to values).
+"""
+
+import pytest
+
+from repro import cc, cccc
+from repro.closconv import compile_term
+from repro.model import decompile
+from repro.properties import check_model_type_preservation, check_type_safety_of_target
+from workloads import church_sum, nat_sum, nested_lambdas
+
+_EMPTY = cc.Context.empty()
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_decompile_nested(benchmark, depth):
+    target = compile_term(_EMPTY, nested_lambdas(depth), verify=False).target
+    benchmark.group = "E9 decompile"
+    benchmark(lambda: decompile(target))
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_model_type_preservation(benchmark, depth):
+    result = compile_term(_EMPTY, nested_lambdas(depth), verify=False)
+    benchmark.group = "E9 Lemma 4.6 check"
+    assert benchmark(
+        lambda: check_model_type_preservation(result.target_context, result.target)
+    )
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_model_church_roundtrip_runs(benchmark, n):
+    """Decompiled programs still compute: e⁺° normalizes to the same value."""
+    term = church_sum(n)
+    target = compile_term(_EMPTY, term, verify=False).target
+    image = decompile(target)
+
+    benchmark.group = "E9 run decompiled"
+    value = benchmark(lambda: cc.normalize(_EMPTY, image))
+    assert cc.nat_value(value) == 2 * n
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_type_safety_observable(benchmark, n):
+    """Theorem 4.8: closed well-typed target programs reach values."""
+    target = compile_term(_EMPTY, nat_sum(n), verify=False).target
+    benchmark.group = "E10 Theorem 4.8 check"
+    assert benchmark(lambda: check_type_safety_of_target(target))

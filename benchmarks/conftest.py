@@ -1,0 +1,7 @@
+"""Benchmark fixtures and import path setup."""
+
+import pathlib
+import sys
+
+# Make `workloads` importable when pytest is invoked from the repo root.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on a CC program given either as a file path or inline
+via ``-e/--expr``:
+
+* ``check``     — parse and type check; print the type.
+* ``compile``   — closure-convert (Figure 9); verify type preservation
+  (Theorem 5.6); print the CC-CC term and its type.
+* ``run``       — compile, hoist, execute on the CBV machine; print the
+  value and cost counters.
+* ``decompile`` — compile, then translate back through the Figure 8
+  model; print the CC image and whether ``e ≡ (e⁺)°`` held.
+* ``hoist``     — compile and print the static code table.
+
+Examples::
+
+    python -m repro check -e '\\ (A : Type) (x : A). x'
+    python -m repro run -e '(\\ (x : Nat). succ x) 41'
+    python -m repro compile program.cc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import cc, cccc
+from repro.closconv import compile_term
+from repro.common.errors import ReproError
+from repro.machine import hoist, machine_observation, program_context, run
+from repro.model import decompile
+from repro.surface import parse_term
+
+__all__ = ["main"]
+
+
+def _read_program(args: argparse.Namespace) -> cc.Term:
+    if args.expr is not None:
+        source = args.expr
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            source = handle.read()
+    return parse_term(source)
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("file", nargs="?", help="path to a surface-syntax program")
+    group.add_argument("-e", "--expr", help="inline surface-syntax program")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    term = _read_program(args)
+    type_ = cc.infer(cc.Context.empty(), term)
+    print(f"term : {cc.pretty(term)}")
+    print(f"type : {cc.pretty(type_)}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    term = _read_program(args)
+    result = compile_term(cc.Context.empty(), term, verify=not args.no_verify)
+    print(f"target      : {cccc.pretty(result.target)}")
+    print(f"target type : {cccc.pretty(result.target_type)}")
+    if result.checked_type is not None:
+        print("verified    : CC-CC kernel re-checked the output (Theorem 5.6)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    term = _read_program(args)
+    result = compile_term(cc.Context.empty(), term, verify=not args.no_verify)
+    program = hoist(result.target)
+    value, stats = run(program)
+    observation = machine_observation(value)
+    shown = observation if observation is not None else type(value).__name__
+    print(f"value        : {shown}")
+    print(f"code blocks  : {program.code_count}")
+    print(
+        f"cost         : {stats.steps} steps, {stats.closure_allocs} closures,"
+        f" {stats.tuple_allocs} env cells, {stats.projections} projections"
+    )
+    return 0
+
+
+def _cmd_decompile(args: argparse.Namespace) -> int:
+    term = _read_program(args)
+    result = compile_term(cc.Context.empty(), term, verify=False)
+    image = decompile(result.target)
+    empty = cc.Context.empty()
+    print(f"(e⁺)°    : {cc.pretty(image)}")
+    print(f"e ≡ (e⁺)°: {cc.equivalent(empty, term, image)}")
+    return 0
+
+
+def _cmd_hoist(args: argparse.Namespace) -> int:
+    term = _read_program(args)
+    result = compile_term(cc.Context.empty(), term, verify=False)
+    program = hoist(result.target)
+    program_context(program)  # re-type-check the hoisted form
+    print(program)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Typed closure conversion for the Calculus of Constructions",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, description in [
+        ("check", _cmd_check, "type check a CC program"),
+        ("compile", _cmd_compile, "closure-convert and verify (Theorem 5.6)"),
+        ("run", _cmd_run, "compile, hoist, and execute on the machine"),
+        ("decompile", _cmd_decompile, "round-trip through the Figure 8 model"),
+        ("hoist", _cmd_hoist, "print the static code table"),
+    ]:
+        sub = commands.add_parser(name, help=description)
+        _add_input_arguments(sub)
+        if name in ("compile", "run"):
+            sub.add_argument(
+                "--no-verify",
+                action="store_true",
+                help="skip re-checking the output in CC-CC",
+            )
+        sub.set_defaults(handler=handler)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

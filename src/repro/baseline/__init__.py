@@ -1,0 +1,13 @@
+"""Baselines: untyped closure conversion and the failing ∃-encoding of §3."""
+
+from repro.baseline.existential import classify_failure, translate_existential
+from repro.baseline.untyped import EvalStats, erase, uconvert, ueval
+
+__all__ = [
+    "EvalStats",
+    "classify_failure",
+    "erase",
+    "translate_existential",
+    "uconvert",
+    "ueval",
+]

@@ -1,0 +1,278 @@
+"""Baseline 2: the existential-type closure conversion of Section 3.1.
+
+This is the *well-known solution* the paper shows does **not** scale to CC:
+encode closures as existential packages
+
+    (Π x:A. B)*  =  ∃α:⋆. (Code α A* B*) × α
+
+with the environment's type hidden by the existential.  CC has no
+primitive ∃, but the impredicative ⋆ lets us Church-encode weak sums::
+
+    ∃α:⋆. T[α]  ≜  Π C:⋆. (Π α:⋆. T[α] → C) → C
+
+The translation below targets CC itself using that encoding.  On the
+simply-typed fragment it is type preserving — exactly the Minamide,
+Morrisett & Harper result.  On dependently typed programs it breaks in the
+two ways Section 3.1 predicts, and the CC kernel reports them:
+
+1. **Impredicativity failure.**  A captured *type* variable makes the
+   environment type large (``Σ _:⋆. … : □``), but the encoded ∃ can only
+   hide *small* types — instantiating ``α:⋆`` at the environment type is
+   a universe error.
+
+2. **Synchronization failure.**  When the function's type mentions a
+   captured *term* variable, the code's type must project it from the
+   (hidden) environment, so the concrete code type has ``fst n`` where the
+   existential package's annotation expects the original variable — a
+   [Conv] mismatch.
+
+The test suite and benchmark E11 run both this baseline and the paper's
+translation over the same corpus and tabulate who survives type checking.
+"""
+
+from __future__ import annotations
+
+from repro import cc
+from repro.cc.context import Context
+from repro.common.errors import TranslationError, TypeCheckError
+from repro.common.names import fresh
+
+__all__ = [
+    "CHURCH_UNIT",
+    "CHURCH_UNIT_VALUE",
+    "classify_failure",
+    "exists_type",
+    "translate_existential",
+]
+
+#: The Church unit type terminates environment tuples (CC has no ``1``).
+CHURCH_UNIT: cc.Term = cc.Pi("A", cc.Star(), cc.arrow(cc.Var("A"), cc.Var("A")))
+CHURCH_UNIT_VALUE: cc.Term = cc.Lam("A", cc.Star(), cc.Lam("x", cc.Var("A"), cc.Var("x")))
+
+
+def exists_type(alpha: str, body: cc.Term) -> cc.Term:
+    """``∃ alpha:⋆. body`` via the impredicative Church encoding."""
+    result = fresh("C")
+    return cc.Pi(
+        result,
+        cc.Star(),
+        cc.arrow(
+            cc.Pi(alpha, cc.Star(), cc.arrow(body, cc.Var(result))),
+            cc.Var(result),
+        ),
+    )
+
+
+def _code_type(alpha: cc.Term, domain: cc.Term, arg_name: str, result: cc.Term) -> cc.Term:
+    """``Π n:α. Π x:A*. B*`` — the curried code type of the encoding."""
+    env = fresh("n")
+    return cc.Pi(env, alpha, cc.Pi(arg_name, domain, result))
+
+
+def _closure_pair_type(alpha_var: cc.Term, domain: cc.Term, arg_name: str, result: cc.Term) -> cc.Term:
+    """``(Code α A* B*) × α`` as a (non-dependent) Σ."""
+    return cc.Sigma(fresh("_"), _code_type(alpha_var, domain, arg_name, result), alpha_var)
+
+
+def translate_existential(ctx: Context, term: cc.Term) -> cc.Term:
+    """The Section 3.1 translation, CC → CC (with encoded ∃).
+
+    Total on syntax: it always *produces* a term; type preservation is
+    what fails on dependent inputs, and only the CC kernel can tell.
+    """
+    match term:
+        case cc.Var() | cc.Star() | cc.Box() | cc.Bool() | cc.BoolLit() | cc.Nat() | cc.Zero():
+            return term
+        case cc.Pi(name, domain, codomain):
+            alpha = fresh("alpha")
+            domain_t = translate_existential(ctx, domain)
+            codomain_t = translate_existential(ctx.extend(name, domain), codomain)
+            return exists_type(
+                alpha,
+                _closure_pair_type(cc.Var(alpha), domain_t, name, codomain_t),
+            )
+        case cc.Lam():
+            return _translate_lambda(ctx, term)
+        case cc.App(fn, arg):
+            return _translate_application(ctx, fn, arg)
+        case cc.Let(name, bound, annot, body):
+            return cc.Let(
+                name,
+                translate_existential(ctx, bound),
+                translate_existential(ctx, annot),
+                translate_existential(ctx.define(name, bound, annot), body),
+            )
+        case cc.Sigma(name, first, second):
+            return cc.Sigma(
+                name,
+                translate_existential(ctx, first),
+                translate_existential(ctx.extend(name, first), second),
+            )
+        case cc.Pair(fst_val, snd_val, annot):
+            return cc.Pair(
+                translate_existential(ctx, fst_val),
+                translate_existential(ctx, snd_val),
+                translate_existential(ctx, annot),
+            )
+        case cc.Fst(pair):
+            return cc.Fst(translate_existential(ctx, pair))
+        case cc.Snd(pair):
+            return cc.Snd(translate_existential(ctx, pair))
+        case cc.If(cond, then_branch, else_branch):
+            return cc.If(
+                translate_existential(ctx, cond),
+                translate_existential(ctx, then_branch),
+                translate_existential(ctx, else_branch),
+            )
+        case cc.Succ(pred):
+            return cc.Succ(translate_existential(ctx, pred))
+        case cc.NatElim(motive, base, step, target):
+            return cc.NatElim(
+                translate_existential(ctx, motive),
+                translate_existential(ctx, base),
+                translate_existential(ctx, step),
+                translate_existential(ctx, target),
+            )
+        case _:
+            raise TranslationError(f"not a CC term: {term!r}")
+
+
+def _free_variable_bindings(ctx: Context, term: cc.Term) -> list:
+    """Free variables of ``term`` with their context bindings, Γ-ordered."""
+    names = sorted(cc.free_vars(term) & set(ctx.names()), key=ctx.position)
+    return [ctx.entries[ctx.position(name)] for name in names]
+
+
+def _translate_lambda(ctx: Context, term: cc.Lam) -> cc.Term:
+    """``(λ x:A. e)* = pack ⟨EnvT, ⟨code, env⟩⟩``.
+
+    The paper's Section 3 recipe: code takes the (concrete) environment
+    tuple and the argument, rebinding captured variables by projection.
+    """
+    arg_name = term.name
+    try:
+        body_type = cc.infer(ctx.extend(arg_name, term.domain), term.body)
+    except TypeCheckError as error:
+        raise TranslationError(f"ill-typed function: {error}") from error
+
+    captured = _free_variable_bindings(
+        ctx, cc.Pi(arg_name, term.domain, body_type)
+    )
+    captured_body = _free_variable_bindings(ctx, term)
+    names_seen = {b.name for b in captured}
+    captured += [b for b in captured_body if b.name not in names_seen]
+    captured.sort(key=lambda b: ctx.position(b.name))
+
+    # Environment type: right-nested (non-dependent) Σ over Church unit.
+    env_type: cc.Term = CHURCH_UNIT
+    for binding in reversed(captured):
+        env_type = cc.Sigma(fresh("_"), translate_existential(ctx, binding.type_), env_type)
+
+    # Environment tuple ⟨x0, ⟨x1, …⟩⟩.
+    env_value: cc.Term = CHURCH_UNIT_VALUE
+    tail_type = env_type
+    tuples: list[tuple[cc.Term, cc.Term]] = []
+    for binding in captured:
+        tuples.append((cc.Var(binding.name), tail_type))
+        assert isinstance(tail_type, cc.Sigma)
+        tail_type = tail_type.second
+    for value, annot in reversed(tuples):
+        env_value = cc.Pair(value, env_value, annot)
+
+    # Code: λ n:EnvT. λ x:A*. body* with captured variables projected out.
+    env_name = fresh("n")
+    projections: dict[str, cc.Term] = {}
+    cursor: cc.Term = cc.Var(env_name)
+    for binding in captured:
+        projections[binding.name] = cc.Fst(cursor)
+        cursor = cc.Snd(cursor)
+
+    domain_t = translate_existential(ctx, term.domain)
+    body_t = translate_existential(ctx.extend(arg_name, term.domain), term.body)
+    code = cc.Lam(
+        env_name,
+        env_type,
+        cc.Lam(arg_name, cc.subst(domain_t, projections), cc.subst(body_t, projections)),
+    )
+
+    # pack: λ C:⋆. λ k:(Π α:⋆. (Code α A* B*) × α → C). k EnvT ⟨code, env⟩.
+    result_t = translate_existential(ctx.extend(arg_name, term.domain), body_type)
+    alpha = fresh("alpha")
+    pair_type_abstract = _closure_pair_type(cc.Var(alpha), domain_t, arg_name, result_t)
+    pair_type_concrete = cc.subst1(pair_type_abstract, alpha, env_type)
+    consumer = fresh("k")
+    result_var = fresh("C")
+    return cc.Lam(
+        result_var,
+        cc.Star(),
+        cc.Lam(
+            consumer,
+            cc.Pi(alpha, cc.Star(), cc.arrow(pair_type_abstract, cc.Var(result_var))),
+            cc.make_app(
+                cc.Var(consumer),
+                env_type,
+                cc.Pair(code, env_value, pair_type_concrete),
+            ),
+        ),
+    )
+
+
+def _translate_application(ctx: Context, fn: cc.Term, arg: cc.Term) -> cc.Term:
+    """``(e1 e2)* = e1* R* (λ α. λ p. fst p (snd p) e2*)`` — unpack & apply."""
+    try:
+        fn_type = cc.whnf(ctx, cc.infer(ctx, fn))
+    except TypeCheckError as error:
+        raise TranslationError(f"ill-typed application head: {error}") from error
+    if not isinstance(fn_type, cc.Pi):
+        raise TranslationError("application head does not have Π type")
+
+    result_type = cc.subst1(fn_type.codomain, fn_type.name, arg)
+    result_t = translate_existential(ctx, result_type)
+    domain_t = translate_existential(ctx, fn_type.domain)
+    codomain_t = translate_existential(
+        ctx.extend(fn_type.name, fn_type.domain), fn_type.codomain
+    )
+
+    alpha = fresh("alpha")
+    package = fresh("p")
+    pair_type = _closure_pair_type(cc.Var(alpha), domain_t, fn_type.name, codomain_t)
+    unpacker = cc.Lam(
+        alpha,
+        cc.Star(),
+        cc.Lam(
+            package,
+            pair_type,
+            cc.make_app(
+                cc.Fst(cc.Var(package)),
+                cc.Snd(cc.Var(package)),
+                translate_existential(ctx, arg),
+            ),
+        ),
+    )
+    return cc.make_app(translate_existential(ctx, fn), result_t, unpacker)
+
+
+def classify_failure(ctx: Context, term: cc.Term) -> str:
+    """Run the baseline and classify the outcome.
+
+    Returns one of:
+
+    * ``"type-preserving"`` — the output type checks in CC,
+    * ``"universe"`` — the Section 3.1 impredicativity failure,
+    * ``"mismatch"`` — the Section 3.1 environment-synchronization failure,
+    * ``"other"`` — any other kernel rejection.
+    """
+    try:
+        output = translate_existential(ctx, term)
+    except TranslationError:
+        return "other"
+    try:
+        cc.infer(ctx, output)
+    except TypeCheckError as error:
+        message = str(error)
+        if "expected a type" in message or "□" in message:
+            return "universe"
+        if "type mismatch" in message:
+            return "mismatch"
+        return "other"
+    return "type-preserving"

@@ -1,0 +1,440 @@
+"""Baseline 1: *untyped* (type-erasing) closure conversion.
+
+This is the compiler the paper's introduction argues against: CertiCoq-style
+pipelines erase types before compiling, so the output runs correctly but
+carries no interface against which linking can be checked.  We reproduce
+it to (a) show the operational behaviour of closure conversion independent
+of types, and (b) give the benchmarks an untyped cost baseline.
+
+Pipeline::
+
+    CC  --erase-->  U (untyped λ-calculus with pairs/ground data)
+        --uconvert-->  U_cc (code + flat environment tuples)
+        --ueval-->   value (CBV environment machine with counters)
+
+Types appearing in *term* positions (CC is full-spectrum, so programs pass
+types around, e.g. ``id Nat 3``) erase to inert constants: they are
+stored and moved but never eliminated at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro import cc
+from repro.common.errors import TranslationError
+
+__all__ = [
+    "EvalStats",
+    "UApp",
+    "UBool",
+    "UClo",
+    "UCode",
+    "UConst",
+    "UIf",
+    "ULam",
+    "ULet",
+    "UNat",
+    "UNatRec",
+    "UPair",
+    "UProj",
+    "USucc",
+    "UTuple",
+    "UVar",
+    "erase",
+    "ueval",
+    "uconvert",
+]
+
+
+# --------------------------------------------------------------------------
+# Untyped syntax.
+# --------------------------------------------------------------------------
+
+
+class UTerm:
+    """Base class of untyped terms (both direct and closure-converted)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class UVar(UTerm):
+    """Variable."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ULam(UTerm):
+    """First-class function (only before conversion)."""
+
+    name: str
+    body: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UApp(UTerm):
+    """Application."""
+
+    fn: UTerm
+    arg: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class ULet(UTerm):
+    """Non-recursive let."""
+
+    name: str
+    bound: UTerm
+    body: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UPair(UTerm):
+    """Binary pair (from CC's Σ introductions)."""
+
+    first: UTerm
+    second: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UProj(UTerm):
+    """Projection: index 0 = fst, 1 = snd."""
+
+    pair: UTerm
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class UConst(UTerm):
+    """An inert constant — the erasure of a type or universe."""
+
+    tag: str
+
+
+@dataclass(frozen=True, slots=True)
+class UBool(UTerm):
+    """Boolean literal."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class UIf(UTerm):
+    """Conditional."""
+
+    cond: UTerm
+    then_branch: UTerm
+    else_branch: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UNat(UTerm):
+    """Natural-number literal."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class USucc(UTerm):
+    """Successor."""
+
+    pred: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UNatRec(UTerm):
+    """Primitive recursion (the erasure of ``natelim``; motive dropped)."""
+
+    base: UTerm
+    step: UTerm
+    target: UTerm
+
+
+# Closure-converted forms.
+
+
+@dataclass(frozen=True, slots=True)
+class UCode(UTerm):
+    """Closed code taking (environment, argument)."""
+
+    env_name: str
+    arg_name: str
+    body: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UClo(UTerm):
+    """Closure: code paired with an environment tuple."""
+
+    code: UTerm
+    env: UTerm
+
+
+@dataclass(frozen=True, slots=True)
+class UTuple(UTerm):
+    """Flat n-ary environment tuple (indexed by :class:`UIndex`)."""
+
+    items: tuple[UTerm, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class UIndex(UTerm):
+    """Indexing into a flat environment tuple."""
+
+    tuple_: UTerm
+    index: int
+
+
+# --------------------------------------------------------------------------
+# Erasure CC → U.
+# --------------------------------------------------------------------------
+
+_TYPE_NODES = (cc.Star, cc.Box, cc.Pi, cc.Sigma, cc.Bool, cc.Nat)
+
+
+def erase(term: cc.Term) -> UTerm:
+    """Erase types from a CC term.
+
+    Type-level constructs in term position become :class:`UConst`; the
+    ``natelim`` motive is dropped entirely.
+    """
+    match term:
+        case cc.Var(name):
+            return UVar(name)
+        case cc.Lam(name, _domain, body):
+            return ULam(name, erase(body))
+        case cc.App(fn, arg):
+            return UApp(erase(fn), erase(arg))
+        case cc.Let(name, bound, _annot, body):
+            return ULet(name, erase(bound), erase(body))
+        case cc.Pair(fst_val, snd_val, _annot):
+            return UPair(erase(fst_val), erase(snd_val))
+        case cc.Fst(pair):
+            return UProj(erase(pair), 0)
+        case cc.Snd(pair):
+            return UProj(erase(pair), 1)
+        case cc.BoolLit(value):
+            return UBool(value)
+        case cc.If(cond, then_branch, else_branch):
+            return UIf(erase(cond), erase(then_branch), erase(else_branch))
+        case cc.Zero():
+            return UNat(0)
+        case cc.Succ(pred):
+            return USucc(erase(pred))
+        case cc.NatElim(_motive, base, step, target):
+            return UNatRec(erase(base), erase(step), erase(target))
+        case _ if isinstance(term, _TYPE_NODES):
+            return UConst(type(term).__name__)
+        case _:
+            raise TranslationError(f"cannot erase {term!r}")
+
+
+# --------------------------------------------------------------------------
+# Untyped closure conversion U → U_cc.
+# --------------------------------------------------------------------------
+
+
+def _ufree(term: UTerm, bound: frozenset[str]) -> set[str]:
+    match term:
+        case UVar(name):
+            return set() if name in bound else {name}
+        case ULam(name, body):
+            return _ufree(body, bound | {name})
+        case UCode(env_name, arg_name, body):
+            return _ufree(body, bound | {env_name, arg_name})
+        case ULet(name, value, body):
+            return _ufree(value, bound) | _ufree(body, bound | {name})
+        case UApp(f, a):
+            return _ufree(f, bound) | _ufree(a, bound)
+        case UPair(f, s):
+            return _ufree(f, bound) | _ufree(s, bound)
+        case UProj(p, _):
+            return _ufree(p, bound)
+        case UIf(c, t, e):
+            return _ufree(c, bound) | _ufree(t, bound) | _ufree(e, bound)
+        case USucc(p):
+            return _ufree(p, bound)
+        case UNatRec(b, s, t):
+            return _ufree(b, bound) | _ufree(s, bound) | _ufree(t, bound)
+        case UClo(c, e):
+            return _ufree(c, bound) | _ufree(e, bound)
+        case UTuple(items):
+            out: set[str] = set()
+            for item in items:
+                out |= _ufree(item, bound)
+            return out
+        case UIndex(t, _):
+            return _ufree(t, bound)
+        case _:
+            return set()
+
+
+def uconvert(term: UTerm) -> UTerm:
+    """Classic untyped closure conversion with flat environment tuples."""
+    match term:
+        case ULam(name, body):
+            converted_body = uconvert(body)
+            free = sorted(_ufree(term, frozenset()))
+            env_name = f"env${id(term) % 100000}"
+            opened = converted_body
+            # Rebind free variables as tuple projections inside the code.
+            for index, free_name in reversed(list(enumerate(free))):
+                opened = ULet(free_name, UIndex(UVar(env_name), index), opened)
+            code = UCode(env_name, name, opened)
+            return UClo(code, UTuple(tuple(UVar(free_name) for free_name in free)))
+        case UVar() | UConst() | UBool() | UNat():
+            return term
+        case UApp(f, a):
+            return UApp(uconvert(f), uconvert(a))
+        case ULet(name, value, body):
+            return ULet(name, uconvert(value), uconvert(body))
+        case UPair(f, s):
+            return UPair(uconvert(f), uconvert(s))
+        case UProj(p, i):
+            return UProj(uconvert(p), i)
+        case UIf(c, t, e):
+            return UIf(uconvert(c), uconvert(t), uconvert(e))
+        case USucc(p):
+            return USucc(uconvert(p))
+        case UNatRec(b, s, t):
+            return UNatRec(uconvert(b), uconvert(s), uconvert(t))
+        case _:
+            raise TranslationError(f"cannot closure-convert {term!r}")
+
+
+# --------------------------------------------------------------------------
+# CBV evaluation with cost counters.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class EvalStats:
+    """Cost counters for one evaluation."""
+
+    steps: int = 0
+    closure_allocs: int = 0
+    env_allocs: int = 0
+    projections: int = 0
+
+
+Value = Union[bool, int, tuple, "_VClosure", "_VCode", "_VCloPair", str]
+
+
+@dataclass
+class _VClosure:
+    """Runtime value of a first-class λ (pre-conversion): captures its env."""
+
+    name: str
+    body: UTerm
+    env: dict[str, Value]
+
+
+@dataclass
+class _VCode:
+    """Runtime value of closed code (post-conversion): captures nothing."""
+
+    env_name: str
+    arg_name: str
+    body: UTerm
+
+
+@dataclass
+class _VCloPair:
+    """Runtime closure: code value + environment tuple value."""
+
+    code: "_VCode"
+    env: Value
+
+
+def ueval(term: UTerm, stats: EvalStats | None = None) -> Value:
+    """Call-by-value evaluation of direct or closure-converted terms."""
+    if stats is None:
+        stats = EvalStats()
+    return _eval(term, {}, stats)
+
+
+def _eval(term: UTerm, env: dict[str, Value], stats: EvalStats) -> Value:
+    stats.steps += 1
+    match term:
+        case UVar(name):
+            if name not in env:
+                raise TranslationError(f"unbound variable at runtime: {name}")
+            return env[name]
+        case UConst(tag):
+            return f"<{tag}>"
+        case UBool(value):
+            return value
+        case UNat(value):
+            return value
+        case USucc(pred):
+            result = _eval(pred, env, stats)
+            assert isinstance(result, int)
+            return result + 1
+        case ULam(name, body):
+            stats.closure_allocs += 1
+            return _VClosure(name, body, dict(env))
+        case UCode(env_name, arg_name, body):
+            return _VCode(env_name, arg_name, body)
+        case UClo(code, env_expr):
+            code_value = _eval(code, env, stats)
+            env_value = _eval(env_expr, env, stats)
+            stats.closure_allocs += 1
+            assert isinstance(code_value, _VCode)
+            return _VCloPair(code_value, env_value)
+        case UTuple(items):
+            stats.env_allocs += 1
+            return tuple(_eval(item, env, stats) for item in items)
+        case UIndex(tuple_, index):
+            stats.projections += 1
+            value = _eval(tuple_, env, stats)
+            assert isinstance(value, tuple)
+            return value[index]
+        case UApp(fn, arg):
+            fn_value = _eval(fn, env, stats)
+            arg_value = _eval(arg, env, stats)
+            return _apply(fn_value, arg_value, stats)
+        case ULet(name, bound, body):
+            bound_value = _eval(bound, env, stats)
+            inner = dict(env)
+            inner[name] = bound_value
+            return _eval(body, inner, stats)
+        case UPair(first, second):
+            stats.env_allocs += 1
+            return (_eval(first, env, stats), _eval(second, env, stats))
+        case UProj(pair, index):
+            stats.projections += 1
+            value = _eval(pair, env, stats)
+            assert isinstance(value, tuple)
+            return value[index]
+        case UIf(cond, then_branch, else_branch):
+            cond_value = _eval(cond, env, stats)
+            return _eval(then_branch if cond_value else else_branch, env, stats)
+        case UNatRec(base, step, target):
+            count = _eval(target, env, stats)
+            assert isinstance(count, int)
+            accumulator = _eval(base, env, stats)
+            step_value = _eval(step, env, stats)
+            for current in range(count):
+                partial = _apply(step_value, current, stats)
+                accumulator = _apply(partial, accumulator, stats)
+            return accumulator
+        case _:
+            raise TranslationError(f"cannot evaluate {term!r}")
+
+
+def _apply(fn_value: Value, arg_value: Value, stats: EvalStats) -> Value:
+    stats.steps += 1
+    if isinstance(fn_value, _VClosure):
+        inner = dict(fn_value.env)
+        inner[fn_value.name] = arg_value
+        return _eval(fn_value.body, inner, stats)
+    if isinstance(fn_value, _VCloPair):
+        code = fn_value.code
+        # The entire point: code runs in an environment of exactly two
+        # bindings — its environment tuple and its argument.
+        inner: dict[str, Value] = {code.env_name: fn_value.env, code.arg_name: arg_value}
+        return _eval(code.body, inner, stats)
+    raise TranslationError(f"application of non-function value {fn_value!r}")

@@ -1,0 +1,379 @@
+"""Abstract syntax of CC, the source calculus (paper Figure 1).
+
+CC is the Calculus of Constructions extended with strong dependent pairs
+(Σ-types), dependent ``let`` with context definitions, and η-equivalence for
+functions, as in Bowman & Ahmed (PLDI 2018) Section 2.  Following the
+paper's Section 5.2 we also add *ground types* — here ``Bool`` and ``Nat``
+with their eliminators — so that separate-compilation correctness has
+observable results and the examples are non-trivial.
+
+Terms, types and kinds share one syntactic category (full-spectrum dependent
+types).  The grammar implemented here is::
+
+    U      ::= ⋆ | □
+    e,A,B  ::= x | ⋆ | let x = e : A in e | Π x:A. B | λ x:A. e | e e
+             | Σ x:A. B | ⟨e1, e2⟩ as Σ x:A. B | fst e | snd e
+             | Bool | true | false | if e then e else e
+             | Nat | zero | succ e | natelim(P, z, s, n)
+
+All nodes are immutable; sharing subterms is always safe.  Binding is by
+*name*: ``Pi``, ``Lam``, ``Sigma`` and ``Let`` each bind their ``name`` in
+the fields documented below.  Capture-avoiding substitution lives in
+:mod:`repro.cc.subst`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+__all__ = [
+    "App",
+    "Bool",
+    "BoolLit",
+    "Box",
+    "Fst",
+    "If",
+    "Lam",
+    "Let",
+    "Nat",
+    "NatElim",
+    "Pair",
+    "Pi",
+    "Sigma",
+    "Snd",
+    "Star",
+    "Succ",
+    "Term",
+    "Var",
+    "Zero",
+    "app_spine",
+    "arrow",
+    "free_vars",
+    "make_app",
+    "nat_literal",
+    "nat_value",
+    "subterms",
+    "term_size",
+]
+
+
+class Term:
+    """Base class of all CC expressions.
+
+    Subclasses are frozen dataclasses; structural ``==`` is *syntactic*
+    equality (names matter).  Use :func:`repro.cc.subst.alpha_equal` for
+    α-equivalence and :func:`repro.cc.equiv.equivalent` for definitional
+    equivalence.
+    """
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        from repro.cc.pretty import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A variable occurrence ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Term):
+    """The impredicative universe ``⋆`` of small types."""
+
+
+@dataclass(frozen=True, slots=True)
+class Box(Term):
+    """The predicative universe ``□`` of large types.
+
+    ``□`` is the type of ``⋆`` and of large Π/Σ types.  It has no type
+    itself and is not a valid annotation in user programs; the type checker
+    rejects any attempt to classify it (paper Section 2).
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Pi(Term):
+    """Dependent function type ``Π name:domain. codomain``.
+
+    ``name`` is bound in ``codomain`` only.
+    """
+
+    name: str
+    domain: Term
+    codomain: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Lam(Term):
+    """Function ``λ name:domain. body``; ``name`` is bound in ``body``."""
+
+    name: str
+    domain: Term
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class App(Term):
+    """Application ``fn arg``."""
+
+    fn: Term
+    arg: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Let(Term):
+    """Dependent let ``let name = bound : annot in body``.
+
+    ``name`` is bound in ``body`` and carries a *definition*: inside
+    ``body`` the variable δ-reduces to ``bound`` (paper Figure 2).
+    """
+
+    name: str
+    bound: Term
+    annot: Term
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Sigma(Term):
+    """Strong dependent pair type ``Σ name:first. second``.
+
+    ``name`` is bound in ``second`` only.
+    """
+
+    name: str
+    first: Term
+    second: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Pair(Term):
+    """Dependent pair ``⟨fst_val, snd_val⟩ as annot``.
+
+    The annotation is required (paper Figure 1): the Σ-type of a pair is not
+    inferable because ``snd_val``'s type underdetermines the binder.  The
+    annotation must reduce to a :class:`Sigma`.
+    """
+
+    fst_val: Term
+    snd_val: Term
+    annot: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Fst(Term):
+    """First projection ``fst pair``."""
+
+    pair: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Snd(Term):
+    """Second projection ``snd pair``."""
+
+    pair: Term
+
+
+# --------------------------------------------------------------------------
+# Ground types (paper Section 5.2: "adding ground types, such as Bool").
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Bool(Term):
+    """The ground type of booleans; an observation type for Theorem 5.7."""
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit(Term):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class If(Term):
+    """Non-dependent conditional ``if cond then then_branch else else_branch``.
+
+    Both branches must have equivalent types; this is all the paper's
+    ground-type observations require.
+    """
+
+    cond: Term
+    then_branch: Term
+    else_branch: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Nat(Term):
+    """The ground type of natural numbers."""
+
+
+@dataclass(frozen=True, slots=True)
+class Zero(Term):
+    """The numeral ``zero``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Succ(Term):
+    """Successor ``succ pred``."""
+
+    pred: Term
+
+
+@dataclass(frozen=True, slots=True)
+class NatElim(Term):
+    """Dependent eliminator for ``Nat``.
+
+    ``natelim(motive, base, step, target) : motive target`` where::
+
+        motive : Π _:Nat. U
+        base   : motive zero
+        step   : Π n:Nat. Π ih:(motive n). motive (succ n)
+        target : Nat
+
+    Reduction (ι)::
+
+        natelim(P, z, s, zero)    ⊲ z
+        natelim(P, z, s, succ n)  ⊲ s n (natelim(P, z, s, n))
+
+    The eliminator is primitive recursion, so CC + Nat remains strongly
+    normalizing.
+    """
+
+    motive: Term
+    base: Term
+    step: Term
+    target: Term
+
+
+# --------------------------------------------------------------------------
+# Construction helpers.
+# --------------------------------------------------------------------------
+
+_UNUSED = "_"
+
+
+def arrow(domain: Term, codomain: Term) -> Pi:
+    """Non-dependent function type ``domain → codomain`` (sugar, Section 2)."""
+    return Pi(_UNUSED, domain, codomain)
+
+
+def make_app(fn: Term, *args: Term) -> Term:
+    """Left-nested application ``fn arg0 arg1 …``."""
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def app_spine(term: Term) -> tuple[Term, list[Term]]:
+    """Decompose left-nested applications into ``(head, [args…])``."""
+    args: list[Term] = []
+    while isinstance(term, App):
+        args.append(term.arg)
+        term = term.fn
+    args.reverse()
+    return term, args
+
+
+def nat_literal(value: int) -> Term:
+    """Build the numeral ``succ^value zero``."""
+    if value < 0:
+        raise ValueError(f"nat_literal of negative value {value}")
+    result: Term = Zero()
+    for _ in range(value):
+        result = Succ(result)
+    return result
+
+
+def nat_value(term: Term) -> int | None:
+    """Inverse of :func:`nat_literal`; ``None`` if ``term`` is not a numeral."""
+    count = 0
+    while isinstance(term, Succ):
+        count += 1
+        term = term.pred
+    if isinstance(term, Zero):
+        return count
+    return None
+
+
+# --------------------------------------------------------------------------
+# Generic traversal.
+# --------------------------------------------------------------------------
+
+#: A binder entry: (bound name or None, subterm).  ``None`` means the
+#: subterm is *not* under the node's binder (e.g. a Pi's domain).
+Child = tuple[Union[str, None], Term]
+
+
+def children(term: Term) -> list[Child]:
+    """The immediate subterms of ``term``, tagged with binding information.
+
+    For each ``(name, sub)`` pair, ``name`` is the variable the parent binds
+    *in that subterm* (``None`` when the subterm is outside the binder's
+    scope).  This single source of truth drives free-variable computation and
+    size/occurrence utilities; substitution and α-equivalence are written
+    out explicitly per node for clarity.
+    """
+    match term:
+        case Var() | Star() | Box() | Bool() | BoolLit() | Nat() | Zero():
+            return []
+        case Pi(name, domain, codomain):
+            return [(None, domain), (name, codomain)]
+        case Lam(name, domain, body):
+            return [(None, domain), (name, body)]
+        case App(fn, arg):
+            return [(None, fn), (None, arg)]
+        case Let(name, bound, annot, body):
+            return [(None, bound), (None, annot), (name, body)]
+        case Sigma(name, first, second):
+            return [(None, first), (name, second)]
+        case Pair(fst_val, snd_val, annot):
+            return [(None, fst_val), (None, snd_val), (None, annot)]
+        case Fst(pair):
+            return [(None, pair)]
+        case Snd(pair):
+            return [(None, pair)]
+        case If(cond, then_branch, else_branch):
+            return [(None, cond), (None, then_branch), (None, else_branch)]
+        case Succ(pred):
+            return [(None, pred)]
+        case NatElim(motive, base, step, target):
+            return [(None, motive), (None, base), (None, step), (None, target)]
+        case _:
+            raise TypeError(f"not a CC term: {term!r}")
+
+
+def free_vars(term: Term) -> set[str]:
+    """The set of free variable names of ``term``."""
+    out: set[str] = set()
+    _free_vars_into(term, frozenset(), out)
+    return out
+
+
+def _free_vars_into(term: Term, bound: frozenset[str], out: set[str]) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound:
+            out.add(term.name)
+        return
+    for name, sub in children(term):
+        _free_vars_into(sub, bound | {name} if name is not None else bound, out)
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Pre-order iterator over ``term`` and all of its subterms."""
+    yield term
+    for _, sub in children(term):
+        yield from subterms(sub)
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes in ``term`` (a proxy for program size)."""
+    return sum(1 for _ in subterms(term))

@@ -1,0 +1,11 @@
+"""Typing environments Γ for CC (paper Figures 1 and 4).
+
+The implementation is the language-agnostic telescope from
+:mod:`repro.common.telescope`; this module fixes the intended reading for
+CC: entries are ``x : A`` assumptions and ``x = e : A`` definitions over
+:class:`repro.cc.ast.Term`.
+"""
+
+from repro.common.telescope import Binding, Context
+
+__all__ = ["Binding", "Context"]

@@ -1,0 +1,303 @@
+"""A small standard library of CC terms used throughout the reproduction.
+
+Everything here is a *closed* CC term built from the paper's calculus:
+the ``False`` proposition (Section 4.1), Leibniz equality, Church
+encodings, the polymorphic identity function from Section 3, and helpers
+for refinement-style Σ types (the paper's ``Σ x:Nat. x > 0`` example).
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import (
+    App,
+    Bool,
+    BoolLit,
+    Lam,
+    Nat,
+    NatElim,
+    Pair,
+    Pi,
+    Sigma,
+    Star,
+    Succ,
+    Term,
+    Var,
+    Zero,
+    arrow,
+    make_app,
+    nat_literal,
+)
+
+__all__ = [
+    "FALSE",
+    "add_zero_right_proof",
+    "add_zero_right_theorem",
+    "TRUE_PROP",
+    "church_add",
+    "church_nat",
+    "church_nat_type",
+    "compose",
+    "const_fn",
+    "identity_at",
+    "leibniz_eq",
+    "leibniz_refl",
+    "nat_add",
+    "nat_is_zero",
+    "nat_pred",
+    "polymorphic_identity",
+    "polymorphic_identity_type",
+    "positive_nat",
+    "positive_nat_value",
+    "twice",
+]
+
+# --------------------------------------------------------------------------
+# Logic.
+# --------------------------------------------------------------------------
+
+#: ``False ≜ Π A:⋆. A`` — the empty proposition (paper Section 4.1).
+FALSE: Term = Pi("A", Star(), Var("A"))
+
+#: ``True ≜ Π A:⋆. A → A`` — trivially inhabited by the polymorphic identity.
+TRUE_PROP: Term = Pi("A", Star(), arrow(Var("A"), Var("A")))
+
+
+def leibniz_eq(type_: Term, left: Term, right: Term) -> Term:
+    """Leibniz equality ``left =_{type_} right``.
+
+    ``Eq A x y ≜ Π P:(A → ⋆). P x → P y`` — the impredicative encoding
+    available in CC without inductive types.
+    """
+    return Pi("P", arrow(type_, Star()), arrow(App(Var("P"), left), App(Var("P"), right)))
+
+
+def leibniz_refl(type_: Term, value: Term) -> Term:
+    """The reflexivity proof ``λ P. λ p. p : Eq type_ value value``."""
+    return Lam(
+        "P",
+        arrow(type_, Star()),
+        Lam("p", App(Var("P"), value), Var("p")),
+    )
+
+
+# --------------------------------------------------------------------------
+# Functions (Section 3's running examples).
+# --------------------------------------------------------------------------
+
+#: ``λ A:⋆. λ x:A. x : Π A:⋆. Π x:A. A`` — the paper's polymorphic identity,
+#: the canonical example whose *inner* closure captures a type variable.
+polymorphic_identity: Term = Lam("A", Star(), Lam("x", Var("A"), Var("x")))
+
+polymorphic_identity_type: Term = Pi("A", Star(), Pi("x", Var("A"), Var("A")))
+
+
+def identity_at(type_: Term) -> Term:
+    """The monomorphic identity ``λ x:type_. x``."""
+    return Lam("x", type_, Var("x"))
+
+
+def const_fn(type_a: Term, type_b: Term) -> Term:
+    """``λ x:A. λ y:B. x`` — its inner λ captures the term variable ``x``."""
+    return Lam("x", type_a, Lam("y", type_b, Var("x")))
+
+
+def compose(type_a: Term, type_b: Term, type_c: Term) -> Term:
+    """``λ f:(B→C). λ g:(A→B). λ x:A. f (g x)``."""
+    return Lam(
+        "f",
+        arrow(type_b, type_c),
+        Lam(
+            "g",
+            arrow(type_a, type_b),
+            Lam("x", type_a, App(Var("f"), App(Var("g"), Var("x")))),
+        ),
+    )
+
+
+def twice(type_: Term) -> Term:
+    """``λ f:(A→A). λ x:A. f (f x)``."""
+    return Lam(
+        "f",
+        arrow(type_, type_),
+        Lam("x", type_, App(Var("f"), App(Var("f"), Var("x")))),
+    )
+
+
+# --------------------------------------------------------------------------
+# Church numerals (used to stress normalization and the compiler).
+# --------------------------------------------------------------------------
+
+#: ``CNat ≜ Π A:⋆. (A → A) → A → A`` — impredicative Church naturals.
+church_nat_type: Term = Pi(
+    "A", Star(), arrow(arrow(Var("A"), Var("A")), arrow(Var("A"), Var("A")))
+)
+
+
+def church_nat(value: int) -> Term:
+    """The Church numeral ``λ A. λ f. λ x. f^value x``."""
+    body: Term = Var("x")
+    for _ in range(value):
+        body = App(Var("f"), body)
+    return Lam(
+        "A",
+        Star(),
+        Lam("f", arrow(Var("A"), Var("A")), Lam("x", Var("A"), body)),
+    )
+
+
+#: Addition on Church numerals.
+church_add: Term = Lam(
+    "m",
+    church_nat_type,
+    Lam(
+        "n",
+        church_nat_type,
+        Lam(
+            "A",
+            Star(),
+            Lam(
+                "f",
+                arrow(Var("A"), Var("A")),
+                Lam(
+                    "x",
+                    Var("A"),
+                    make_app(
+                        Var("m"),
+                        Var("A"),
+                        Var("f"),
+                        make_app(Var("n"), Var("A"), Var("f"), Var("x")),
+                    ),
+                ),
+            ),
+        ),
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Ground-type (Nat) arithmetic via the primitive eliminator.
+# --------------------------------------------------------------------------
+
+#: ``add ≜ λ m. λ n. natelim(λ_.Nat, n, λ_. λ ih. succ ih, m)``.
+nat_add: Term = Lam(
+    "m",
+    Nat(),
+    Lam(
+        "n",
+        Nat(),
+        NatElim(
+            Lam("_", Nat(), Nat()),
+            Var("n"),
+            Lam("k", Nat(), Lam("ih", Nat(), Succ(Var("ih")))),
+            Var("m"),
+        ),
+    ),
+)
+
+#: Predecessor (0 ↦ 0) via the eliminator.
+nat_pred: Term = Lam(
+    "m",
+    Nat(),
+    NatElim(
+        Lam("_", Nat(), Nat()),
+        Zero(),
+        Lam("k", Nat(), Lam("ih", Nat(), Var("k"))),
+        Var("m"),
+    ),
+)
+
+#: ``is_zero : Nat → Bool``.
+nat_is_zero: Term = Lam(
+    "m",
+    Nat(),
+    NatElim(
+        Lam("_", Nat(), Bool()),
+        BoolLit(True),
+        Lam("k", Nat(), Lam("ih", Bool(), BoolLit(False))),
+        Var("m"),
+    ),
+)
+
+
+def add_zero_right_theorem() -> Term:
+    """The statement ``Π m:Nat. add m 0 = m`` (Leibniz equality).
+
+    A genuine universally quantified theorem about the prelude's ``add``;
+    see :func:`add_zero_right_proof`.
+    """
+    return Pi(
+        "m",
+        Nat(),
+        leibniz_eq(
+            Nat(), make_app(nat_add, Var("m"), Zero()), Var("m")
+        ),
+    )
+
+
+def add_zero_right_proof() -> Term:
+    """A proof of :func:`add_zero_right_theorem`, by induction on ``m``.
+
+    * base: ``add 0 0 ⊲* 0``, so ``refl`` at ``0`` proves the case via
+      [Conv];
+    * step: given ``ih : add k 0 = k``, instantiate it at the predicate
+      ``λ m. P (succ m)`` — since ``add (succ k) 0 ⊲ succ (add k 0)``,
+      that transports ``P (add (succ k) 0)`` to ``P (succ k)``.
+
+    This is the paper's abstract made concrete: a *proof of functional
+    correctness* that the closure-conversion pipeline preserves into the
+    target (see ``examples/verified_arithmetic.py``).
+    """
+
+    def add_m_zero(m: Term) -> Term:
+        return make_app(nat_add, m, Zero())
+
+    motive = Lam("n", Nat(), leibniz_eq(Nat(), add_m_zero(Var("n")), Var("n")))
+    base = leibniz_refl(Nat(), Zero())
+    step = Lam(
+        "k",
+        Nat(),
+        Lam(
+            "ih",
+            leibniz_eq(Nat(), add_m_zero(Var("k")), Var("k")),
+            Lam(
+                "P",
+                arrow(Nat(), Star()),
+                Lam(
+                    "p",
+                    App(Var("P"), add_m_zero(Succ(Var("k")))),
+                    make_app(
+                        Var("ih"),
+                        Lam("m", Nat(), App(Var("P"), Succ(Var("m")))),
+                        Var("p"),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return Lam("m", Nat(), NatElim(motive, base, step, Var("m")))
+
+
+def positive_nat() -> Term:
+    """The refinement type ``Σ x:Nat. is_zero x = false``.
+
+    This stands in for the paper's ``Σ x:Nat. x > 0`` example (Section 2):
+    a pair of a number with evidence of positivity, here expressed as a
+    Leibniz equation over the ground type ``Bool``.
+    """
+    return Sigma(
+        "x",
+        Nat(),
+        leibniz_eq(Bool(), App(nat_is_zero, Var("x")), BoolLit(False)),
+    )
+
+
+def positive_nat_value(value: int) -> Term:
+    """A canonical inhabitant ``⟨value, refl⟩`` of :func:`positive_nat`."""
+    if value <= 0:
+        raise ValueError("positive_nat_value requires value > 0")
+    literal = nat_literal(value)
+    return Pair(
+        literal,
+        leibniz_refl(Bool(), BoolLit(False)),
+        positive_nat(),
+    )

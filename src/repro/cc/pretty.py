@@ -1,0 +1,115 @@
+"""Pretty printer for CC terms.
+
+The output mirrors the paper's notation (``Π x:A. B``, ``λ x:A. e``,
+``⟨e1, e2⟩``, ``⋆``, ``□``) and round-trips through the surface parser for
+the ASCII forms.  Used pervasively in error messages.
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import (
+    App,
+    Bool,
+    BoolLit,
+    Box,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Nat,
+    NatElim,
+    Pair,
+    Pi,
+    Sigma,
+    Snd,
+    Star,
+    Succ,
+    Term,
+    Var,
+    Zero,
+    free_vars,
+    nat_value,
+)
+
+__all__ = ["pretty"]
+
+# Precedence levels, loosest to tightest.
+_PREC_BINDER = 0  # λ, Π, Σ, let, if
+_PREC_ARROW = 1  # non-dependent →
+_PREC_APP = 2  # application
+_PREC_ATOM = 3  # variables, universes, parenthesized
+
+
+def pretty(term: Term) -> str:
+    """Render ``term`` as human-readable concrete syntax."""
+    return _pp(term, _PREC_BINDER)
+
+
+def _parens(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _pp(term: Term, prec: int) -> str:
+    match term:
+        case Var(name):
+            return name
+        case Star():
+            return "⋆"
+        case Box():
+            return "□"
+        case Bool():
+            return "Bool"
+        case BoolLit(value):
+            return "true" if value else "false"
+        case Nat():
+            return "Nat"
+        case Zero():
+            return "0"
+        case Succ():
+            value = nat_value(term)
+            if value is not None:
+                return str(value)
+            return _parens(f"succ {_pp(term.pred, _PREC_ATOM)}", prec > _PREC_APP)
+        case Pi(name, domain, codomain):
+            if name == "_" or name not in free_vars(codomain):
+                text = f"{_pp(domain, _PREC_APP)} -> {_pp(codomain, _PREC_ARROW)}"
+                return _parens(text, prec > _PREC_ARROW)
+            text = f"Π ({name} : {_pp(domain, _PREC_BINDER)}). {_pp(codomain, _PREC_BINDER)}"
+            return _parens(text, prec > _PREC_BINDER)
+        case Lam(name, domain, body):
+            text = f"λ ({name} : {_pp(domain, _PREC_BINDER)}). {_pp(body, _PREC_BINDER)}"
+            return _parens(text, prec > _PREC_BINDER)
+        case App(fn, arg):
+            text = f"{_pp(fn, _PREC_APP)} {_pp(arg, _PREC_ATOM)}"
+            return _parens(text, prec > _PREC_APP)
+        case Let(name, bound, annot, body):
+            text = (
+                f"let {name} = {_pp(bound, _PREC_BINDER)}"
+                f" : {_pp(annot, _PREC_BINDER)} in {_pp(body, _PREC_BINDER)}"
+            )
+            return _parens(text, prec > _PREC_BINDER)
+        case Sigma(name, first, second):
+            text = f"Σ ({name} : {_pp(first, _PREC_BINDER)}). {_pp(second, _PREC_BINDER)}"
+            return _parens(text, prec > _PREC_BINDER)
+        case Pair(fst_val, snd_val, annot):
+            return (
+                f"⟨{_pp(fst_val, _PREC_BINDER)}, {_pp(snd_val, _PREC_BINDER)}⟩"
+                f" as {_pp(annot, _PREC_ATOM)}"
+            )
+        case Fst(pair):
+            return _parens(f"fst {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+        case Snd(pair):
+            return _parens(f"snd {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+        case If(cond, then_branch, else_branch):
+            text = (
+                f"if {_pp(cond, _PREC_BINDER)} then {_pp(then_branch, _PREC_BINDER)}"
+                f" else {_pp(else_branch, _PREC_BINDER)}"
+            )
+            return _parens(text, prec > _PREC_BINDER)
+        case NatElim(motive, base, step, target):
+            return (
+                f"natelim({_pp(motive, _PREC_BINDER)}, {_pp(base, _PREC_BINDER)},"
+                f" {_pp(step, _PREC_BINDER)}, {_pp(target, _PREC_BINDER)})"
+            )
+        case _:
+            raise TypeError(f"not a CC term: {term!r}")

@@ -1,0 +1,320 @@
+"""Reduction and normalization for CC (paper Figure 2).
+
+The one-step relation ``Γ ⊢ e ⊲ e′`` has five axioms:
+
+* δ — a variable with a definition in Γ unfolds to its definition,
+* ζ — ``let x = e : A in b ⊲ b[e/x]``,
+* β — ``(λ x:A. b) a ⊲ b[a/x]``,
+* π1/π2 — projections from a literal pair,
+
+plus, for the ground types of Section 5.2, the ι-rules for ``if`` and
+``natelim``.  ``⊲*`` is the reflexive-transitive *contextual* closure.
+
+This module provides:
+
+* :func:`head_reducts` / :func:`reducts` — the one-step relation, for
+  metatheory properties quantifying over ``e ⊲ e′``;
+* :func:`whnf` — weak-head normal form (what the type checker needs to
+  expose Π/Σ/``Code`` heads);
+* :func:`normalize` — full β-normal form (CC is strongly normalizing, so
+  this terminates; a fuel budget guards against pathological blowup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.ast import (
+    App,
+    BoolLit,
+    Fst,
+    If,
+    Lam,
+    Let,
+    NatElim,
+    Pair,
+    Pi,
+    Sigma,
+    Snd,
+    Succ,
+    Term,
+    Var,
+    Zero,
+    make_app,
+)
+from repro.cc.context import Context
+from repro.cc.subst import subst1
+from repro.common.errors import NormalizationDepthExceeded
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "Budget",
+    "head_reducts",
+    "normalize",
+    "normalize_counting",
+    "reduces_to",
+    "reducts",
+    "whnf",
+]
+
+DEFAULT_FUEL = 1_000_000
+
+
+@dataclass
+class Budget:
+    """Remaining reduction steps; shared across a normalization call tree."""
+
+    remaining: int = DEFAULT_FUEL
+    spent: int = 0
+
+    def spend(self) -> None:
+        """Consume one reduction step."""
+        if self.remaining <= 0:
+            raise NormalizationDepthExceeded(
+                f"normalization exceeded its fuel after {self.spent} steps"
+            )
+        self.remaining -= 1
+        self.spent += 1
+
+
+def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """Reduce ``term`` to weak-head normal form under ``ctx``.
+
+    Only the head position is reduced; arguments, pair components, binder
+    bodies, etc. are left untouched.
+    """
+    if budget is None:
+        budget = Budget()
+    while True:
+        match term:
+            case Var(name):
+                binding = ctx.lookup(name)
+                if binding is not None and binding.definition is not None:
+                    budget.spend()
+                    term = binding.definition
+                    continue
+                return term
+            case Let(name, bound, _annot, body):
+                budget.spend()
+                term = subst1(body, name, bound)
+                continue
+            case App(fn, arg):
+                fn_whnf = whnf(ctx, fn, budget)
+                if isinstance(fn_whnf, Lam):
+                    budget.spend()
+                    term = subst1(fn_whnf.body, fn_whnf.name, arg)
+                    continue
+                return term if fn_whnf is fn else App(fn_whnf, arg)
+            case Fst(pair):
+                pair_whnf = whnf(ctx, pair, budget)
+                if isinstance(pair_whnf, Pair):
+                    budget.spend()
+                    term = pair_whnf.fst_val
+                    continue
+                return term if pair_whnf is pair else Fst(pair_whnf)
+            case Snd(pair):
+                pair_whnf = whnf(ctx, pair, budget)
+                if isinstance(pair_whnf, Pair):
+                    budget.spend()
+                    term = pair_whnf.snd_val
+                    continue
+                return term if pair_whnf is pair else Snd(pair_whnf)
+            case If(cond, then_branch, else_branch):
+                cond_whnf = whnf(ctx, cond, budget)
+                if isinstance(cond_whnf, BoolLit):
+                    budget.spend()
+                    term = then_branch if cond_whnf.value else else_branch
+                    continue
+                return term if cond_whnf is cond else If(cond_whnf, then_branch, else_branch)
+            case NatElim(motive, base, step, target):
+                target_whnf = whnf(ctx, target, budget)
+                if isinstance(target_whnf, Zero):
+                    budget.spend()
+                    term = base
+                    continue
+                if isinstance(target_whnf, Succ):
+                    budget.spend()
+                    pred = target_whnf.pred
+                    term = make_app(step, pred, NatElim(motive, base, step, pred))
+                    continue
+                if target_whnf is target:
+                    return term
+                return NatElim(motive, base, step, target_whnf)
+            case _:
+                return term
+
+
+def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """Fully normalize ``term`` under ``ctx``.
+
+    The result contains no δ/ζ/β/π/ι redexes (``let`` disappears entirely:
+    normal forms are ``let``-free).  Bound variables shadow any definitions
+    of the same name in ``ctx``, which the recursion tracks by extending the
+    context at each binder.
+    """
+    if budget is None:
+        budget = Budget()
+    term = whnf(ctx, term, budget)
+    match term:
+        case Pi(name, domain, codomain):
+            inner = ctx.extend(name, domain)
+            return Pi(name, normalize(ctx, domain, budget), normalize(inner, codomain, budget))
+        case Lam(name, domain, body):
+            inner = ctx.extend(name, domain)
+            return Lam(name, normalize(ctx, domain, budget), normalize(inner, body, budget))
+        case Sigma(name, first, second):
+            inner = ctx.extend(name, first)
+            return Sigma(name, normalize(ctx, first, budget), normalize(inner, second, budget))
+        case App(fn, arg):
+            return App(normalize(ctx, fn, budget), normalize(ctx, arg, budget))
+        case Pair(fst_val, snd_val, annot):
+            return Pair(
+                normalize(ctx, fst_val, budget),
+                normalize(ctx, snd_val, budget),
+                normalize(ctx, annot, budget),
+            )
+        case Fst(pair):
+            return Fst(normalize(ctx, pair, budget))
+        case Snd(pair):
+            return Snd(normalize(ctx, pair, budget))
+        case If(cond, then_branch, else_branch):
+            return If(
+                normalize(ctx, cond, budget),
+                normalize(ctx, then_branch, budget),
+                normalize(ctx, else_branch, budget),
+            )
+        case Succ(pred):
+            return Succ(normalize(ctx, pred, budget))
+        case NatElim(motive, base, step, target):
+            return NatElim(
+                normalize(ctx, motive, budget),
+                normalize(ctx, base, budget),
+                normalize(ctx, step, budget),
+                normalize(ctx, target, budget),
+            )
+        case _:
+            return term
+
+
+def normalize_counting(ctx: Context, term: Term, fuel: int = DEFAULT_FUEL) -> tuple[Term, int]:
+    """Normalize and also report how many reduction steps were taken.
+
+    Benchmarks use the step count as a machine-independent cost measure when
+    comparing evaluation before and after compilation (Corollary 5.8).
+    """
+    budget = Budget(remaining=fuel)
+    result = normalize(ctx, term, budget)
+    return result, budget.spent
+
+
+# --------------------------------------------------------------------------
+# The one-step relation, explicitly.
+# --------------------------------------------------------------------------
+
+
+def head_reducts(ctx: Context, term: Term) -> list[Term]:
+    """All results of applying a reduction *axiom* at the root of ``term``.
+
+    Purely syntactic except for δ, which consults ``ctx`` for definitions.
+    At most one axiom ever applies per node, so the list has length ≤ 1; a
+    list keeps the signature uniform with :func:`reducts`.
+    """
+    match term:
+        case Var(name):
+            binding = ctx.lookup(name)
+            if binding is not None and binding.definition is not None:
+                return [binding.definition]
+            return []
+        case Let(name, bound, _annot, body):
+            return [subst1(body, name, bound)]
+        case App(Lam(name, _domain, body), arg):
+            return [subst1(body, name, arg)]
+        case Fst(Pair(fst_val, _snd_val, _annot)):
+            return [fst_val]
+        case Snd(Pair(_fst_val, snd_val, _annot)):
+            return [snd_val]
+        case If(BoolLit(value), then_branch, else_branch):
+            return [then_branch if value else else_branch]
+        case NatElim(_motive, base, _step, Zero()):
+            return [base]
+        case NatElim(motive, base, step, Succ(pred)):
+            return [make_app(step, pred, NatElim(motive, base, step, pred))]
+        case _:
+            return []
+
+
+def reducts(ctx: Context, term: Term) -> list[Term]:
+    """All one-step reducts of ``term`` (contextual closure of the axioms).
+
+    This enumerates the full relation ``Γ ⊢ e ⊲ e′``, which the metatheory
+    properties (preservation of reduction, subject reduction) quantify over.
+    """
+    results = list(head_reducts(ctx, term))
+    match term:
+        case Pi(name, domain, codomain):
+            results += [Pi(name, d, codomain) for d in reducts(ctx, domain)]
+            inner = ctx.extend(name, domain)
+            results += [Pi(name, domain, c) for c in reducts(inner, codomain)]
+        case Lam(name, domain, body):
+            results += [Lam(name, d, body) for d in reducts(ctx, domain)]
+            inner = ctx.extend(name, domain)
+            results += [Lam(name, domain, b) for b in reducts(inner, body)]
+        case App(fn, arg):
+            results += [App(f, arg) for f in reducts(ctx, fn)]
+            results += [App(fn, a) for a in reducts(ctx, arg)]
+        case Let(name, bound, annot, body):
+            results += [Let(name, b, annot, body) for b in reducts(ctx, bound)]
+            results += [Let(name, bound, a, body) for a in reducts(ctx, annot)]
+            inner = ctx.define(name, bound, annot)
+            results += [Let(name, bound, annot, b) for b in reducts(inner, body)]
+        case Sigma(name, first, second):
+            results += [Sigma(name, f, second) for f in reducts(ctx, first)]
+            inner = ctx.extend(name, first)
+            results += [Sigma(name, first, s) for s in reducts(inner, second)]
+        case Pair(fst_val, snd_val, annot):
+            results += [Pair(f, snd_val, annot) for f in reducts(ctx, fst_val)]
+            results += [Pair(fst_val, s, annot) for s in reducts(ctx, snd_val)]
+            results += [Pair(fst_val, snd_val, a) for a in reducts(ctx, annot)]
+        case Fst(pair):
+            results += [Fst(p) for p in reducts(ctx, pair)]
+        case Snd(pair):
+            results += [Snd(p) for p in reducts(ctx, pair)]
+        case If(cond, then_branch, else_branch):
+            results += [If(c, then_branch, else_branch) for c in reducts(ctx, cond)]
+            results += [If(cond, t, else_branch) for t in reducts(ctx, then_branch)]
+            results += [If(cond, then_branch, e) for e in reducts(ctx, else_branch)]
+        case Succ(pred):
+            results += [Succ(p) for p in reducts(ctx, pred)]
+        case NatElim(motive, base, step, target):
+            results += [NatElim(m, base, step, target) for m in reducts(ctx, motive)]
+            results += [NatElim(motive, b, step, target) for b in reducts(ctx, base)]
+            results += [NatElim(motive, base, s, target) for s in reducts(ctx, step)]
+            results += [NatElim(motive, base, step, t) for t in reducts(ctx, target)]
+        case _:
+            pass
+    return results
+
+
+def reduces_to(ctx: Context, source: Term, target: Term, max_steps: int = 1000) -> bool:
+    """Decide ``Γ ⊢ source ⊲* target`` by bounded breadth-first search.
+
+    Only used in tests over small terms; real equivalence checking goes
+    through :func:`repro.cc.equiv.equivalent`.
+    """
+    from repro.cc.subst import alpha_equal
+
+    seen: list[Term] = [source]
+    frontier = [source]
+    steps = 0
+    while frontier and steps < max_steps:
+        new_frontier: list[Term] = []
+        for candidate in frontier:
+            if alpha_equal(candidate, target):
+                return True
+            for reduct in reducts(ctx, candidate):
+                steps += 1
+                if not any(alpha_equal(reduct, old) for old in seen):
+                    seen.append(reduct)
+                    new_frontier.append(reduct)
+        frontier = new_frontier
+    return any(alpha_equal(candidate, target) for candidate in frontier)

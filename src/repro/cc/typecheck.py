@@ -1,0 +1,208 @@
+"""The CC type checker (paper Figures 3 and 4).
+
+Synthesis-style: every CC term carries enough annotations for its type to
+be computed, so :func:`infer` implements the typing judgment directly and
+:func:`check` is inference followed by the [Conv] rule (definitional
+equivalence of the inferred and expected types).
+
+Universe discipline (Section 2):
+
+* ``⋆ : □``; ``□`` has no type.
+* Π is impredicative in ``⋆`` ([Prod-⋆]: the universe of ``Π x:A. B`` is
+  the universe of ``B``) and predicative at ``□``.
+* Σ is small only when both components are small ([Sig-⋆]); otherwise it
+  lands in ``□``.  Allowing a large Σ whenever *either* side is large is
+  the reading the paper's own environment telescopes (``Σ (A:⋆ …)``
+  terminated by the unit type) require; see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import (
+    App,
+    Bool,
+    BoolLit,
+    Box,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Nat,
+    NatElim,
+    Pair,
+    Pi,
+    Sigma,
+    Snd,
+    Star,
+    Succ,
+    Term,
+    Var,
+    Zero,
+)
+from repro.cc.context import Context
+from repro.cc.equiv import equivalent
+from repro.cc.pretty import pretty
+from repro.cc.reduce import whnf
+from repro.cc.subst import subst1
+from repro.common.errors import TypeCheckError
+from repro.common.names import fresh
+
+__all__ = ["check", "check_context", "infer", "infer_universe", "well_typed"]
+
+
+def infer(ctx: Context, term: Term) -> Term:
+    """Synthesize the type of ``term`` under ``ctx`` (judgment Γ ⊢ e : A).
+
+    Raises :class:`TypeCheckError` if no type exists.  The returned type is
+    not necessarily normal; callers compare with ≡.
+    """
+    match term:
+        case Star():
+            return Box()  # [Ax-*]
+        case Box():
+            raise TypeCheckError("□ has no type (it is not a valid term)")
+        case Var(name):
+            binding = ctx.lookup(name)
+            if binding is None:
+                raise TypeCheckError(f"unbound variable {name!r}")
+            return binding.type_  # [Var]
+        case Pi(name, domain, codomain):
+            infer_universe(ctx, domain)
+            codomain_universe = infer_universe(ctx.extend(name, domain), codomain)
+            return codomain_universe  # [Prod-*] / [Prod-□]
+        case Lam(name, domain, body):
+            infer_universe(ctx, domain)
+            body_type = infer(ctx.extend(name, domain), body)
+            return Pi(name, domain, body_type)  # [Lam]
+        case App(fn, arg):
+            fn_type = whnf(ctx, infer(ctx, fn))
+            if not isinstance(fn_type, Pi):
+                raise TypeCheckError(
+                    f"application head has non-Π type {pretty(fn_type)}"
+                ).with_note(f"checking {pretty(term)}")
+            check(ctx, arg, fn_type.domain)
+            return subst1(fn_type.codomain, fn_type.name, arg)  # [App]
+        case Let(name, bound, annot, body):
+            infer_universe(ctx, annot)
+            check(ctx, bound, annot)
+            body_type = infer(ctx.define(name, bound, annot), body)
+            return subst1(body_type, name, bound)  # [Let]
+        case Sigma(name, first, second):
+            first_universe = infer_universe(ctx, first)
+            second_universe = infer_universe(ctx.extend(name, first), second)
+            if isinstance(first_universe, Star) and isinstance(second_universe, Star):
+                return Star()  # [Sig-*]
+            return Box()  # [Sig-□]
+        case Pair(fst_val, snd_val, annot):
+            infer_universe(ctx, annot)
+            annot_whnf = whnf(ctx, annot)
+            if not isinstance(annot_whnf, Sigma):
+                raise TypeCheckError(
+                    f"pair annotation {pretty(annot)} is not a Σ type"
+                ).with_note(f"checking {pretty(term)}")
+            check(ctx, fst_val, annot_whnf.first)
+            check(ctx, snd_val, subst1(annot_whnf.second, annot_whnf.name, fst_val))
+            return annot  # [Pair]
+        case Fst(pair):
+            pair_type = whnf(ctx, infer(ctx, pair))
+            if not isinstance(pair_type, Sigma):
+                raise TypeCheckError(
+                    f"fst of non-Σ type {pretty(pair_type)}"
+                ).with_note(f"checking {pretty(term)}")
+            return pair_type.first  # [Fst]
+        case Snd(pair):
+            pair_type = whnf(ctx, infer(ctx, pair))
+            if not isinstance(pair_type, Sigma):
+                raise TypeCheckError(
+                    f"snd of non-Σ type {pretty(pair_type)}"
+                ).with_note(f"checking {pretty(term)}")
+            return subst1(pair_type.second, pair_type.name, Fst(pair))  # [Snd]
+        case Bool() | Nat():
+            return Star()
+        case BoolLit():
+            return Bool()
+        case Zero():
+            return Nat()
+        case Succ(pred):
+            check(ctx, pred, Nat())
+            return Nat()
+        case If(cond, then_branch, else_branch):
+            check(ctx, cond, Bool())
+            then_type = infer(ctx, then_branch)
+            check(ctx, else_branch, then_type)
+            return then_type
+        case NatElim(motive, base, step, target):
+            _check_motive(ctx, motive)
+            check(ctx, target, Nat())
+            check(ctx, base, App(motive, Zero()))
+            check(ctx, step, _step_type(motive))
+            return App(motive, target)
+        case _:
+            raise TypeCheckError(f"not a CC term: {term!r}")
+
+
+def _check_motive(ctx: Context, motive: Term) -> None:
+    """Require ``motive : Π _:Nat. U`` for some universe ``U``."""
+    motive_type = whnf(ctx, infer(ctx, motive))
+    if not isinstance(motive_type, Pi):
+        raise TypeCheckError(f"natelim motive has non-Π type {pretty(motive_type)}")
+    if not equivalent(ctx, motive_type.domain, Nat()):
+        raise TypeCheckError(
+            f"natelim motive domain {pretty(motive_type.domain)} is not Nat"
+        )
+    inner = ctx.extend(motive_type.name, Nat())
+    codomain = whnf(inner, motive_type.codomain)
+    if not isinstance(codomain, (Star, Box)):
+        raise TypeCheckError(
+            f"natelim motive codomain {pretty(codomain)} is not a universe"
+        )
+
+
+def _step_type(motive: Term) -> Term:
+    """The expected type ``Π n:Nat. Π ih:(motive n). motive (succ n)``."""
+    n = fresh("n")
+    ih = fresh("ih")
+    return Pi(n, Nat(), Pi(ih, App(motive, Var(n)), App(motive, Succ(Var(n)))))
+
+
+def check(ctx: Context, term: Term, expected: Term) -> None:
+    """Check ``Γ ⊢ term : expected`` (inference + the [Conv] rule)."""
+    actual = infer(ctx, term)
+    if not equivalent(ctx, actual, expected):
+        raise TypeCheckError(
+            f"type mismatch: term {pretty(term)}\n"
+            f"  has type      {pretty(actual)}\n"
+            f"  but expected  {pretty(expected)}"
+        )
+
+
+def infer_universe(ctx: Context, type_: Term) -> Star | Box:
+    """Require ``type_`` to be a type; return its universe (⋆ or □)."""
+    sort = whnf(ctx, infer(ctx, type_))
+    if isinstance(sort, (Star, Box)):
+        return sort
+    raise TypeCheckError(
+        f"expected a type but {pretty(type_)} has type {pretty(sort)}"
+    )
+
+
+def well_typed(ctx: Context, term: Term) -> bool:
+    """Convenience predicate: does ``term`` have *some* type under ``ctx``?"""
+    try:
+        infer(ctx, term)
+    except TypeCheckError:
+        return False
+    return True
+
+
+def check_context(ctx: Context) -> None:
+    """Check well-formedness ``⊢ Γ`` (paper Figure 4)."""
+    prefix = Context.empty()
+    for binding in ctx:
+        infer_universe(prefix, binding.type_)  # [W-Assum]
+        if binding.definition is not None:
+            check(prefix, binding.definition, binding.type_)  # [W-Def]
+        if binding.definition is None:
+            prefix = prefix.extend(binding.name, binding.type_)
+        else:
+            prefix = prefix.define(binding.name, binding.definition, binding.type_)

@@ -1,0 +1,384 @@
+"""Abstract syntax of CC-CC, the closure-converted target calculus.
+
+CC-CC (paper Figure 5) is CC with first-class functions *removed* and
+replaced by:
+
+* **closed code** ``λ (x′:A′, x:A). e`` (:class:`CodeLam`) of **code type**
+  ``Code (x′:A′, x:A). B`` (:class:`CodeType`) — a two-argument function
+  (environment, then argument) that must type check in the *empty*
+  environment;
+* **closures** ``⟨⟨e, e′⟩⟩`` (:class:`Clo`) pairing code with its
+  environment; closures inhabit the dependent closure type ``Π x:A. B``
+  (``Pi`` is kept, but in CC-CC it classifies closures, not functions);
+* the **unit type** ``1`` (:class:`Unit`) with value ``⟨⟩``
+  (:class:`UnitVal`), used to terminate environment tuples.
+
+Application ``e e′`` is unchanged syntactically but now eliminates
+closures.  Everything else (let, Σ, pairs, projections, and the Section 5.2
+ground types Bool/Nat) carries over from CC.
+
+Binding structure:
+
+* ``CodeType(env_name, env_type, arg_name, arg_type, result)`` binds
+  ``env_name`` in ``arg_type`` and ``result``; ``arg_name`` in ``result``.
+* ``CodeLam(env_name, env_type, arg_name, arg_type, body)`` binds
+  ``env_name`` in ``arg_type`` and ``body``; ``arg_name`` in ``body``.
+
+The n-tuple environments ``⟨e…⟩ as Σ(x:A…)`` and pattern lets
+``let ⟨x…⟩ = e in b`` of Section 4 are *syntactic sugar*, elaborated by
+:mod:`repro.cccc.ntuple` into nested pairs / projection lets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+__all__ = [
+    "App",
+    "Bool",
+    "BoolLit",
+    "Box",
+    "Clo",
+    "CodeLam",
+    "CodeType",
+    "Fst",
+    "If",
+    "Let",
+    "Nat",
+    "NatElim",
+    "Pair",
+    "Pi",
+    "Sigma",
+    "Snd",
+    "Star",
+    "Succ",
+    "Term",
+    "Unit",
+    "UnitVal",
+    "Var",
+    "Zero",
+    "app_spine",
+    "arrow",
+    "free_vars",
+    "make_app",
+    "nat_literal",
+    "nat_value",
+    "subterms",
+    "term_size",
+]
+
+
+class Term:
+    """Base class of all CC-CC expressions (structural ``==`` is syntactic)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        from repro.cccc.pretty import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A variable occurrence ``x``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Term):
+    """The impredicative universe ``⋆``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Box(Term):
+    """The predicative universe ``□`` (the type of ``⋆``; untypable itself)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Pi(Term):
+    """Dependent *closure* type ``Π name:domain. codomain``.
+
+    In CC-CC, inhabitants of Π are closures ⟨⟨code, env⟩⟩ (paper [Clo]), not
+    λ-abstractions — there is no ``Lam`` node in this language.
+    """
+
+    name: str
+    domain: Term
+    codomain: Term
+
+
+@dataclass(frozen=True, slots=True)
+class CodeType(Term):
+    """Dependent code type ``Code (env_name:env_type, arg_name:arg_type). result``."""
+
+    env_name: str
+    env_type: Term
+    arg_name: str
+    arg_type: Term
+    result: Term
+
+
+@dataclass(frozen=True, slots=True)
+class CodeLam(Term):
+    """Closed code ``λ (env_name:env_type, arg_name:arg_type). body``.
+
+    Typing rule [Code] requires the body to check in the environment
+    ``·, env_name:env_type, arg_name:arg_type`` — i.e. code is *closed*,
+    which is the entire point of typed closure conversion.
+    """
+
+    env_name: str
+    env_type: Term
+    arg_name: str
+    arg_type: Term
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Clo(Term):
+    """A closure ``⟨⟨code, env⟩⟩``.
+
+    Not a pair: think of it as a *delayed partial application* of ``code``
+    to ``env`` (Section 3.2) — the typing rule [Clo] substitutes ``env``
+    into the code type, exactly like dependent application.
+    """
+
+    code: Term
+    env: Term
+
+
+@dataclass(frozen=True, slots=True)
+class App(Term):
+    """Application ``fn arg`` — the elimination form for closures."""
+
+    fn: Term
+    arg: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Let(Term):
+    """Dependent let ``let name = bound : annot in body`` (δ/ζ as in CC)."""
+
+    name: str
+    bound: Term
+    annot: Term
+    body: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Sigma(Term):
+    """Strong dependent pair type ``Σ name:first. second``."""
+
+    name: str
+    first: Term
+    second: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Pair(Term):
+    """Dependent pair ``⟨fst_val, snd_val⟩ as annot`` (annot a Σ type)."""
+
+    fst_val: Term
+    snd_val: Term
+    annot: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Fst(Term):
+    """First projection ``fst pair``."""
+
+    pair: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Snd(Term):
+    """Second projection ``snd pair``."""
+
+    pair: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Unit(Term):
+    """The unit type ``1`` (terminates environment tuples; Figure 5)."""
+
+
+@dataclass(frozen=True, slots=True)
+class UnitVal(Term):
+    """The unit value ``⟨⟩``."""
+
+
+# Ground types (Section 5.2), mirrored from CC.
+
+
+@dataclass(frozen=True, slots=True)
+class Bool(Term):
+    """The ground type of booleans."""
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit(Term):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class If(Term):
+    """Non-dependent conditional."""
+
+    cond: Term
+    then_branch: Term
+    else_branch: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Nat(Term):
+    """The ground type of natural numbers."""
+
+
+@dataclass(frozen=True, slots=True)
+class Zero(Term):
+    """The numeral ``zero``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Succ(Term):
+    """Successor ``succ pred``."""
+
+    pred: Term
+
+
+@dataclass(frozen=True, slots=True)
+class NatElim(Term):
+    """Dependent eliminator for ``Nat``; its ``step`` is a *closure* here."""
+
+    motive: Term
+    base: Term
+    step: Term
+    target: Term
+
+
+# --------------------------------------------------------------------------
+# Construction helpers.
+# --------------------------------------------------------------------------
+
+_UNUSED = "_"
+
+
+def arrow(domain: Term, codomain: Term) -> Pi:
+    """Non-dependent closure type ``domain → codomain``."""
+    return Pi(_UNUSED, domain, codomain)
+
+
+def make_app(fn: Term, *args: Term) -> Term:
+    """Left-nested application ``fn arg0 arg1 …``."""
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def app_spine(term: Term) -> tuple[Term, list[Term]]:
+    """Decompose left-nested applications into ``(head, [args…])``."""
+    args: list[Term] = []
+    while isinstance(term, App):
+        args.append(term.arg)
+        term = term.fn
+    args.reverse()
+    return term, args
+
+
+def nat_literal(value: int) -> Term:
+    """Build the numeral ``succ^value zero``."""
+    if value < 0:
+        raise ValueError(f"nat_literal of negative value {value}")
+    result: Term = Zero()
+    for _ in range(value):
+        result = Succ(result)
+    return result
+
+
+def nat_value(term: Term) -> int | None:
+    """Inverse of :func:`nat_literal`; ``None`` if not a numeral."""
+    count = 0
+    while isinstance(term, Succ):
+        count += 1
+        term = term.pred
+    if isinstance(term, Zero):
+        return count
+    return None
+
+
+# --------------------------------------------------------------------------
+# Generic traversal.
+# --------------------------------------------------------------------------
+
+#: (bound names in scope for the subterm, the subterm).  Multi-binder nodes
+#: (code) list both names for the body.
+Child = tuple[tuple[str, ...], Term]
+
+
+def children(term: Term) -> list[Child]:
+    """Immediate subterms with the names the parent binds in each."""
+    match term:
+        case Var() | Star() | Box() | Unit() | UnitVal() | Bool() | BoolLit() | Nat() | Zero():
+            return []
+        case Pi(name, domain, codomain):
+            return [((), domain), ((name,), codomain)]
+        case CodeType(env_name, env_type, arg_name, arg_type, result):
+            return [((), env_type), ((env_name,), arg_type), ((env_name, arg_name), result)]
+        case CodeLam(env_name, env_type, arg_name, arg_type, body):
+            return [((), env_type), ((env_name,), arg_type), ((env_name, arg_name), body)]
+        case Clo(code, env):
+            return [((), code), ((), env)]
+        case App(fn, arg):
+            return [((), fn), ((), arg)]
+        case Let(name, bound, annot, body):
+            return [((), bound), ((), annot), ((name,), body)]
+        case Sigma(name, first, second):
+            return [((), first), ((name,), second)]
+        case Pair(fst_val, snd_val, annot):
+            return [((), fst_val), ((), snd_val), ((), annot)]
+        case Fst(pair):
+            return [((), pair)]
+        case Snd(pair):
+            return [((), pair)]
+        case If(cond, then_branch, else_branch):
+            return [((), cond), ((), then_branch), ((), else_branch)]
+        case Succ(pred):
+            return [((), pred)]
+        case NatElim(motive, base, step, target):
+            return [((), motive), ((), base), ((), step), ((), target)]
+        case _:
+            raise TypeError(f"not a CC-CC term: {term!r}")
+
+
+def free_vars(term: Term) -> set[str]:
+    """The set of free variable names of ``term``."""
+    out: set[str] = set()
+    _free_vars_into(term, frozenset(), out)
+    return out
+
+
+def _free_vars_into(term: Term, bound: frozenset[str], out: set[str]) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound:
+            out.add(term.name)
+        return
+    for names, sub in children(term):
+        _free_vars_into(sub, bound | set(names) if names else bound, out)
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Pre-order iterator over ``term`` and all of its subterms."""
+    yield term
+    for _, sub in children(term):
+        yield from subterms(sub)
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes in ``term``."""
+    return sum(1 for _ in subterms(term))

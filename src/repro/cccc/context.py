@@ -1,0 +1,9 @@
+"""Typing environments Γ for CC-CC.
+
+Same telescope structure as CC (assumptions and definitions); see
+:mod:`repro.common.telescope`.
+"""
+
+from repro.common.telescope import Binding, Context
+
+__all__ = ["Binding", "Context"]

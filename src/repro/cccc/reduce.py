@@ -1,0 +1,318 @@
+"""Reduction and normalization for CC-CC (paper Figure 6).
+
+CC-CC inherits δ, ζ, π1/π2 (and the ground-type ι-rules) from CC.  The β
+rule changes: code cannot be applied directly, only through a closure::
+
+    ⟨⟨λ (x′:A′, x:A). e1, e′⟩⟩ e  ⊲β  e1[e′/x′][e/x]
+
+Closures themselves are values; their code position only matters when the
+closure is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cccc.ast import (
+    App,
+    BoolLit,
+    Clo,
+    CodeLam,
+    CodeType,
+    Fst,
+    If,
+    Let,
+    NatElim,
+    Pair,
+    Pi,
+    Sigma,
+    Snd,
+    Succ,
+    Term,
+    Var,
+    Zero,
+    make_app,
+)
+from repro.cccc.context import Context
+from repro.cccc.subst import subst, subst1
+from repro.common.errors import NormalizationDepthExceeded
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "Budget",
+    "head_reducts",
+    "normalize",
+    "normalize_counting",
+    "reducts",
+    "whnf",
+]
+
+DEFAULT_FUEL = 1_000_000
+
+
+@dataclass
+class Budget:
+    """Remaining reduction steps; shared across a normalization call tree."""
+
+    remaining: int = DEFAULT_FUEL
+    spent: int = 0
+
+    def spend(self) -> None:
+        """Consume one reduction step."""
+        if self.remaining <= 0:
+            raise NormalizationDepthExceeded(
+                f"normalization exceeded its fuel after {self.spent} steps"
+            )
+        self.remaining -= 1
+        self.spent += 1
+
+
+def _beta(clo: Clo, code: CodeLam, arg: Term) -> Term:
+    """The closure β-contractum ``body[env/env_name][arg/arg_name]``."""
+    return subst(
+        subst1(code.body, code.env_name, clo.env),
+        {code.arg_name: arg},
+    )
+
+
+def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """Reduce ``term`` to weak-head normal form under ``ctx``."""
+    if budget is None:
+        budget = Budget()
+    while True:
+        match term:
+            case Var(name):
+                binding = ctx.lookup(name)
+                if binding is not None and binding.definition is not None:
+                    budget.spend()
+                    term = binding.definition
+                    continue
+                return term
+            case Let(name, bound, _annot, body):
+                budget.spend()
+                term = subst1(body, name, bound)
+                continue
+            case App(fn, arg):
+                fn_whnf = whnf(ctx, fn, budget)
+                if isinstance(fn_whnf, Clo):
+                    code_whnf = whnf(ctx, fn_whnf.code, budget)
+                    if isinstance(code_whnf, CodeLam):
+                        budget.spend()
+                        term = _beta(fn_whnf, code_whnf, arg)
+                        continue
+                    if code_whnf is not fn_whnf.code:
+                        fn_whnf = Clo(code_whnf, fn_whnf.env)
+                return term if fn_whnf is fn else App(fn_whnf, arg)
+            case Fst(pair):
+                pair_whnf = whnf(ctx, pair, budget)
+                if isinstance(pair_whnf, Pair):
+                    budget.spend()
+                    term = pair_whnf.fst_val
+                    continue
+                return term if pair_whnf is pair else Fst(pair_whnf)
+            case Snd(pair):
+                pair_whnf = whnf(ctx, pair, budget)
+                if isinstance(pair_whnf, Pair):
+                    budget.spend()
+                    term = pair_whnf.snd_val
+                    continue
+                return term if pair_whnf is pair else Snd(pair_whnf)
+            case If(cond, then_branch, else_branch):
+                cond_whnf = whnf(ctx, cond, budget)
+                if isinstance(cond_whnf, BoolLit):
+                    budget.spend()
+                    term = then_branch if cond_whnf.value else else_branch
+                    continue
+                return term if cond_whnf is cond else If(cond_whnf, then_branch, else_branch)
+            case NatElim(motive, base, step, target):
+                target_whnf = whnf(ctx, target, budget)
+                if isinstance(target_whnf, Zero):
+                    budget.spend()
+                    term = base
+                    continue
+                if isinstance(target_whnf, Succ):
+                    budget.spend()
+                    pred = target_whnf.pred
+                    term = make_app(step, pred, NatElim(motive, base, step, pred))
+                    continue
+                if target_whnf is target:
+                    return term
+                return NatElim(motive, base, step, target_whnf)
+            case _:
+                return term
+
+
+def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """Fully normalize ``term`` under ``ctx``."""
+    if budget is None:
+        budget = Budget()
+    term = whnf(ctx, term, budget)
+    match term:
+        case Pi(name, domain, codomain):
+            inner = ctx.extend(name, domain)
+            return Pi(name, normalize(ctx, domain, budget), normalize(inner, codomain, budget))
+        case CodeType(env_name, env_type, arg_name, arg_type, result):
+            env_ctx = ctx.extend(env_name, env_type)
+            arg_ctx = env_ctx.extend(arg_name, arg_type)
+            return CodeType(
+                env_name,
+                normalize(ctx, env_type, budget),
+                arg_name,
+                normalize(env_ctx, arg_type, budget),
+                normalize(arg_ctx, result, budget),
+            )
+        case CodeLam(env_name, env_type, arg_name, arg_type, body):
+            env_ctx = ctx.extend(env_name, env_type)
+            arg_ctx = env_ctx.extend(arg_name, arg_type)
+            return CodeLam(
+                env_name,
+                normalize(ctx, env_type, budget),
+                arg_name,
+                normalize(env_ctx, arg_type, budget),
+                normalize(arg_ctx, body, budget),
+            )
+        case Clo(code, env):
+            return Clo(normalize(ctx, code, budget), normalize(ctx, env, budget))
+        case App(fn, arg):
+            return App(normalize(ctx, fn, budget), normalize(ctx, arg, budget))
+        case Sigma(name, first, second):
+            inner = ctx.extend(name, first)
+            return Sigma(name, normalize(ctx, first, budget), normalize(inner, second, budget))
+        case Pair(fst_val, snd_val, annot):
+            return Pair(
+                normalize(ctx, fst_val, budget),
+                normalize(ctx, snd_val, budget),
+                normalize(ctx, annot, budget),
+            )
+        case Fst(pair):
+            return Fst(normalize(ctx, pair, budget))
+        case Snd(pair):
+            return Snd(normalize(ctx, pair, budget))
+        case If(cond, then_branch, else_branch):
+            return If(
+                normalize(ctx, cond, budget),
+                normalize(ctx, then_branch, budget),
+                normalize(ctx, else_branch, budget),
+            )
+        case Succ(pred):
+            return Succ(normalize(ctx, pred, budget))
+        case NatElim(motive, base, step, target):
+            return NatElim(
+                normalize(ctx, motive, budget),
+                normalize(ctx, base, budget),
+                normalize(ctx, step, budget),
+                normalize(ctx, target, budget),
+            )
+        case _:
+            return term
+
+
+def normalize_counting(ctx: Context, term: Term, fuel: int = DEFAULT_FUEL) -> tuple[Term, int]:
+    """Normalize and report the number of reduction steps taken."""
+    budget = Budget(remaining=fuel)
+    result = normalize(ctx, term, budget)
+    return result, budget.spent
+
+
+# --------------------------------------------------------------------------
+# The one-step relation.
+# --------------------------------------------------------------------------
+
+
+def head_reducts(ctx: Context, term: Term) -> list[Term]:
+    """Results of applying a reduction axiom at the root (≤ 1 result)."""
+    match term:
+        case Var(name):
+            binding = ctx.lookup(name)
+            if binding is not None and binding.definition is not None:
+                return [binding.definition]
+            return []
+        case Let(name, bound, _annot, body):
+            return [subst1(body, name, bound)]
+        case App(Clo(CodeLam() as code, _env) as clo, arg):
+            return [_beta(clo, code, arg)]
+        case Fst(Pair(fst_val, _snd_val, _annot)):
+            return [fst_val]
+        case Snd(Pair(_fst_val, snd_val, _annot)):
+            return [snd_val]
+        case If(BoolLit(value), then_branch, else_branch):
+            return [then_branch if value else else_branch]
+        case NatElim(_motive, base, _step, Zero()):
+            return [base]
+        case NatElim(motive, base, step, Succ(pred)):
+            return [make_app(step, pred, NatElim(motive, base, step, pred))]
+        case _:
+            return []
+
+
+def reducts(ctx: Context, term: Term) -> list[Term]:
+    """All one-step reducts (contextual closure of the axioms)."""
+    results = list(head_reducts(ctx, term))
+    match term:
+        case Pi(name, domain, codomain):
+            results += [Pi(name, d, codomain) for d in reducts(ctx, domain)]
+            inner = ctx.extend(name, domain)
+            results += [Pi(name, domain, c) for c in reducts(inner, codomain)]
+        case CodeType(env_name, env_type, arg_name, arg_type, result):
+            results += [
+                CodeType(env_name, t, arg_name, arg_type, result) for t in reducts(ctx, env_type)
+            ]
+            env_ctx = ctx.extend(env_name, env_type)
+            results += [
+                CodeType(env_name, env_type, arg_name, t, result)
+                for t in reducts(env_ctx, arg_type)
+            ]
+            arg_ctx = env_ctx.extend(arg_name, arg_type)
+            results += [
+                CodeType(env_name, env_type, arg_name, arg_type, r)
+                for r in reducts(arg_ctx, result)
+            ]
+        case CodeLam(env_name, env_type, arg_name, arg_type, body):
+            results += [
+                CodeLam(env_name, t, arg_name, arg_type, body) for t in reducts(ctx, env_type)
+            ]
+            env_ctx = ctx.extend(env_name, env_type)
+            results += [
+                CodeLam(env_name, env_type, arg_name, t, body) for t in reducts(env_ctx, arg_type)
+            ]
+            arg_ctx = env_ctx.extend(arg_name, arg_type)
+            results += [
+                CodeLam(env_name, env_type, arg_name, arg_type, b) for b in reducts(arg_ctx, body)
+            ]
+        case Clo(code, env):
+            results += [Clo(c, env) for c in reducts(ctx, code)]
+            results += [Clo(code, e) for e in reducts(ctx, env)]
+        case App(fn, arg):
+            results += [App(f, arg) for f in reducts(ctx, fn)]
+            results += [App(fn, a) for a in reducts(ctx, arg)]
+        case Let(name, bound, annot, body):
+            results += [Let(name, b, annot, body) for b in reducts(ctx, bound)]
+            results += [Let(name, bound, a, body) for a in reducts(ctx, annot)]
+            inner = ctx.define(name, bound, annot)
+            results += [Let(name, bound, annot, b) for b in reducts(inner, body)]
+        case Sigma(name, first, second):
+            results += [Sigma(name, f, second) for f in reducts(ctx, first)]
+            inner = ctx.extend(name, first)
+            results += [Sigma(name, first, s) for s in reducts(inner, second)]
+        case Pair(fst_val, snd_val, annot):
+            results += [Pair(f, snd_val, annot) for f in reducts(ctx, fst_val)]
+            results += [Pair(fst_val, s, annot) for s in reducts(ctx, snd_val)]
+            results += [Pair(fst_val, snd_val, a) for a in reducts(ctx, annot)]
+        case Fst(pair):
+            results += [Fst(p) for p in reducts(ctx, pair)]
+        case Snd(pair):
+            results += [Snd(p) for p in reducts(ctx, pair)]
+        case If(cond, then_branch, else_branch):
+            results += [If(c, then_branch, else_branch) for c in reducts(ctx, cond)]
+            results += [If(cond, t, else_branch) for t in reducts(ctx, then_branch)]
+            results += [If(cond, then_branch, e) for e in reducts(ctx, else_branch)]
+        case Succ(pred):
+            results += [Succ(p) for p in reducts(ctx, pred)]
+        case NatElim(motive, base, step, target):
+            results += [NatElim(m, base, step, target) for m in reducts(ctx, motive)]
+            results += [NatElim(motive, b, step, target) for b in reducts(ctx, base)]
+            results += [NatElim(motive, base, s, target) for s in reducts(ctx, step)]
+            results += [NatElim(motive, base, step, t) for t in reducts(ctx, target)]
+        case _:
+            pass
+    return results

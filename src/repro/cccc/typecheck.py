@@ -1,0 +1,247 @@
+"""The CC-CC type checker (paper Figure 7).
+
+The two rules that carry the weight of the paper:
+
+* **[Code]** — code ``λ (x′:A′, x:A). e`` checks its body in the
+  environment ``·, x′:A′, x:A`` — *the empty context extended only with
+  the two parameters*.  This is the static, machine-checked guarantee
+  that closure conversion produced closed code.
+
+* **[Clo]** — a closure ``⟨⟨e, e′⟩⟩`` where ``e : Code (x′:A′, x:A). B``
+  and ``e′ : A′`` has type ``Π x:A[e′/x′]. B[e′/x′]``: the environment is
+  substituted into the type, exactly like dependent application.  This is
+  what synchronizes the (open) closure type with the (closed) code type
+  and makes the translation type preserving.
+
+``Code`` formation ([T-Code-⋆]/[T-Code-□]) mirrors Π: impredicative in ⋆,
+predicative at □.  Everything else is inherited from CC.
+"""
+
+from __future__ import annotations
+
+from repro.cccc.ast import (
+    App,
+    Bool,
+    BoolLit,
+    Box,
+    Clo,
+    CodeLam,
+    CodeType,
+    Fst,
+    If,
+    Let,
+    Nat,
+    NatElim,
+    Pair,
+    Pi,
+    Sigma,
+    Snd,
+    Star,
+    Succ,
+    Term,
+    Unit,
+    UnitVal,
+    Var,
+    Zero,
+    free_vars,
+)
+from repro.cccc.context import Context
+from repro.cccc.equiv import equivalent
+from repro.cccc.pretty import pretty
+from repro.cccc.reduce import whnf
+from repro.cccc.subst import rename, subst1
+from repro.common.errors import TypeCheckError
+from repro.common.names import fresh
+
+__all__ = ["check", "check_context", "infer", "infer_universe", "well_typed"]
+
+
+def infer(ctx: Context, term: Term) -> Term:
+    """Synthesize the type of ``term`` under ``ctx`` (judgment Γ ⊢ e : t)."""
+    match term:
+        case Star():
+            return Box()
+        case Box():
+            raise TypeCheckError("□ has no type (it is not a valid term)")
+        case Var(name):
+            binding = ctx.lookup(name)
+            if binding is None:
+                raise TypeCheckError(f"unbound variable {name!r}")
+            return binding.type_
+        case Pi(name, domain, codomain):
+            infer_universe(ctx, domain)
+            return infer_universe(ctx.extend(name, domain), codomain)
+        case CodeType(env_name, env_type, arg_name, arg_type, result):
+            infer_universe(ctx, env_type)
+            env_ctx = ctx.extend(env_name, env_type)
+            infer_universe(env_ctx, arg_type)
+            arg_ctx = env_ctx.extend(arg_name, arg_type)
+            return infer_universe(arg_ctx, result)  # [T-Code-⋆] / [T-Code-□]
+        case CodeLam(env_name, env_type, arg_name, arg_type, body):
+            # [Code]: the body checks under the *empty* environment — this
+            # is the static closedness guarantee.
+            empty = Context.empty()
+            stray = free_vars(term)
+            if stray:
+                raise TypeCheckError(
+                    f"code is not closed: free variables {sorted(stray)}"
+                ).with_note(f"checking {pretty(term)}")
+            infer_universe(empty, env_type)
+            env_ctx = empty.extend(env_name, env_type)
+            infer_universe(env_ctx, arg_type)
+            arg_ctx = env_ctx.extend(arg_name, arg_type)
+            result = infer(arg_ctx, body)
+            return CodeType(env_name, env_type, arg_name, arg_type, result)
+        case Clo(code, env):
+            code_type = whnf(ctx, infer(ctx, code))
+            if not isinstance(code_type, CodeType):
+                raise TypeCheckError(
+                    f"closure over non-code of type {pretty(code_type)}"
+                ).with_note(f"checking {pretty(term)}")
+            check(ctx, env, code_type.env_type)
+            # [Clo]: Π x : A[e′/x′]. B[e′/x′].  Rename the argument binder
+            # if the environment value happens to mention a variable with
+            # the same name (the substitution is under the Π binder).
+            arg_name = code_type.arg_name
+            arg_type = code_type.arg_type
+            result = code_type.result
+            if arg_name in free_vars(env):
+                renamed = fresh(arg_name)
+                result = rename(result, arg_name, renamed)
+                arg_name = renamed
+            return Pi(
+                arg_name,
+                subst1(arg_type, code_type.env_name, env),
+                subst1(result, code_type.env_name, env),
+            )
+        case App(fn, arg):
+            fn_type = whnf(ctx, infer(ctx, fn))
+            if not isinstance(fn_type, Pi):
+                raise TypeCheckError(
+                    f"application head has non-Π type {pretty(fn_type)}"
+                ).with_note(f"checking {pretty(term)}")
+            check(ctx, arg, fn_type.domain)
+            return subst1(fn_type.codomain, fn_type.name, arg)
+        case Let(name, bound, annot, body):
+            infer_universe(ctx, annot)
+            check(ctx, bound, annot)
+            body_type = infer(ctx.define(name, bound, annot), body)
+            return subst1(body_type, name, bound)
+        case Sigma(name, first, second):
+            first_universe = infer_universe(ctx, first)
+            second_universe = infer_universe(ctx.extend(name, first), second)
+            if isinstance(first_universe, Star) and isinstance(second_universe, Star):
+                return Star()
+            return Box()
+        case Pair(fst_val, snd_val, annot):
+            infer_universe(ctx, annot)
+            annot_whnf = whnf(ctx, annot)
+            if not isinstance(annot_whnf, Sigma):
+                raise TypeCheckError(
+                    f"pair annotation {pretty(annot)} is not a Σ type"
+                ).with_note(f"checking {pretty(term)}")
+            check(ctx, fst_val, annot_whnf.first)
+            check(ctx, snd_val, subst1(annot_whnf.second, annot_whnf.name, fst_val))
+            return annot
+        case Fst(pair):
+            pair_type = whnf(ctx, infer(ctx, pair))
+            if not isinstance(pair_type, Sigma):
+                raise TypeCheckError(f"fst of non-Σ type {pretty(pair_type)}").with_note(
+                    f"checking {pretty(term)}"
+                )
+            return pair_type.first
+        case Snd(pair):
+            pair_type = whnf(ctx, infer(ctx, pair))
+            if not isinstance(pair_type, Sigma):
+                raise TypeCheckError(f"snd of non-Σ type {pretty(pair_type)}").with_note(
+                    f"checking {pretty(term)}"
+                )
+            return subst1(pair_type.second, pair_type.name, Fst(pair))
+        case Unit():
+            return Star()
+        case UnitVal():
+            return Unit()
+        case Bool() | Nat():
+            return Star()
+        case BoolLit():
+            return Bool()
+        case Zero():
+            return Nat()
+        case Succ(pred):
+            check(ctx, pred, Nat())
+            return Nat()
+        case If(cond, then_branch, else_branch):
+            check(ctx, cond, Bool())
+            then_type = infer(ctx, then_branch)
+            check(ctx, else_branch, then_type)
+            return then_type
+        case NatElim(motive, base, step, target):
+            _check_motive(ctx, motive)
+            check(ctx, target, Nat())
+            check(ctx, base, App(motive, Zero()))
+            check(ctx, step, _step_type(motive))
+            return App(motive, target)
+        case _:
+            raise TypeCheckError(f"not a CC-CC term: {term!r}")
+
+
+def _check_motive(ctx: Context, motive: Term) -> None:
+    """Require ``motive : Π _:Nat. U`` for some universe ``U``."""
+    motive_type = whnf(ctx, infer(ctx, motive))
+    if not isinstance(motive_type, Pi):
+        raise TypeCheckError(f"natelim motive has non-Π type {pretty(motive_type)}")
+    if not equivalent(ctx, motive_type.domain, Nat()):
+        raise TypeCheckError(
+            f"natelim motive domain {pretty(motive_type.domain)} is not Nat"
+        )
+    inner = ctx.extend(motive_type.name, Nat())
+    codomain = whnf(inner, motive_type.codomain)
+    if not isinstance(codomain, (Star, Box)):
+        raise TypeCheckError(f"natelim motive codomain {pretty(codomain)} is not a universe")
+
+
+def _step_type(motive: Term) -> Term:
+    """``Π n:Nat. Π ih:(motive n). motive (succ n)`` (a closure type here)."""
+    n = fresh("n")
+    ih = fresh("ih")
+    return Pi(n, Nat(), Pi(ih, App(motive, Var(n)), App(motive, Succ(Var(n)))))
+
+
+def check(ctx: Context, term: Term, expected: Term) -> None:
+    """Check ``Γ ⊢ term : expected`` (inference + [Conv])."""
+    actual = infer(ctx, term)
+    if not equivalent(ctx, actual, expected):
+        raise TypeCheckError(
+            f"type mismatch: term {pretty(term)}\n"
+            f"  has type      {pretty(actual)}\n"
+            f"  but expected  {pretty(expected)}"
+        )
+
+
+def infer_universe(ctx: Context, type_: Term) -> Star | Box:
+    """Require ``type_`` to be a type; return its universe (⋆ or □)."""
+    sort = whnf(ctx, infer(ctx, type_))
+    if isinstance(sort, (Star, Box)):
+        return sort
+    raise TypeCheckError(f"expected a type but {pretty(type_)} has type {pretty(sort)}")
+
+
+def well_typed(ctx: Context, term: Term) -> bool:
+    """Does ``term`` have *some* type under ``ctx``?"""
+    try:
+        infer(ctx, term)
+    except TypeCheckError:
+        return False
+    return True
+
+
+def check_context(ctx: Context) -> None:
+    """Check well-formedness ``⊢ Γ``."""
+    prefix = Context.empty()
+    for binding in ctx:
+        infer_universe(prefix, binding.type_)
+        if binding.definition is not None:
+            check(prefix, binding.definition, binding.type_)
+            prefix = prefix.define(binding.name, binding.definition, binding.type_)
+        else:
+            prefix = prefix.extend(binding.name, binding.type_)

@@ -1,0 +1,82 @@
+"""Globally fresh variable names.
+
+Both calculi use a *named* term representation (matching the paper's
+presentation), so capture-avoiding substitution must be able to rename a
+binder to a name that cannot collide with anything the user wrote or any
+name produced earlier.  We achieve this with a global monotone counter and a
+``$`` separator, a character the surface lexer rejects in identifiers.
+
+``x`` freshened once becomes ``x$1``; freshened again it becomes ``x$2`` (the
+old suffix is stripped first so names do not grow without bound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_SEPARATOR = "$"
+
+_counter = itertools.count(1)
+
+
+def fresh(base: str = "x") -> str:
+    """Return a globally fresh name derived from ``base``.
+
+    The result never collides with a surface-syntax identifier (those cannot
+    contain ``$``) nor with any previously issued fresh name.
+    """
+    stem = base_name(base)
+    if not stem:
+        stem = "x"
+    return f"{stem}{_SEPARATOR}{next(_counter)}"
+
+
+def base_name(name: str) -> str:
+    """Strip a fresh suffix, recovering the human-readable stem of a name."""
+    index = name.find(_SEPARATOR)
+    if index == -1:
+        return name
+    return name[:index]
+
+
+def is_machine_name(name: str) -> bool:
+    """Return True if ``name`` was produced by :func:`fresh`."""
+    return _SEPARATOR in name
+
+
+def reset_fresh_counter() -> None:
+    """Reset the global counter.  Only for tests that need determinism."""
+    global _counter
+    _counter = itertools.count(1)
+
+
+@dataclass
+class NameSupply:
+    """A local, deterministic name supply.
+
+    The global :func:`fresh` is convenient but makes output depend on
+    execution history.  Components that must produce *reproducible* names
+    (the pretty printer, the hoisting pass) use a ``NameSupply`` seeded at a
+    known point instead.
+    """
+
+    prefix: str = "v"
+    _next: int = 0
+    _used: set[str] = field(default_factory=set)
+
+    def fresh(self, base: str | None = None) -> str:
+        """Return a name unused by this supply, derived from ``base``."""
+        stem = base_name(base) if base else self.prefix
+        if not stem:
+            stem = self.prefix
+        candidate = stem
+        while candidate in self._used:
+            self._next += 1
+            candidate = f"{stem}{self._next}"
+        self._used.add(candidate)
+        return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken so :meth:`fresh` never returns it."""
+        self._used.add(name)

@@ -1,0 +1,5 @@
+"""Type-directed random generation of well-typed CC terms (test substrate)."""
+
+from repro.gen.generator import GenConfig, TermGenerator
+
+__all__ = ["GenConfig", "TermGenerator"]

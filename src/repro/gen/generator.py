@@ -1,0 +1,286 @@
+"""Type-directed random generation of well-typed CC terms.
+
+The paper's theorems quantify over *all* well-typed terms; our empirical
+validation needs a large, diverse, reproducible supply of them.  This
+module generates terms in two modes:
+
+* **checking mode** (:meth:`TermGenerator.term`) — given a target type,
+  build an inhabitant: introduction forms for Π/Σ/ground types, context
+  variables, dependent eliminations (applications, projections), and
+  deliberate β/ζ-redex wrappers so the corpus exercises reduction;
+* **synthesis mode** (:meth:`TermGenerator.any_term`) — build a random
+  type first, then inhabit it.
+
+Every candidate is *verified* with the CC kernel before it is handed to a
+test (:meth:`TermGenerator.well_typed_term`), so generator bugs cannot
+produce false property-test failures.  Generation is deterministic per
+seed, which is how the hypothesis suites shrink failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro import cc
+from repro.cc.context import Context
+from repro.common.errors import ReproError, TypeCheckError
+from repro.common.names import NameSupply
+
+__all__ = ["GenConfig", "TermGenerator"]
+
+
+@dataclass
+class GenConfig:
+    """Knobs controlling the shape of generated programs."""
+
+    max_depth: int = 4
+    context_size: int = 3
+    allow_ground: bool = True  # Bool / Nat leaves
+    allow_sigma: bool = True  # Σ types and pairs
+    allow_poly: bool = True  # Π A:⋆ quantification (type variables)
+    allow_redex: bool = True  # deliberate β/ζ redexes
+    allow_definitions: bool = True  # context entries with definitions
+    redex_probability: float = 0.25
+    let_probability: float = 0.15
+
+
+class TermGenerator:
+    """A deterministic random source of well-typed CC terms."""
+
+    def __init__(self, seed: int, config: GenConfig | None = None):
+        self.rng = random.Random(seed)
+        self.config = config or GenConfig()
+        # A private name supply keeps output deterministic per seed (the
+        # global fresh counter depends on execution history).
+        self.names = NameSupply(prefix="g")
+
+    # -- types --------------------------------------------------------------
+
+    def type_(self, ctx: Context, depth: int) -> cc.Term:
+        """A well-formed *small* type (universe ⋆) under ``ctx``."""
+        choices: list[str] = []
+        if self.config.allow_ground:
+            choices += ["nat", "nat", "bool"]
+        type_vars = [b.name for b in ctx if b.type_ == cc.Star()]
+        if type_vars:
+            choices += ["var", "var"]
+        if depth > 0:
+            choices += ["pi", "pi"]
+            if self.config.allow_sigma:
+                choices.append("sigma")
+            if self.config.allow_poly:
+                choices.append("poly")
+        if not choices:
+            choices = ["nat"]
+        match self.rng.choice(choices):
+            case "nat":
+                return cc.Nat()
+            case "bool":
+                return cc.Bool()
+            case "var":
+                return cc.Var(self.rng.choice(type_vars))
+            case "pi":
+                name = self.names.fresh("a")
+                domain = self.type_(ctx, depth - 1)
+                codomain = self.type_(ctx.extend(name, domain), depth - 1)
+                return cc.Pi(name, domain, codomain)
+            case "sigma":
+                name = self.names.fresh("s")
+                first = self.type_(ctx, depth - 1)
+                second = self.type_(ctx.extend(name, first), depth - 1)
+                return cc.Sigma(name, first, second)
+            case "poly":
+                name = self.names.fresh("T")
+                body = self.type_(ctx.extend(name, cc.Star()), depth - 1)
+                return cc.Pi(name, cc.Star(), body)
+        raise AssertionError("unreachable")
+
+    # -- terms at a type ----------------------------------------------------
+
+    def term(self, ctx: Context, target: cc.Term, depth: int) -> cc.Term | None:
+        """An inhabitant of ``target`` under ``ctx``, or None if not found."""
+        candidate = self._term(ctx, target, depth)
+        if candidate is None:
+            return None
+        if depth > 0 and self.config.allow_redex:
+            if self.rng.random() < self.config.redex_probability:
+                candidate = self._wrap_redex(ctx, candidate, depth)
+        return candidate
+
+    def _term(self, ctx: Context, target: cc.Term, depth: int) -> cc.Term | None:
+        target = cc.whnf(ctx, target)
+
+        strategies = ["intro", "var", "elim"]
+        self.rng.shuffle(strategies)
+        if depth <= 0:
+            strategies = ["var", "intro"]
+
+        for strategy in strategies:
+            result: cc.Term | None = None
+            if strategy == "var":
+                result = self._var_of_type(ctx, target)
+            elif strategy == "intro":
+                result = self._intro(ctx, target, depth)
+            elif strategy == "elim" and depth > 0:
+                result = self._elim(ctx, target, depth)
+            if result is not None:
+                return result
+        return None
+
+    def _var_of_type(self, ctx: Context, target: cc.Term) -> cc.Term | None:
+        matches = []
+        for binding in ctx:
+            try:
+                if cc.equivalent(ctx, binding.type_, target):
+                    matches.append(binding.name)
+            except ReproError:
+                continue
+        if not matches:
+            return None
+        return cc.Var(self.rng.choice(matches))
+
+    def _intro(self, ctx: Context, target: cc.Term, depth: int) -> cc.Term | None:
+        match target:
+            case cc.Pi(name, domain, codomain):
+                binder = self.names.fresh(name)
+                inner = ctx.extend(binder, domain)
+                body = self.term(inner, cc.subst1(codomain, name, cc.Var(binder)), depth - 1)
+                if body is None:
+                    return None
+                return cc.Lam(binder, domain, body)
+            case cc.Sigma(name, first, second):
+                fst_val = self.term(ctx, first, depth - 1)
+                if fst_val is None:
+                    return None
+                snd_val = self.term(ctx, cc.subst1(second, name, fst_val), depth - 1)
+                if snd_val is None:
+                    return None
+                return cc.Pair(fst_val, snd_val, target)
+            case cc.Nat():
+                roll = self.rng.random()
+                if roll < 0.5 or depth <= 0:
+                    return cc.nat_literal(self.rng.randrange(4))
+                if roll < 0.75:
+                    pred = self.term(ctx, cc.Nat(), depth - 1)
+                    return None if pred is None else cc.Succ(pred)
+                return self._nat_elim(ctx, depth)
+            case cc.Bool():
+                if self.rng.random() < 0.6 or depth <= 0:
+                    return cc.BoolLit(self.rng.random() < 0.5)
+                cond = self.term(ctx, cc.Bool(), depth - 1)
+                left = self.term(ctx, cc.Bool(), depth - 1)
+                right = self.term(ctx, cc.Bool(), depth - 1)
+                if None in (cond, left, right):
+                    return None
+                return cc.If(cond, left, right)
+            case cc.Star():
+                return self.type_(ctx, min(depth, 2))
+            case _:
+                return None
+
+    def _nat_elim(self, ctx: Context, depth: int) -> cc.Term | None:
+        """A ``natelim`` at the constant-Nat motive (exercises ι-reduction)."""
+        base = self.term(ctx, cc.Nat(), depth - 1)
+        target = self.term(ctx, cc.Nat(), depth - 1)
+        if base is None or target is None:
+            return None
+        k = self.names.fresh("k")
+        ih = self.names.fresh("ih")
+        step_body = self.rng.choice([cc.Succ(cc.Var(ih)), cc.Var(ih), cc.Var(k)])
+        motive = cc.Lam(self.names.fresh("_"), cc.Nat(), cc.Nat())
+        step = cc.Lam(k, cc.Nat(), cc.Lam(ih, cc.Nat(), step_body))
+        return cc.NatElim(motive, base, step, target)
+
+    def _elim(self, ctx: Context, target: cc.Term, depth: int) -> cc.Term | None:
+        """Inhabit ``target`` by eliminating a context variable."""
+        bindings = list(ctx)
+        self.rng.shuffle(bindings)
+        for binding in bindings:
+            head_type = cc.whnf(ctx, binding.type_)
+            if isinstance(head_type, cc.Pi):
+                arg = self.term(ctx, head_type.domain, depth - 1)
+                if arg is None:
+                    continue
+                result_type = cc.subst1(head_type.codomain, head_type.name, arg)
+                try:
+                    if cc.equivalent(ctx, result_type, target):
+                        return cc.App(cc.Var(binding.name), arg)
+                except ReproError:
+                    continue
+            elif isinstance(head_type, cc.Sigma):
+                try:
+                    if cc.equivalent(ctx, head_type.first, target):
+                        return cc.Fst(cc.Var(binding.name))
+                    snd_type = cc.subst1(
+                        head_type.second, head_type.name, cc.Fst(cc.Var(binding.name))
+                    )
+                    if cc.equivalent(ctx, snd_type, target):
+                        return cc.Snd(cc.Var(binding.name))
+                except ReproError:
+                    continue
+        return None
+
+    def _wrap_redex(self, ctx: Context, term: cc.Term, depth: int) -> cc.Term:
+        """Wrap ``term`` in a type-preserving β- or ζ-redex."""
+        helper_type = self.type_(ctx, 1)
+        helper = self.term(ctx, helper_type, 1)
+        if helper is None:
+            return term
+        name = self.names.fresh("z")
+        if self.rng.random() < 0.5:
+            # (λ z:C. term) helper — β-redex; z does not occur in term.
+            return cc.App(cc.Lam(name, helper_type, term), helper)
+        return cc.Let(name, helper, helper_type, term)
+
+    # -- contexts and whole programs ----------------------------------------
+
+    def context(self, size: int | None = None) -> Context:
+        """A well-formed random context (assumptions, type vars, definitions)."""
+        if size is None:
+            size = self.config.context_size
+        ctx = Context.empty()
+        for index in range(size):
+            roll = self.rng.random()
+            if self.config.allow_poly and roll < 0.3:
+                ctx = ctx.extend(self.names.fresh("X"), cc.Star())
+            elif self.config.allow_definitions and roll < 0.45:
+                type_ = self.type_(ctx, 1)
+                value = self.term(ctx, type_, 2)
+                if value is not None and not cc.free_vars(value):
+                    ctx = ctx.define(self.names.fresh("d"), value, type_)
+                else:
+                    ctx = ctx.extend(self.names.fresh("v"), type_)
+            else:
+                ctx = ctx.extend(self.names.fresh("v"), self.type_(ctx, 2))
+        return ctx
+
+    def any_term(self, ctx: Context, depth: int | None = None) -> cc.Term | None:
+        """A term of *some* type: synthesize a type, then inhabit it."""
+        if depth is None:
+            depth = self.config.max_depth
+        if self.rng.random() < 0.1:
+            return self.type_(ctx, depth - 1)  # types are terms too
+        target = self.type_(ctx, depth - 1)
+        return self.term(ctx, target, depth)
+
+    def well_typed_term(
+        self, max_attempts: int = 20
+    ) -> tuple[Context, cc.Term, cc.Term] | None:
+        """A verified (context, term, type) triple, or None after retries.
+
+        The CC kernel re-checks every candidate; anything it rejects is
+        discarded, so downstream property tests only ever see genuinely
+        well-typed inputs.
+        """
+        for _ in range(max_attempts):
+            ctx = self.context()
+            term = self.any_term(ctx)
+            if term is None:
+                continue
+            try:
+                type_ = cc.infer(ctx, term)
+            except TypeCheckError:
+                continue
+            return ctx, term, type_
+        return None

@@ -1,0 +1,181 @@
+"""Components, closing substitutions, and linking (paper Section 5.2).
+
+A *component* is a well-typed open term ``Γ ⊢ e : A``.  Linking is
+substitution: a closing substitution ``γ`` maps every assumption of Γ to a
+closed term of the right type (``Γ ⊢ γ`` in the paper), and ``γ(e)`` is
+the linked program.
+
+The paper's separate-compilation story (Theorem 5.7): compiling a
+component and *then* linking with compiled imports gives the same ground
+observation as linking first and compiling the whole program.  Because CC
+types can mention earlier imports, checking ``Γ ⊢ γ`` must substitute γ
+into later types as it walks the telescope — the same dependency ordering
+closure conversion relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import cc, cccc
+from repro.cc.context import Context as CCContext
+from repro.cccc.context import Context as TargetContext
+from repro.closconv.translate import translate
+from repro.common.errors import LinkError, TypeCheckError
+
+__all__ = [
+    "ClosingSubstitution",
+    "TargetClosingSubstitution",
+    "check_substitution",
+    "check_target_substitution",
+    "link",
+    "link_target",
+    "translate_substitution",
+]
+
+
+@dataclass(frozen=True)
+class ClosingSubstitution:
+    """A CC closing substitution γ: name → closed term."""
+
+    mapping: dict[str, cc.Term] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> cc.Term:
+        return self.mapping[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.mapping
+
+    def items(self):
+        """Iterate over (name, term) pairs."""
+        return self.mapping.items()
+
+
+@dataclass(frozen=True)
+class TargetClosingSubstitution:
+    """A CC-CC closing substitution: name → closed target term."""
+
+    mapping: dict[str, cccc.Term] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> cccc.Term:
+        return self.mapping[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.mapping
+
+    def items(self):
+        """Iterate over (name, term) pairs."""
+        return self.mapping.items()
+
+
+def check_substitution(ctx: CCContext, gamma: ClosingSubstitution) -> None:
+    """Check ``Γ ⊢ γ``: each import receives a closed term of its type.
+
+    Types of later entries are instantiated with the values chosen for
+    earlier entries before checking.  Definition entries must be *matched*
+    by γ (mapped to a term equivalent to their instantiated definition) or
+    omitted, in which case the definition itself is used at link time.
+    """
+    empty = CCContext.empty()
+    applied: dict[str, cc.Term] = {}
+    for binding in ctx:
+        expected_type = cc.subst(binding.type_, applied)
+        if binding.definition is not None:
+            value = cc.subst(binding.definition, applied)
+            if binding.name in gamma:
+                supplied = gamma[binding.name]
+                if not cc.equivalent(empty, supplied, value):
+                    raise LinkError(
+                        f"substitution for defined import {binding.name!r} is not "
+                        f"equivalent to its definition"
+                    )
+                value = supplied
+        else:
+            if binding.name not in gamma:
+                raise LinkError(f"no substitution for import {binding.name!r}")
+            value = gamma[binding.name]
+            stray = cc.free_vars(value)
+            if stray:
+                raise LinkError(
+                    f"substitution for {binding.name!r} is not closed: "
+                    f"free variables {sorted(stray)}"
+                )
+        try:
+            cc.check(empty, value, expected_type)
+        except TypeCheckError as error:
+            raise LinkError(
+                f"substitution for {binding.name!r} has the wrong type: {error}"
+            ) from error
+        applied[binding.name] = value
+
+
+def link(ctx: CCContext, term: cc.Term, gamma: ClosingSubstitution) -> cc.Term:
+    """``γ(e)``: close ``term`` over its imports.
+
+    Entries are substituted in telescope order so that values chosen for
+    earlier imports flow into the (possibly dependent) defaults of later
+    definition entries.
+    """
+    applied: dict[str, cc.Term] = {}
+    for binding in ctx:
+        if binding.name in gamma:
+            applied[binding.name] = cc.subst(gamma[binding.name], applied)
+        elif binding.definition is not None:
+            applied[binding.name] = cc.subst(binding.definition, applied)
+    return cc.subst(term, applied)
+
+
+def check_target_substitution(ctx: TargetContext, gamma: TargetClosingSubstitution) -> None:
+    """Check a CC-CC closing substitution against a translated interface."""
+    empty = TargetContext.empty()
+    applied: dict[str, cccc.Term] = {}
+    for binding in ctx:
+        expected_type = cccc.subst(binding.type_, applied)
+        if binding.definition is not None:
+            value = cccc.subst(binding.definition, applied)
+            if binding.name in gamma:
+                supplied = gamma[binding.name]
+                if not cccc.equivalent(empty, supplied, value):
+                    raise LinkError(
+                        f"substitution for defined import {binding.name!r} is not "
+                        f"equivalent to its definition"
+                    )
+                value = supplied
+        else:
+            if binding.name not in gamma:
+                raise LinkError(f"no substitution for import {binding.name!r}")
+            value = gamma[binding.name]
+            stray = cccc.free_vars(value)
+            if stray:
+                raise LinkError(
+                    f"substitution for {binding.name!r} is not closed: "
+                    f"free variables {sorted(stray)}"
+                )
+        try:
+            cccc.check(empty, value, expected_type)
+        except TypeCheckError as error:
+            raise LinkError(
+                f"substitution for {binding.name!r} has the wrong type: {error}"
+            ) from error
+        applied[binding.name] = value
+
+
+def link_target(
+    ctx: TargetContext, term: cccc.Term, gamma: TargetClosingSubstitution
+) -> cccc.Term:
+    """``γ(e)`` on the CC-CC side."""
+    applied: dict[str, cccc.Term] = {}
+    for binding in ctx:
+        if binding.name in gamma:
+            applied[binding.name] = cccc.subst(gamma[binding.name], applied)
+        elif binding.definition is not None:
+            applied[binding.name] = cccc.subst(binding.definition, applied)
+    return cccc.subst(term, applied)
+
+
+def translate_substitution(gamma: ClosingSubstitution) -> TargetClosingSubstitution:
+    """``γ⁺``: compile a closing substitution pointwise (each value is closed)."""
+    empty = CCContext.empty()
+    return TargetClosingSubstitution(
+        {name: translate(empty, value) for name, value in gamma.items()}
+    )

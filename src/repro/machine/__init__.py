@@ -1,0 +1,36 @@
+"""Hoisting and a CBV machine: the paper's "statically allocated code" story."""
+
+from repro.machine.hoist import Program, hoist, program_context, unhoist
+from repro.machine.machine import (
+    MachineError,
+    MachineStats,
+    MBool,
+    MClo,
+    MCode,
+    MNat,
+    MPair,
+    MType,
+    MUnit,
+    Value,
+    machine_observation,
+    run,
+)
+
+__all__ = [
+    "MBool",
+    "MClo",
+    "MCode",
+    "MNat",
+    "MPair",
+    "MType",
+    "MUnit",
+    "MachineError",
+    "MachineStats",
+    "Program",
+    "Value",
+    "hoist",
+    "machine_observation",
+    "program_context",
+    "unhoist",
+    "run",
+]

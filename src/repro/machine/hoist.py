@@ -1,0 +1,169 @@
+"""Code hoisting: lift closed code to a top-level, statically allocated table.
+
+Closure conversion's purpose (paper Section 3) is that code becomes
+*closed* and can therefore be "lifted to the top-level and statically
+allocated".  This pass performs that lift for CC-CC programs: every
+:class:`repro.cccc.ast.CodeLam` is replaced by a reference to a label in a
+program-wide code table.  Because the [Code] typing rule already
+guarantees closedness, hoisting cannot capture anything — which the pass
+re-checks defensively.
+
+The hoisted program is still a well-typed CC-CC artifact: the code table
+becomes a telescope of *definitions* ``ℓ = λ(x′,x).e : Code …``, and the
+main expression type checks under it (see :func:`program_context`).
+Identical code bodies are deduplicated by α-invariant structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import cccc
+from repro.cccc.context import Context
+from repro.common.errors import TranslationError
+
+__all__ = ["Program", "hoist", "program_context"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A hoisted CC-CC program: static code table + main expression."""
+
+    code_table: dict[str, cccc.CodeLam]
+    main: cccc.Term
+
+    @property
+    def code_count(self) -> int:
+        """Number of statically allocated code blocks."""
+        return len(self.code_table)
+
+    def __str__(self) -> str:
+        lines = []
+        for label, code in self.code_table.items():
+            lines.append(f"{label} = {cccc.pretty(code)}")
+        lines.append(f"main = {cccc.pretty(self.main)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Hoister:
+    table: dict[str, cccc.CodeLam] = field(default_factory=dict)
+    counter: int = 0
+
+    def add(self, code: cccc.CodeLam) -> str:
+        # Deduplicate α-equivalent code blocks (compiled code differs only
+        # in machine-generated environment names).
+        for label, existing in self.table.items():
+            if cccc.alpha_equal(existing, code):
+                return label
+        label = f"code${self.counter}"
+        self.counter += 1
+        self.table[label] = code
+        return label
+
+
+def hoist(term: cccc.Term) -> Program:
+    """Lift every code literal in ``term`` into a top-level table."""
+    hoister = _Hoister()
+    main = _hoist(term, hoister)
+    return Program(hoister.table, main)
+
+
+def _hoist(term: cccc.Term, hoister: _Hoister) -> cccc.Term:
+    match term:
+        case cccc.CodeLam(env_name, env_type, arg_name, arg_type, body):
+            stray = cccc.free_vars(term)
+            if stray:
+                raise TranslationError(
+                    f"cannot hoist open code (free variables {sorted(stray)})"
+                )
+            hoisted_body = _hoist(body, hoister)
+            code = cccc.CodeLam(
+                env_name,
+                _hoist(env_type, hoister),
+                arg_name,
+                _hoist(arg_type, hoister),
+                hoisted_body,
+            )
+            return cccc.Var(hoister.add(code))
+        case cccc.Var() | cccc.Star() | cccc.Box() | cccc.Unit() | cccc.UnitVal():
+            return term
+        case cccc.Bool() | cccc.BoolLit() | cccc.Nat() | cccc.Zero():
+            return term
+        case cccc.Pi(name, domain, codomain):
+            return cccc.Pi(name, _hoist(domain, hoister), _hoist(codomain, hoister))
+        case cccc.CodeType(env_name, env_type, arg_name, arg_type, result):
+            return cccc.CodeType(
+                env_name,
+                _hoist(env_type, hoister),
+                arg_name,
+                _hoist(arg_type, hoister),
+                _hoist(result, hoister),
+            )
+        case cccc.Clo(code, env):
+            return cccc.Clo(_hoist(code, hoister), _hoist(env, hoister))
+        case cccc.App(fn, arg):
+            return cccc.App(_hoist(fn, hoister), _hoist(arg, hoister))
+        case cccc.Let(name, bound, annot, body):
+            return cccc.Let(
+                name, _hoist(bound, hoister), _hoist(annot, hoister), _hoist(body, hoister)
+            )
+        case cccc.Sigma(name, first, second):
+            return cccc.Sigma(name, _hoist(first, hoister), _hoist(second, hoister))
+        case cccc.Pair(fst_val, snd_val, annot):
+            return cccc.Pair(
+                _hoist(fst_val, hoister), _hoist(snd_val, hoister), _hoist(annot, hoister)
+            )
+        case cccc.Fst(pair):
+            return cccc.Fst(_hoist(pair, hoister))
+        case cccc.Snd(pair):
+            return cccc.Snd(_hoist(pair, hoister))
+        case cccc.If(cond, then_branch, else_branch):
+            return cccc.If(
+                _hoist(cond, hoister), _hoist(then_branch, hoister), _hoist(else_branch, hoister)
+            )
+        case cccc.Succ(pred):
+            return cccc.Succ(_hoist(pred, hoister))
+        case cccc.NatElim(motive, base, step, target):
+            return cccc.NatElim(
+                _hoist(motive, hoister),
+                _hoist(base, hoister),
+                _hoist(step, hoister),
+                _hoist(target, hoister),
+            )
+        case _:
+            raise TranslationError(f"not a CC-CC term: {term!r}")
+
+
+def unhoist(program: Program) -> cccc.Term:
+    """Invert :func:`hoist`: substitute code blocks back for their labels.
+
+    Hoisted code bodies may reference *earlier* labels (nested code is
+    hoisted innermost-first), so reconstitution walks the table in order,
+    closing each entry over the already-reconstituted ones.
+    """
+    closed: dict[str, cccc.Term] = {}
+    for label, code in program.code_table.items():
+        closed[label] = cccc.subst(code, closed)
+    return cccc.subst(program.main, closed)
+
+
+def program_context(program: Program) -> Context:
+    """The typing context of a hoisted program: each label *defined* as its code.
+
+    Labels in hoisted bodies are references into the static code segment;
+    the kernel's [Code] rule demands literal closedness, so each table
+    entry is first reconstituted into a fully closed code literal
+    (:func:`unhoist` style) and then bound as a *definition*.  Typing
+    ``program.main`` under this context re-verifies the whole program
+    after hoisting: labels δ-reduce to their code blocks, so the CC-CC
+    kernel sees exactly the pre-hoist term.
+    """
+    ctx = Context.empty()
+    closed: dict[str, cccc.Term] = {}
+    for label, code in program.code_table.items():
+        literal = cccc.subst(code, closed)
+        closed[label] = literal
+        code_type = cccc.infer(ctx, literal)
+        ctx = ctx.define(label, literal, code_type)
+    return ctx

@@ -1,0 +1,240 @@
+"""A call-by-value environment machine for hoisted CC-CC programs.
+
+After closure conversion and hoisting, execution needs no substitution at
+all: code blocks live in a static table, every activation record holds
+exactly *two* bindings (the environment tuple and the argument), and
+closures are two-word heap objects (code label + environment pointer).
+This machine makes the paper's "statically allocate the code" motivation
+executable and lets the benchmarks measure the cost the paper's Section 7
+discusses (environment-tuple allocations and projection dereferences).
+
+Type-level expressions can flow through a full-spectrum program at run
+time (e.g. ``id Nat 3``); the machine treats them as inert
+:class:`MType` values — they are stored in environments and passed as
+arguments, but never eliminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro import cccc
+from repro.common.errors import ReproError
+from repro.machine.hoist import Program
+
+__all__ = [
+    "MachineError",
+    "MachineStats",
+    "MBool",
+    "MClo",
+    "MCode",
+    "MNat",
+    "MPair",
+    "MType",
+    "MUnit",
+    "Value",
+    "machine_observation",
+    "run",
+]
+
+
+class MachineError(ReproError):
+    """The machine reached a state the type system should have ruled out."""
+
+
+@dataclass
+class MachineStats:
+    """Cost counters for one program run."""
+
+    steps: int = 0
+    closure_allocs: int = 0  # ⟨⟨code, env⟩⟩ objects built
+    tuple_allocs: int = 0  # pairs / environment-tuple cells built
+    projections: int = 0  # fst/snd dereferences
+    code_lookups: int = 0  # static code-table fetches
+    max_frame_size: int = 0  # largest activation record (should stay ≤ 2 + table)
+
+
+# -- runtime values ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MCode:
+    """A code pointer into the static table."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class MClo:
+    """A closure object: code pointer + environment value."""
+
+    code: MCode
+    env: "Value"
+
+
+@dataclass(frozen=True)
+class MPair:
+    """A heap pair (also the cells of environment tuples)."""
+
+    first: "Value"
+    second: "Value"
+
+
+@dataclass(frozen=True)
+class MUnit:
+    """The unit value ⟨⟩."""
+
+
+@dataclass(frozen=True)
+class MBool:
+    """A boolean."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class MNat:
+    """A natural number (unary in the calculus, machine-int here)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class MType:
+    """An inert type value (types are data at run time, never eliminated)."""
+
+    tag: str
+
+
+Value = Union[MCode, MClo, MPair, MUnit, MBool, MNat, MType]
+
+_TYPE_NODES = (
+    cccc.Star,
+    cccc.Box,
+    cccc.Pi,
+    cccc.Sigma,
+    cccc.CodeType,
+    cccc.Unit,
+    cccc.Bool,
+    cccc.Nat,
+)
+
+
+@dataclass
+class _Machine:
+    program: Program
+    stats: MachineStats
+    code_values: dict[str, MCode] = field(default_factory=dict)
+
+    def lookup_code(self, label: str) -> cccc.CodeLam:
+        self.stats.code_lookups += 1
+        code = self.program.code_table.get(label)
+        if code is None:
+            raise MachineError(f"unknown code label {label!r}")
+        return code
+
+    def eval(self, term: cccc.Term, env: dict[str, Value]) -> Value:
+        self.stats.steps += 1
+        self.stats.max_frame_size = max(self.stats.max_frame_size, len(env))
+        match term:
+            case cccc.Var(name):
+                if name in env:
+                    return env[name]
+                if name in self.program.code_table:
+                    return MCode(name)
+                raise MachineError(f"unbound variable at runtime: {name!r}")
+            case cccc.Clo(code, env_expr):
+                code_value = self.eval(code, env)
+                if not isinstance(code_value, MCode):
+                    raise MachineError("closure over a non-code value")
+                env_value = self.eval(env_expr, env)
+                self.stats.closure_allocs += 1
+                return MClo(code_value, env_value)
+            case cccc.App(fn, arg):
+                fn_value = self.eval(fn, env)
+                arg_value = self.eval(arg, env)
+                return self.apply(fn_value, arg_value)
+            case cccc.Let(name, bound, _annot, body):
+                bound_value = self.eval(bound, env)
+                inner = dict(env)
+                inner[name] = bound_value
+                return self.eval(body, inner)
+            case cccc.Pair(fst_val, snd_val, _annot):
+                self.stats.tuple_allocs += 1
+                return MPair(self.eval(fst_val, env), self.eval(snd_val, env))
+            case cccc.Fst(pair):
+                self.stats.projections += 1
+                value = self.eval(pair, env)
+                if not isinstance(value, MPair):
+                    raise MachineError("fst of a non-pair")
+                return value.first
+            case cccc.Snd(pair):
+                self.stats.projections += 1
+                value = self.eval(pair, env)
+                if not isinstance(value, MPair):
+                    raise MachineError("snd of a non-pair")
+                return value.second
+            case cccc.UnitVal():
+                return MUnit()
+            case cccc.BoolLit(value):
+                return MBool(value)
+            case cccc.If(cond, then_branch, else_branch):
+                cond_value = self.eval(cond, env)
+                if not isinstance(cond_value, MBool):
+                    raise MachineError("if on a non-boolean")
+                return self.eval(then_branch if cond_value.value else else_branch, env)
+            case cccc.Zero():
+                return MNat(0)
+            case cccc.Succ(pred):
+                value = self.eval(pred, env)
+                if not isinstance(value, MNat):
+                    raise MachineError("succ of a non-number")
+                return MNat(value.value + 1)
+            case cccc.NatElim(_motive, base, step, target):
+                target_value = self.eval(target, env)
+                if not isinstance(target_value, MNat):
+                    raise MachineError("natelim of a non-number")
+                accumulator = self.eval(base, env)
+                step_value = self.eval(step, env)
+                for index in range(target_value.value):
+                    partial = self.apply(step_value, MNat(index))
+                    accumulator = self.apply(partial, accumulator)
+                return accumulator
+            case cccc.CodeLam():
+                raise MachineError("un-hoisted code literal reached the machine")
+            case _ if isinstance(term, _TYPE_NODES):
+                return MType(type(term).__name__)
+            case _:
+                raise MachineError(f"cannot evaluate {term!r}")
+
+    def apply(self, fn_value: Value, arg_value: Value) -> Value:
+        self.stats.steps += 1
+        if not isinstance(fn_value, MClo):
+            raise MachineError(f"application of non-closure {fn_value!r}")
+        code = self.lookup_code(fn_value.code.label)
+        # The paper's closedness guarantee, realized: the activation
+        # record is exactly {environment, argument}.
+        frame: dict[str, Value] = {
+            code.env_name: fn_value.env,
+            code.arg_name: arg_value,
+        }
+        return self.eval(code.body, frame)
+
+
+def run(program: Program, stats: MachineStats | None = None) -> tuple[Value, MachineStats]:
+    """Execute a hoisted program to a value, returning (value, counters)."""
+    if stats is None:
+        stats = MachineStats()
+    machine = _Machine(program, stats)
+    value = machine.eval(program.main, {})
+    return value, stats
+
+
+def machine_observation(value: Value) -> bool | int | None:
+    """The ground observation (Theorem 5.7's ``≈``) of a machine value."""
+    if isinstance(value, MBool):
+        return value.value
+    if isinstance(value, MNat):
+        return value.value
+    return None

@@ -1,0 +1,10 @@
+"""The consistency model of CC-CC in CC (paper Figure 8, Lemmas 4.1–4.6)."""
+
+from repro.model.translate import (
+    CHURCH_UNIT_TYPE,
+    CHURCH_UNIT_VALUE,
+    decompile,
+    decompile_context,
+)
+
+__all__ = ["CHURCH_UNIT_TYPE", "CHURCH_UNIT_VALUE", "decompile", "decompile_context"]

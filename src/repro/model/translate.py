@@ -1,0 +1,112 @@
+"""The model of CC-CC in CC (paper Figure 8, Section 4.1).
+
+Consistency and type safety of CC-CC are proved by *decompiling* it into
+CC:
+
+* code types become curried Π types ([M-T-Code-⋆/□]),
+* code becomes curried functions ([M-Code]) — the inner function need not
+  be closed, which is fine: the model only exists to transport
+  consistency, not closedness,
+* closures become partial applications ``e° e′°`` ([M-Clo]),
+* the unit type becomes the Church encoding ``Π A:⋆. A → A`` with the
+  polymorphic identity as its value,
+* everything else is a homomorphic walk.
+
+If CC-CC could prove ``False``, the image of that proof would prove
+``False ≜ Π A:⋆. A`` in CC — and [M-Prod-⋆] translates ``False`` to
+*itself* (Lemma 4.1), so CC's consistency transfers to CC-CC
+(Theorem 4.7).  Because the translation also preserves reduction
+(Lemmas 4.3–4.4), type safety transfers too (Theorem 4.8).
+"""
+
+from __future__ import annotations
+
+from repro import cc, cccc
+from repro.cccc.context import Context as TargetContext
+from repro.cc.context import Context as CCContext
+from repro.common.errors import TranslationError
+
+__all__ = ["CHURCH_UNIT_TYPE", "CHURCH_UNIT_VALUE", "decompile", "decompile_context"]
+
+#: ``1° ≜ Π A:⋆. A → A`` — the Church unit type.
+CHURCH_UNIT_TYPE: cc.Term = cc.Pi("A", cc.Star(), cc.arrow(cc.Var("A"), cc.Var("A")))
+
+#: ``⟨⟩° ≜ λ A:⋆. λ x:A. x`` — the polymorphic identity inhabits it.
+CHURCH_UNIT_VALUE: cc.Term = cc.Lam("A", cc.Star(), cc.Lam("x", cc.Var("A"), cc.Var("x")))
+
+
+def decompile(term: cccc.Term) -> cc.Term:
+    """``e°``: translate a CC-CC expression into its CC model."""
+    match term:
+        case cccc.Var(name):
+            return cc.Var(name)
+        case cccc.Star():
+            return cc.Star()
+        case cccc.Box():
+            return cc.Box()
+        case cccc.Pi(name, domain, codomain):
+            return cc.Pi(name, decompile(domain), decompile(codomain))  # [M-Prod]
+        case cccc.CodeType(env_name, env_type, arg_name, arg_type, result):
+            return cc.Pi(  # [M-T-Code-⋆] / [M-T-Code-□]
+                env_name,
+                decompile(env_type),
+                cc.Pi(arg_name, decompile(arg_type), decompile(result)),
+            )
+        case cccc.CodeLam(env_name, env_type, arg_name, arg_type, body):
+            return cc.Lam(  # [M-Code]
+                env_name,
+                decompile(env_type),
+                cc.Lam(arg_name, decompile(arg_type), decompile(body)),
+            )
+        case cccc.Clo(code, env):
+            return cc.App(decompile(code), decompile(env))  # [M-Clo]
+        case cccc.App(fn, arg):
+            return cc.App(decompile(fn), decompile(arg))  # [M-App]
+        case cccc.Let(name, bound, annot, body):
+            return cc.Let(name, decompile(bound), decompile(annot), decompile(body))
+        case cccc.Sigma(name, first, second):
+            return cc.Sigma(name, decompile(first), decompile(second))
+        case cccc.Pair(fst_val, snd_val, annot):
+            return cc.Pair(decompile(fst_val), decompile(snd_val), decompile(annot))
+        case cccc.Fst(pair):
+            return cc.Fst(decompile(pair))
+        case cccc.Snd(pair):
+            return cc.Snd(decompile(pair))
+        case cccc.Unit():
+            return CHURCH_UNIT_TYPE
+        case cccc.UnitVal():
+            return CHURCH_UNIT_VALUE
+        case cccc.Bool():
+            return cc.Bool()
+        case cccc.BoolLit(value):
+            return cc.BoolLit(value)
+        case cccc.If(cond, then_branch, else_branch):
+            return cc.If(decompile(cond), decompile(then_branch), decompile(else_branch))
+        case cccc.Nat():
+            return cc.Nat()
+        case cccc.Zero():
+            return cc.Zero()
+        case cccc.Succ(pred):
+            return cc.Succ(decompile(pred))
+        case cccc.NatElim(motive, base, step, target):
+            return cc.NatElim(
+                decompile(motive),
+                decompile(base),
+                decompile(step),
+                decompile(target),
+            )
+        case _:
+            raise TranslationError(f"not a CC-CC term: {term!r}")
+
+
+def decompile_context(ctx: TargetContext) -> CCContext:
+    """``Γ°``: decompile a CC-CC environment pointwise."""
+    result = CCContext.empty()
+    for binding in ctx:
+        if binding.definition is None:
+            result = result.extend(binding.name, decompile(binding.type_))
+        else:
+            result = result.define(
+                binding.name, decompile(binding.definition), decompile(binding.type_)
+            )
+    return result

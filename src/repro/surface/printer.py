@@ -1,0 +1,192 @@
+"""Print CC terms back into parseable surface syntax.
+
+``parse_term(to_surface(e))`` is α-equal to ``e`` for any CC term whose
+variable names are lexable identifiers; machine-generated names (which
+contain ``$``) are sanitized first.  The round-trip property is tested in
+``tests/test_surface_printer.py`` and used by the CLI to emit readable
+output.
+"""
+
+from __future__ import annotations
+
+from repro import cc
+from repro.common.names import base_name, is_machine_name
+
+__all__ = ["sanitize_names", "to_surface"]
+
+_PREC_TERM = 0  # binders, let, if
+_PREC_ARROW = 1
+_PREC_APP = 2
+_PREC_ATOM = 3
+
+
+def to_surface(term: cc.Term) -> str:
+    """Render ``term`` as parseable surface syntax."""
+    return _pp(sanitize_names(term), _PREC_TERM)
+
+
+def sanitize_names(term: cc.Term) -> cc.Term:
+    """Rewrite machine names (``x$7``) into lexable ones (``x_7``)."""
+    mapping: dict[str, cc.Term] = {}
+    for name in cc.free_vars(term):
+        if is_machine_name(name):
+            mapping[name] = cc.Var(_sanitize(name))
+    term = cc.subst(term, mapping)
+    return _sanitize_binders(term)
+
+
+def _sanitize(name: str) -> str:
+    stem = base_name(name)
+    suffix = name.split("$", 1)[1] if "$" in name else ""
+    return f"{stem}_{suffix}" if suffix else stem
+
+
+def _sanitize_binders(term: cc.Term) -> cc.Term:
+    """Rename machine-named binders via capture-avoiding substitution."""
+    match term:
+        case cc.Pi(name, domain, codomain) | cc.Lam(name, domain, codomain) | cc.Sigma(
+            name, domain, codomain
+        ):
+            node = type(term)
+            clean_domain = _sanitize_binders(domain)
+            clean_body = _sanitize_binders(codomain)
+            if is_machine_name(name):
+                fresh_name = _unused(_sanitize(name), clean_body)
+                clean_body = cc.subst1(clean_body, name, cc.Var(fresh_name))
+                name = fresh_name
+            return node(name, clean_domain, clean_body)
+        case cc.Let(name, bound, annot, body):
+            clean_bound = _sanitize_binders(bound)
+            clean_annot = _sanitize_binders(annot)
+            clean_body = _sanitize_binders(body)
+            if is_machine_name(name):
+                fresh_name = _unused(_sanitize(name), clean_body)
+                clean_body = cc.subst1(clean_body, name, cc.Var(fresh_name))
+                name = fresh_name
+            return cc.Let(name, clean_bound, clean_annot, clean_body)
+        case _:
+            rebuilt_children = [
+                (names, _sanitize_binders(sub)) for names, sub in _children(term)
+            ]
+            return _rebuild(term, [sub for _, sub in rebuilt_children])
+
+
+def _children(term: cc.Term):
+    from repro.cc.ast import children
+
+    return children(term)
+
+
+def _rebuild(term: cc.Term, new_children: list[cc.Term]) -> cc.Term:
+    match term:
+        case cc.App():
+            return cc.App(*new_children)
+        case cc.Pair():
+            return cc.Pair(*new_children)
+        case cc.Fst():
+            return cc.Fst(*new_children)
+        case cc.Snd():
+            return cc.Snd(*new_children)
+        case cc.If():
+            return cc.If(*new_children)
+        case cc.Succ():
+            return cc.Succ(*new_children)
+        case cc.NatElim():
+            return cc.NatElim(*new_children)
+        case _:
+            return term
+
+
+def _all_names(term: cc.Term) -> set[str]:
+    """Every variable name occurring in ``term`` — free, bound, or binder."""
+    names: set[str] = set()
+    for sub in cc.subterms(term):
+        if isinstance(sub, cc.Var):
+            names.add(sub.name)
+        name = getattr(sub, "name", None)
+        if isinstance(name, str):
+            names.add(name)
+    return names
+
+
+def _unused(base: str, body: cc.Term) -> str:
+    # Avoid *any* occurring name, not just free ones: colliding with a bound
+    # name would make the capture-avoiding substitution rename that binder
+    # with a fresh (machine, unlexable) name, defeating the sanitizer.
+    used = _all_names(body)
+    candidate = base
+    counter = 0
+    while candidate in used:
+        counter += 1
+        candidate = f"{base}_{counter}"
+    return candidate
+
+
+def _pp(term: cc.Term, prec: int) -> str:
+    match term:
+        case cc.Var(name):
+            return name
+        case cc.Star():
+            return "Type"
+        case cc.Box():
+            return "Kind"
+        case cc.Bool():
+            return "Bool"
+        case cc.BoolLit(value):
+            return "true" if value else "false"
+        case cc.Nat():
+            return "Nat"
+        case cc.Zero():
+            return "0"
+        case cc.Succ():
+            value = cc.nat_value(term)
+            if value is not None:
+                return str(value)
+            return _parens(f"succ {_pp(term.pred, _PREC_ATOM)}", prec > _PREC_APP)
+        case cc.Pi(name, domain, codomain):
+            if name == "_" or name not in cc.free_vars(codomain):
+                text = f"{_pp(domain, _PREC_APP)} -> {_pp(codomain, _PREC_ARROW)}"
+                return _parens(text, prec > _PREC_ARROW)
+            text = f"forall ({name} : {_pp(domain, _PREC_TERM)}), {_pp(codomain, _PREC_TERM)}"
+            return _parens(text, prec > _PREC_TERM)
+        case cc.Lam(name, domain, body):
+            text = f"\\ ({name} : {_pp(domain, _PREC_TERM)}). {_pp(body, _PREC_TERM)}"
+            return _parens(text, prec > _PREC_TERM)
+        case cc.App(fn, arg):
+            text = f"{_pp(fn, _PREC_APP)} {_pp(arg, _PREC_ATOM)}"
+            return _parens(text, prec > _PREC_APP)
+        case cc.Let(name, bound, annot, body):
+            text = (
+                f"let {name} = {_pp(bound, _PREC_TERM)}"
+                f" : {_pp(annot, _PREC_APP)} in {_pp(body, _PREC_TERM)}"
+            )
+            return _parens(text, prec > _PREC_TERM)
+        case cc.Sigma(name, first, second):
+            text = f"exists ({name} : {_pp(first, _PREC_TERM)}), {_pp(second, _PREC_TERM)}"
+            return _parens(text, prec > _PREC_TERM)
+        case cc.Pair(fst_val, snd_val, annot):
+            return (
+                f"<{_pp(fst_val, _PREC_TERM)}, {_pp(snd_val, _PREC_TERM)}>"
+                f" as {_pp(annot, _PREC_ATOM)}"
+            )
+        case cc.Fst(pair):
+            return _parens(f"fst {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+        case cc.Snd(pair):
+            return _parens(f"snd {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+        case cc.If(cond, then_branch, else_branch):
+            text = (
+                f"if {_pp(cond, _PREC_TERM)} then {_pp(then_branch, _PREC_TERM)}"
+                f" else {_pp(else_branch, _PREC_TERM)}"
+            )
+            return _parens(text, prec > _PREC_TERM)
+        case cc.NatElim(motive, base, step, target):
+            return (
+                f"natelim({_pp(motive, _PREC_TERM)}, {_pp(base, _PREC_TERM)},"
+                f" {_pp(step, _PREC_TERM)}, {_pp(target, _PREC_TERM)})"
+            )
+        case _:
+            raise TypeError(f"not a CC term: {term!r}")
+
+
+def _parens(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text

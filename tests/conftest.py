@@ -1,0 +1,19 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cc, cccc
+
+
+@pytest.fixture
+def empty():
+    """The empty CC context."""
+    return cc.Context.empty()
+
+
+@pytest.fixture
+def empty_target():
+    """The empty CC-CC context."""
+    return cccc.Context.empty()

@@ -1,0 +1,149 @@
+"""Ablation studies: the paper's design choices are load-bearing.
+
+Removing Figure 10's dependency closure breaks Theorem 5.6; removing the
+closure η-principle breaks Lemma 5.1 — each on exactly the inputs the
+paper's discussion predicts.
+"""
+
+import pytest
+
+from repro import cc
+from repro.cc import prelude
+from repro.closconv.ablation import (
+    compositionality_without_clo_eta,
+    equivalent_without_clo_eta,
+    shallow_fv_type_preservation,
+)
+from repro.properties import check_compositionality, check_type_preservation
+from repro.surface import parse_term
+
+
+class TestShallowFvAblation:
+    def test_agrees_on_simply_typed(self, empty):
+        """Syntactic FV suffices when types mention no hidden variables."""
+        for source in [
+            r"\ (x : Nat). x",
+            r"\ (x : Nat). \ (y : Bool). x",
+            r"(\ (x : Nat). succ x) 4",
+        ]:
+            term = parse_term(source)
+            assert shallow_fv_type_preservation(empty, term)
+            assert check_type_preservation(empty, term)
+
+    def test_agrees_when_types_are_syntactically_present(self, empty):
+        # A appears in the annotation, so even syntactic FV catches it.
+        ctx = empty.extend("A", cc.Star())
+        term = parse_term(r"\ (x : A). x")
+        assert shallow_fv_type_preservation(ctx, term)
+
+    def test_fails_on_type_only_occurrence(self, empty):
+        """C occurs only in f's type: Figure 10 captures it, syntactic FV
+        does not, and the ablated compiler produces open code."""
+        ctx = empty.extend("C", cc.Star()).extend("f", cc.arrow(cc.Nat(), cc.Var("C")))
+        term = parse_term(r"\ (x : Nat). f x")
+        assert check_type_preservation(ctx, term)  # the real thing works
+        assert not shallow_fv_type_preservation(ctx, term)  # the ablation fails
+
+    def test_fails_on_sigma_dependency(self, empty):
+        ctx = empty.extend("A", cc.Star()).extend(
+            "p", cc.Sigma("x", cc.Var("A"), cc.Nat())
+        )
+        term = parse_term(r"\ (w : Nat). fst p")
+        assert check_type_preservation(ctx, term)
+        assert not shallow_fv_type_preservation(ctx, term)
+
+    def test_fails_on_transitive_chain(self, empty):
+        ctx = (
+            empty.extend("A", cc.Star())
+            .extend("P", cc.arrow(cc.Var("A"), cc.Star()))
+            .extend("x", cc.Var("A"))
+            .extend("h", cc.App(cc.Var("P"), cc.Var("x")))
+        )
+        term = parse_term(r"\ (w : Nat). h")
+        assert check_type_preservation(ctx, term)
+        assert not shallow_fv_type_preservation(ctx, term)
+
+
+class TestCloEtaAblation:
+    def test_eta_needed_for_compositionality(self, empty):
+        """The Section 5.1 scenario: environments of different shapes."""
+        body = parse_term(r"\ (w : Nat). y")
+        args = (empty, "y", cc.Nat(), body, cc.nat_literal(3))
+        assert check_compositionality(*args)  # with [≡-Clo]: equal
+        assert not compositionality_without_clo_eta(*args)  # without: not
+
+    def test_eta_needed_for_captured_function(self, empty):
+        body = parse_term(r"\ (w : Nat). g w")
+        value = parse_term(r"\ (k : Nat). succ k")
+        args = (empty, "g", cc.arrow(cc.Nat(), cc.Nat()), body, value)
+        assert check_compositionality(*args)
+        assert not compositionality_without_clo_eta(*args)
+
+    def test_ablated_equivalence_still_sound(self, empty_target):
+        """Without η the relation is smaller, never larger: it still
+        equates syntactically identical closures and still separates
+        different ground values."""
+        from repro import cccc
+
+        clo = cccc.Clo(
+            cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x")),
+            cccc.UnitVal(),
+        )
+        assert equivalent_without_clo_eta(empty_target, clo, clo)
+        assert not equivalent_without_clo_eta(
+            empty_target, cccc.nat_literal(1), cccc.nat_literal(2)
+        )
+
+    def test_ablated_relation_is_a_subset(self, empty_target):
+        """Everything the ablated ≡ accepts, the full ≡ accepts too."""
+        from repro import cccc
+        from repro.closconv import translate
+
+        terms = [
+            translate(cc.Context.empty(), parse_term(r"\ (x : Nat). x")),
+            translate(cc.Context.empty(), parse_term(r"(\ (x : Nat). succ x) 1")),
+            cccc.nat_literal(2),
+        ]
+        for left in terms:
+            for right in terms:
+                if equivalent_without_clo_eta(empty_target, left, right):
+                    assert cccc.equivalent(empty_target, left, right)
+
+
+class TestProofPreservation:
+    """The new prelude theorem: an inductive proof survives compilation."""
+
+    def test_proof_checks_in_cc(self, empty):
+        cc.check(empty, prelude.add_zero_right_proof(), prelude.add_zero_right_theorem())
+
+    def test_proof_compiles_type_preserved(self, empty):
+        assert check_type_preservation(empty, prelude.add_zero_right_proof())
+
+    def test_compiled_proof_checks_against_compiled_theorem(self, empty):
+        from repro import cccc
+        from repro.closconv import compile_term, translate
+
+        result = compile_term(empty, prelude.add_zero_right_proof())
+        compiled_theorem = translate(empty, prelude.add_zero_right_theorem())
+        cccc.check(result.target_context, result.target, compiled_theorem)
+
+    def test_compiled_proof_computes(self, empty, empty_target):
+        """Instantiate the compiled proof at a concrete predicate and watch
+        it transport evidence: (add 3 0 = 3) applied at P := Eq-to-3."""
+        from repro import cccc
+        from repro.closconv import compile_term
+
+        proof = prelude.add_zero_right_proof()
+        result = compile_term(empty, proof)
+        applied = cccc.App(result.target, cccc.nat_literal(3))
+        inferred = cccc.infer(result.target_context, applied)
+        expected = compile_term(
+            empty,
+            prelude.leibniz_eq(
+                cc.Nat(),
+                cc.make_app(prelude.nat_add, cc.nat_literal(3), cc.Zero()),
+                cc.nat_literal(3),
+            ),
+            verify=False,
+        ).target
+        assert cccc.equivalent(empty_target, inferred, expected)

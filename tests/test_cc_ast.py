@@ -1,0 +1,126 @@
+"""Unit tests for the CC abstract syntax (paper Figure 1)."""
+
+import pytest
+
+from repro import cc
+
+
+class TestConstructors:
+    def test_nodes_are_immutable(self):
+        var = cc.Var("x")
+        with pytest.raises(AttributeError):
+            var.name = "y"
+
+    def test_structural_equality_is_syntactic(self):
+        assert cc.Lam("x", cc.Nat(), cc.Var("x")) == cc.Lam("x", cc.Nat(), cc.Var("x"))
+        # different bound name => different syntax (α-equal but not ==)
+        assert cc.Lam("x", cc.Nat(), cc.Var("x")) != cc.Lam("y", cc.Nat(), cc.Var("y"))
+
+    def test_terms_are_hashable(self):
+        seen = {cc.Star(), cc.Box(), cc.Var("x"), cc.nat_literal(2)}
+        assert cc.Star() in seen
+        assert cc.nat_literal(2) in seen
+        assert cc.nat_literal(3) not in seen
+
+    def test_str_pretty_prints(self):
+        assert str(cc.Star()) == "⋆"
+        assert "λ" in str(cc.Lam("x", cc.Nat(), cc.Var("x")))
+
+
+class TestHelpers:
+    def test_arrow_is_nondependent_pi(self):
+        arrow = cc.arrow(cc.Nat(), cc.Bool())
+        assert isinstance(arrow, cc.Pi)
+        assert arrow.name == "_"
+        assert arrow.domain == cc.Nat()
+        assert arrow.codomain == cc.Bool()
+
+    def test_make_app_left_nests(self):
+        term = cc.make_app(cc.Var("f"), cc.Var("a"), cc.Var("b"))
+        assert term == cc.App(cc.App(cc.Var("f"), cc.Var("a")), cc.Var("b"))
+
+    def test_make_app_no_args(self):
+        assert cc.make_app(cc.Var("f")) == cc.Var("f")
+
+    def test_app_spine_inverts_make_app(self):
+        head, args = cc.app_spine(cc.make_app(cc.Var("f"), cc.Var("a"), cc.Var("b")))
+        assert head == cc.Var("f")
+        assert args == [cc.Var("a"), cc.Var("b")]
+
+    def test_app_spine_of_atom(self):
+        head, args = cc.app_spine(cc.Var("f"))
+        assert head == cc.Var("f")
+        assert args == []
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 17])
+    def test_nat_literal_roundtrip(self, value):
+        assert cc.nat_value(cc.nat_literal(value)) == value
+
+    def test_nat_literal_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cc.nat_literal(-1)
+
+    def test_nat_value_of_non_literal(self):
+        assert cc.nat_value(cc.Var("x")) is None
+        assert cc.nat_value(cc.Succ(cc.Var("x"))) is None
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert cc.free_vars(cc.Var("x")) == {"x"}
+
+    def test_lam_binds(self):
+        assert cc.free_vars(cc.Lam("x", cc.Nat(), cc.Var("x"))) == set()
+
+    def test_lam_domain_is_outside_binder(self):
+        term = cc.Lam("x", cc.Var("x"), cc.Var("x"))
+        assert cc.free_vars(term) == {"x"}  # the domain's x is free
+
+    def test_pi_binds_codomain_only(self):
+        term = cc.Pi("x", cc.Var("A"), cc.Var("x"))
+        assert cc.free_vars(term) == {"A"}
+
+    def test_sigma_binds_second_only(self):
+        term = cc.Sigma("x", cc.Var("A"), cc.App(cc.Var("P"), cc.Var("x")))
+        assert cc.free_vars(term) == {"A", "P"}
+
+    def test_let_binds_body_only(self):
+        term = cc.Let("x", cc.Var("e"), cc.Var("T"), cc.Var("x"))
+        assert cc.free_vars(term) == {"e", "T"}
+
+    def test_let_body_other_vars_still_free(self):
+        term = cc.Let("x", cc.Zero(), cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert cc.free_vars(term) == {"f"}
+
+    def test_nested_binders(self):
+        term = cc.Lam("x", cc.Nat(), cc.Lam("y", cc.Nat(), cc.App(cc.Var("x"), cc.Var("z"))))
+        assert cc.free_vars(term) == {"z"}
+
+    def test_pair_annotation_counts(self):
+        term = cc.Pair(cc.Zero(), cc.Zero(), cc.Var("S"))
+        assert cc.free_vars(term) == {"S"}
+
+    def test_natelim_all_components(self):
+        term = cc.NatElim(cc.Var("P"), cc.Var("z"), cc.Var("s"), cc.Var("n"))
+        assert cc.free_vars(term) == {"P", "z", "s", "n"}
+
+    def test_ground_leaves_closed(self):
+        for leaf in [cc.Star(), cc.Box(), cc.Bool(), cc.Nat(), cc.Zero(), cc.BoolLit(True)]:
+            assert cc.free_vars(leaf) == set()
+
+
+class TestTraversal:
+    def test_subterms_preorder(self):
+        term = cc.App(cc.Var("f"), cc.Var("a"))
+        subs = list(cc.subterms(term))
+        assert subs[0] == term
+        assert cc.Var("f") in subs and cc.Var("a") in subs
+
+    def test_term_size_counts_nodes(self):
+        assert cc.term_size(cc.Var("x")) == 1
+        assert cc.term_size(cc.App(cc.Var("f"), cc.Var("a"))) == 3
+        assert cc.term_size(cc.nat_literal(3)) == 4  # succ succ succ zero
+
+    def test_size_of_lambda(self):
+        # λ x:Nat. x = Lam + Nat + Var
+        assert cc.term_size(cc.Lam("x", cc.Nat(), cc.Var("x"))) == 3

@@ -1,0 +1,118 @@
+"""Unit tests for CC definitional equivalence (paper Figure 2): ≡ and η."""
+
+from repro import cc
+from repro.cc import prelude
+from repro.surface import parse_term
+
+
+class TestReductionEquivalence:
+    def test_beta(self, empty):
+        assert cc.equivalent(empty, parse_term(r"(\ (x : Nat). succ x) 1"), cc.nat_literal(2))
+
+    def test_common_reduct(self, empty):
+        left = parse_term(r"(\ (x : Nat). x) 3")
+        right = parse_term(r"let y = 3 : Nat in y")
+        assert cc.equivalent(empty, left, right)
+
+    def test_delta_in_context(self, empty):
+        ctx = empty.define("two", cc.nat_literal(2), cc.Nat())
+        assert cc.equivalent(ctx, cc.Var("two"), cc.nat_literal(2))
+
+    def test_inequivalent_literals(self, empty):
+        assert not cc.equivalent(empty, cc.nat_literal(2), cc.nat_literal(3))
+        assert not cc.equivalent(empty, cc.BoolLit(True), cc.BoolLit(False))
+
+    def test_neutral_terms_compare_structurally(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat())).extend("x", cc.Nat())
+        left = cc.App(cc.Var("f"), cc.Var("x"))
+        assert cc.equivalent(ctx, left, left)
+        assert not cc.equivalent(ctx, left, cc.App(cc.Var("f"), cc.Zero()))
+
+    def test_alpha_invariance(self, empty):
+        assert cc.equivalent(
+            empty,
+            cc.Lam("x", cc.Nat(), cc.Var("x")),
+            cc.Lam("y", cc.Nat(), cc.Var("y")),
+        )
+
+    def test_types_equivalence(self, empty):
+        left = parse_term("forall (A : Type), A -> A")
+        right = cc.Pi("B", cc.Star(), cc.Pi("z", cc.Var("B"), cc.Var("B")))
+        assert cc.equivalent(empty, left, right)
+
+    def test_type_level_computation(self, empty):
+        # (λ A:⋆. A) Nat ≡ Nat — the [Conv] workhorse.
+        left = cc.App(cc.Lam("A", cc.Star(), cc.Var("A")), cc.Nat())
+        assert cc.equivalent(empty, left, cc.Nat())
+
+
+class TestEta:
+    def test_eta_expansion(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        expanded = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert cc.equivalent(ctx, expanded, cc.Var("f"))
+
+    def test_eta_both_orders(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        expanded = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert cc.equivalent(ctx, cc.Var("f"), expanded)
+
+    def test_eta_nested(self, empty):
+        ctx = empty.extend("g", cc.arrow(cc.Nat(), cc.arrow(cc.Nat(), cc.Nat())))
+        expanded = cc.Lam(
+            "x",
+            cc.Nat(),
+            cc.Lam("y", cc.Nat(), cc.make_app(cc.Var("g"), cc.Var("x"), cc.Var("y"))),
+        )
+        assert cc.equivalent(ctx, expanded, cc.Var("g"))
+
+    def test_eta_with_prelude_function(self, empty):
+        expanded = cc.Lam("m", cc.Nat(), cc.App(prelude.nat_is_zero, cc.Var("m")))
+        assert cc.equivalent(empty, expanded, prelude.nat_is_zero)
+
+    def test_eta_negative(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        not_eta = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Zero()))
+        assert not cc.equivalent(ctx, not_eta, cc.Var("f"))
+
+    def test_eta_ignores_domain_annotation(self, empty):
+        # Untyped η: λ x:Nat. f x ≡ λ x:Bool. f x (both η-contract to f).
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        left = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        right = cc.Lam("x", cc.Bool(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert cc.equivalent(ctx, left, right)
+
+
+class TestEquivalenceLaws:
+    def test_reflexive(self, empty):
+        from tests.corpus import CORPUS
+
+        for _, ctx, term in CORPUS[:10]:
+            assert cc.equivalent(ctx, term, term)
+
+    def test_symmetric(self, empty):
+        left = parse_term(r"(\ (x : Nat). x) 3")
+        right = cc.nat_literal(3)
+        assert cc.equivalent(empty, left, right)
+        assert cc.equivalent(empty, right, left)
+
+    def test_transitive_through_reduction(self, empty):
+        a = parse_term(r"(\ (x : Nat). succ x) 1")
+        b = parse_term(r"let z = 1 : Nat in succ z")
+        c = cc.nat_literal(2)
+        assert cc.equivalent(empty, a, b)
+        assert cc.equivalent(empty, b, c)
+        assert cc.equivalent(empty, a, c)
+
+    def test_congruence_under_application(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        left = cc.App(cc.Var("f"), parse_term(r"(\ (x : Nat). x) 3"))
+        right = cc.App(cc.Var("f"), cc.nat_literal(3))
+        assert cc.equivalent(ctx, left, right)
+
+    def test_pair_annotations_irrelevant(self, empty):
+        annot_a = cc.Sigma("x", cc.Nat(), cc.Nat())
+        annot_b = cc.Sigma("y", cc.Nat(), cc.Nat())
+        left = cc.Pair(cc.Zero(), cc.Zero(), annot_a)
+        right = cc.Pair(cc.Zero(), cc.Zero(), annot_b)
+        assert cc.equivalent(empty, left, right)

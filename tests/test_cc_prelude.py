@@ -1,0 +1,122 @@
+"""Tests for the CC prelude (encodings used throughout the reproduction)."""
+
+import pytest
+
+from repro import cc
+from repro.cc import prelude
+
+
+class TestLogic:
+    def test_false_is_a_small_type(self, empty):
+        assert cc.infer(empty, prelude.FALSE) == cc.Star()
+
+    def test_true_prop_inhabited_by_identity(self, empty):
+        cc.check(empty, prelude.polymorphic_identity, prelude.TRUE_PROP)
+
+    def test_leibniz_eq_well_formed(self, empty):
+        eq = prelude.leibniz_eq(cc.Nat(), cc.nat_literal(1), cc.nat_literal(1))
+        assert cc.infer(empty, eq) == cc.Star()
+
+    def test_refl_proves_eq(self, empty):
+        eq = prelude.leibniz_eq(cc.Nat(), cc.nat_literal(1), cc.nat_literal(1))
+        cc.check(empty, prelude.leibniz_refl(cc.Nat(), cc.nat_literal(1)), eq)
+
+    def test_refl_proves_computed_eq(self, empty):
+        """refl : 1+1 = 2 — via [Conv]."""
+        sum_ = cc.make_app(prelude.nat_add, cc.nat_literal(1), cc.nat_literal(1))
+        eq = prelude.leibniz_eq(cc.Nat(), sum_, cc.nat_literal(2))
+        cc.check(empty, prelude.leibniz_refl(cc.Nat(), cc.nat_literal(2)), eq)
+
+    def test_refl_does_not_prove_wrong_eq(self, empty):
+        from repro.common.errors import TypeCheckError
+
+        eq = prelude.leibniz_eq(cc.Nat(), cc.nat_literal(1), cc.nat_literal(2))
+        with pytest.raises(TypeCheckError):
+            cc.check(empty, prelude.leibniz_refl(cc.Nat(), cc.nat_literal(1)), eq)
+
+
+class TestCombinators:
+    def test_types(self, empty):
+        assert cc.equivalent(
+            empty, cc.infer(empty, prelude.polymorphic_identity), prelude.polymorphic_identity_type
+        )
+        cc.infer(empty, prelude.const_fn(cc.Nat(), cc.Bool()))
+        cc.infer(empty, prelude.compose(cc.Nat(), cc.Bool(), cc.Nat()))
+        cc.infer(empty, prelude.twice(cc.Nat()))
+
+    def test_compose_computes(self, empty):
+        composed = cc.make_app(
+            prelude.compose(cc.Nat(), cc.Nat(), cc.Nat()),
+            cc.Lam("a", cc.Nat(), cc.Succ(cc.Var("a"))),
+            cc.Lam("b", cc.Nat(), cc.Succ(cc.Succ(cc.Var("b")))),
+            cc.nat_literal(0),
+        )
+        assert cc.nat_value(cc.normalize(empty, composed)) == 3
+
+    def test_twice_computes(self, empty):
+        result = cc.make_app(
+            prelude.twice(cc.Nat()), cc.Lam("a", cc.Nat(), cc.Succ(cc.Var("a"))), cc.Zero()
+        )
+        assert cc.nat_value(cc.normalize(empty, result)) == 2
+
+
+class TestChurch:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5])
+    def test_numerals_well_typed(self, empty, n):
+        cc.check(empty, prelude.church_nat(n), prelude.church_nat_type)
+
+    @pytest.mark.parametrize("m, n", [(0, 0), (1, 2), (3, 4)])
+    def test_addition(self, empty, m, n):
+        total = cc.make_app(prelude.church_add, prelude.church_nat(m), prelude.church_nat(n))
+        assert cc.equivalent(empty, total, prelude.church_nat(m + n))
+
+    def test_church_to_primitive_nat(self, empty):
+        applied = cc.make_app(
+            prelude.church_nat(4), cc.Nat(), cc.Lam("k", cc.Nat(), cc.Succ(cc.Var("k"))), cc.Zero()
+        )
+        assert cc.nat_value(cc.normalize(empty, applied)) == 4
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("m, n", [(0, 0), (0, 3), (2, 0), (3, 4)])
+    def test_add(self, empty, m, n):
+        total = cc.make_app(prelude.nat_add, cc.nat_literal(m), cc.nat_literal(n))
+        assert cc.nat_value(cc.normalize(empty, total)) == m + n
+
+    @pytest.mark.parametrize("n, expected", [(0, 0), (1, 0), (5, 4)])
+    def test_pred(self, empty, n, expected):
+        result = cc.App(prelude.nat_pred, cc.nat_literal(n))
+        assert cc.nat_value(cc.normalize(empty, result)) == expected
+
+    @pytest.mark.parametrize("n, expected", [(0, True), (1, False), (7, False)])
+    def test_is_zero(self, empty, n, expected):
+        result = cc.normalize(empty, cc.App(prelude.nat_is_zero, cc.nat_literal(n)))
+        assert result == cc.BoolLit(expected)
+
+
+class TestRefinement:
+    def test_positive_nat_type(self, empty):
+        assert cc.infer(empty, prelude.positive_nat()) == cc.Star()
+
+    @pytest.mark.parametrize("n", [1, 2, 10])
+    def test_values_check(self, empty, n):
+        cc.check(empty, prelude.positive_nat_value(n), prelude.positive_nat())
+
+    def test_zero_rejected_by_construction(self):
+        with pytest.raises(ValueError):
+            prelude.positive_nat_value(0)
+
+    def test_fake_zero_witness_ill_typed(self, empty):
+        from repro.common.errors import TypeCheckError
+
+        fake = cc.Pair(
+            cc.Zero(),
+            prelude.leibniz_refl(cc.Bool(), cc.BoolLit(False)),
+            prelude.positive_nat(),
+        )
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, fake)
+
+    def test_projections(self, empty):
+        value = prelude.positive_nat_value(4)
+        assert cc.nat_value(cc.normalize(empty, cc.Fst(value))) == 4

@@ -1,0 +1,297 @@
+"""Unit tests for the CC type system (paper Figures 3 and 4), rule by rule."""
+
+import pytest
+
+from repro import cc
+from repro.cc import prelude
+from repro.common.errors import TypeCheckError
+from repro.surface import parse_term
+
+
+class TestAxiomsAndVariables:
+    def test_star_has_type_box(self, empty):
+        assert cc.infer(empty, cc.Star()) == cc.Box()
+
+    def test_box_has_no_type(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, cc.Box())
+
+    def test_var_rule(self, empty):
+        ctx = empty.extend("x", cc.Nat())
+        assert cc.infer(ctx, cc.Var("x")) == cc.Nat()
+
+    def test_unbound_var(self, empty):
+        with pytest.raises(TypeCheckError, match="unbound"):
+            cc.infer(empty, cc.Var("ghost"))
+
+    def test_definition_var(self, empty):
+        ctx = empty.define("two", cc.nat_literal(2), cc.Nat())
+        assert cc.infer(ctx, cc.Var("two")) == cc.Nat()
+
+
+class TestFunctions:
+    def test_lam_rule(self, empty):
+        term = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.arrow(cc.Nat(), cc.Nat()))
+
+    def test_polymorphic_identity_type(self, empty):
+        inferred = cc.infer(empty, prelude.polymorphic_identity)
+        assert cc.equivalent(empty, inferred, prelude.polymorphic_identity_type)
+
+    def test_app_rule_substitutes(self, empty):
+        # The paper's div example shape: applying replaces x in the codomain.
+        f_type = cc.Pi("x", cc.Nat(), prelude.leibniz_eq(cc.Nat(), cc.Var("x"), cc.Var("x")))
+        ctx = empty.extend("f", f_type)
+        app = cc.App(cc.Var("f"), cc.nat_literal(2))
+        expected = prelude.leibniz_eq(cc.Nat(), cc.nat_literal(2), cc.nat_literal(2))
+        assert cc.equivalent(ctx, cc.infer(ctx, app), expected)
+
+    def test_app_of_non_function(self, empty):
+        with pytest.raises(TypeCheckError, match="non-Π"):
+            cc.infer(empty, cc.App(cc.Zero(), cc.Zero()))
+
+    def test_app_argument_mismatch(self, empty):
+        term = cc.App(cc.Lam("x", cc.Nat(), cc.Var("x")), cc.BoolLit(True))
+        with pytest.raises(TypeCheckError, match="mismatch"):
+            cc.infer(empty, term)
+
+    def test_lam_with_ill_formed_domain(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, cc.Lam("x", cc.Zero(), cc.Var("x")))  # 0 is not a type
+
+    def test_dependent_application_through_conv(self, empty):
+        # id ((λA:⋆.A) Nat) 3 — the argument type needs [Conv] to match.
+        term = cc.make_app(
+            prelude.polymorphic_identity,
+            cc.App(cc.Lam("A", cc.Star(), cc.Var("A")), cc.Nat()),
+            cc.nat_literal(3),
+        )
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.Nat())
+
+
+class TestUniverses:
+    def test_prod_star_small(self, empty):
+        assert cc.infer(empty, parse_term("Nat -> Nat")) == cc.Star()
+
+    def test_prod_star_impredicative(self, empty):
+        # Π A:⋆. A → A quantifies over ⋆ yet lives in ⋆ ([Prod-*]).
+        assert cc.infer(empty, parse_term("forall (A : Type), A -> A")) == cc.Star()
+
+    def test_prod_box(self, empty):
+        # Nat → ⋆ is a type operator, in □ ([Prod-□]).
+        assert cc.infer(empty, cc.Pi("_", cc.Nat(), cc.Star())) == cc.Box()
+
+    def test_sig_star(self, empty):
+        assert cc.infer(empty, parse_term("exists (x : Nat), Bool")) == cc.Star()
+
+    def test_sig_box_no_impredicativity(self, empty):
+        # Σ A:⋆. A must NOT be small — impredicative strong Σ is unsound
+        # (paper Section 2, citing Girard/Coquand/Hook-Howe).
+        sigma = cc.Sigma("A", cc.Star(), cc.Var("A"))
+        assert cc.infer(empty, sigma) == cc.Box()
+
+    def test_ground_types_are_small(self, empty):
+        assert cc.infer(empty, cc.Nat()) == cc.Star()
+        assert cc.infer(empty, cc.Bool()) == cc.Star()
+
+    def test_infer_universe_rejects_terms(self, empty):
+        with pytest.raises(TypeCheckError, match="expected a type"):
+            cc.infer_universe(empty, cc.Zero())
+
+
+class TestLet:
+    def test_let_rule(self, empty):
+        term = parse_term(r"let y = 1 : Nat in succ y")
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.Nat())
+
+    def test_let_annotation_checked(self, empty):
+        term = cc.Let("y", cc.BoolLit(True), cc.Nat(), cc.Var("y"))
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, term)
+
+    def test_let_type_substitutes_definition(self, empty):
+        # let T = Nat : Type in λ x:T. x  gets type (Π x:T. T)[Nat/T].
+        term = parse_term(r"let T = Nat : Type in \ (x : T). x")
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.arrow(cc.Nat(), cc.Nat()))
+
+    def test_let_definition_usable_in_types(self, empty):
+        # The definition is available for δ during checking the body.
+        term = parse_term(
+            r"let T = Nat : Type in (\ (x : T). x) 0"
+        )
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.Nat())
+
+
+class TestPairs:
+    def test_pair_rule(self, empty):
+        term = parse_term(r"<3, true> as (exists (x : Nat), Bool)")
+        assert cc.infer(empty, term) == parse_term("exists (x : Nat), Bool")
+
+    def test_pair_dependent_second_component(self, empty):
+        # ⟨2, refl⟩ : Σ x:Nat. Eq Nat x 2 — snd checked at B[fst/x].
+        annot = cc.Sigma("x", cc.Nat(), prelude.leibniz_eq(cc.Nat(), cc.Var("x"), cc.nat_literal(2)))
+        pair = cc.Pair(cc.nat_literal(2), prelude.leibniz_refl(cc.Nat(), cc.nat_literal(2)), annot)
+        assert cc.equivalent(empty, cc.infer(empty, pair), annot)
+
+    def test_pair_wrong_witness_rejected(self, empty):
+        annot = cc.Sigma("x", cc.Nat(), prelude.leibniz_eq(cc.Nat(), cc.Var("x"), cc.nat_literal(2)))
+        bad = cc.Pair(cc.nat_literal(3), prelude.leibniz_refl(cc.Nat(), cc.nat_literal(3)), annot)
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, bad)
+
+    def test_pair_needs_sigma_annotation(self, empty):
+        with pytest.raises(TypeCheckError, match="not a Σ"):
+            cc.infer(empty, cc.Pair(cc.Zero(), cc.Zero(), cc.Nat()))
+
+    def test_fst_snd_rules(self, empty):
+        pair = parse_term(r"<3, true> as (exists (x : Nat), Bool)")
+        assert cc.infer(empty, cc.Fst(pair)) == cc.Nat()
+        assert cc.equivalent(empty, cc.infer(empty, cc.Snd(pair)), cc.Bool())
+
+    def test_snd_substitutes_fst(self, empty):
+        # For p : Σ x:Nat. Eq Nat x x, snd p : Eq Nat (fst p) (fst p).
+        sigma = cc.Sigma("x", cc.Nat(), prelude.leibniz_eq(cc.Nat(), cc.Var("x"), cc.Var("x")))
+        ctx = empty.extend("p", sigma)
+        snd_type = cc.infer(ctx, cc.Snd(cc.Var("p")))
+        expected = prelude.leibniz_eq(cc.Nat(), cc.Fst(cc.Var("p")), cc.Fst(cc.Var("p")))
+        assert cc.equivalent(ctx, snd_type, expected)
+
+    def test_projection_of_non_pair_type(self, empty):
+        with pytest.raises(TypeCheckError, match="non-Σ"):
+            cc.infer(empty, cc.Fst(cc.Zero()))
+
+
+class TestConv:
+    def test_conv_resolves_redex_in_type(self, empty):
+        # e : (λA:⋆.A) Nat should check at Nat.
+        redex_type = cc.App(cc.Lam("A", cc.Star(), cc.Var("A")), cc.Nat())
+        cc.check(empty, cc.Zero(), redex_type)
+
+    def test_conv_paper_example(self, empty):
+        # The paper's Σ x:Nat. x = 1+1 versus x = 2 example, with our add.
+        two_computed = cc.make_app(prelude.nat_add, cc.nat_literal(1), cc.nat_literal(1))
+        annot_computed = cc.Sigma(
+            "x", cc.Nat(), prelude.leibniz_eq(cc.Nat(), cc.Var("x"), two_computed)
+        )
+        annot_literal = cc.Sigma(
+            "x", cc.Nat(), prelude.leibniz_eq(cc.Nat(), cc.Var("x"), cc.nat_literal(2))
+        )
+        pair = cc.Pair(
+            cc.nat_literal(2), prelude.leibniz_refl(cc.Nat(), cc.nat_literal(2)), annot_computed
+        )
+        cc.check(empty, pair, annot_literal)
+
+    def test_check_rejects_wrong_type(self, empty):
+        with pytest.raises(TypeCheckError, match="mismatch"):
+            cc.check(empty, cc.Zero(), cc.Bool())
+
+
+class TestGroundTypes:
+    def test_literals(self, empty):
+        assert cc.infer(empty, cc.BoolLit(True)) == cc.Bool()
+        assert cc.infer(empty, cc.Zero()) == cc.Nat()
+        assert cc.infer(empty, cc.nat_literal(3)) == cc.Nat()
+
+    def test_succ_requires_nat(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, cc.Succ(cc.BoolLit(True)))
+
+    def test_if_rule(self, empty):
+        term = parse_term(r"if true then 1 else 0")
+        assert cc.infer(empty, term) == cc.Nat()
+
+    def test_if_branches_must_agree(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, parse_term(r"if true then 1 else false"))
+
+    def test_if_condition_must_be_bool(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, parse_term(r"if 0 then 1 else 2"))
+
+    def test_if_at_type_level(self, empty):
+        ctx = empty.extend("b", cc.Bool())
+        term = cc.If(cc.Var("b"), cc.Nat(), cc.Bool())
+        assert cc.infer(ctx, term) == cc.Star()
+
+    def test_natelim_type(self, empty):
+        term = parse_term(
+            r"natelim(\ (k : Nat). Nat, 0, \ (k : Nat) (ih : Nat). succ ih, 3)"
+        )
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.Nat())
+
+    def test_natelim_dependent_motive(self, empty):
+        # motive returning different types per index: P = λ n. if iszero n then Bool else Nat
+        motive = cc.Lam(
+            "n",
+            cc.Nat(),
+            cc.If(cc.App(prelude.nat_is_zero, cc.Var("n")), cc.Bool(), cc.Nat()),
+        )
+        step = cc.Lam(
+            "k",
+            cc.Nat(),
+            cc.Lam("ih", cc.App(motive, cc.Var("k")), cc.nat_literal(7)),
+        )
+        term = cc.NatElim(motive, cc.BoolLit(True), step, cc.Zero())
+        assert cc.equivalent(empty, cc.infer(empty, term), cc.Bool())
+
+    def test_natelim_bad_motive(self, empty):
+        with pytest.raises(TypeCheckError, match="motive"):
+            cc.infer(empty, cc.NatElim(cc.Zero(), cc.Zero(), cc.Zero(), cc.Zero()))
+
+    def test_natelim_bad_base(self, empty):
+        motive = cc.Lam("n", cc.Nat(), cc.Nat())
+        step = cc.Lam("k", cc.Nat(), cc.Lam("ih", cc.Nat(), cc.Var("ih")))
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, cc.NatElim(motive, cc.BoolLit(True), step, cc.Zero()))
+
+    def test_natelim_bad_step(self, empty):
+        motive = cc.Lam("n", cc.Nat(), cc.Nat())
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, cc.NatElim(motive, cc.Zero(), cc.Zero(), cc.Zero()))
+
+    def test_natelim_target_must_be_nat(self, empty):
+        motive = cc.Lam("n", cc.Nat(), cc.Nat())
+        step = cc.Lam("k", cc.Nat(), cc.Lam("ih", cc.Nat(), cc.Var("ih")))
+        with pytest.raises(TypeCheckError):
+            cc.infer(empty, cc.NatElim(motive, cc.Zero(), step, cc.BoolLit(True)))
+
+
+class TestContexts:
+    def test_empty_context_well_formed(self, empty):
+        cc.check_context(empty)
+
+    def test_assumption_context(self, empty):
+        cc.check_context(empty.extend("A", cc.Star()).extend("x", cc.Var("A")))
+
+    def test_definition_context(self, empty):
+        cc.check_context(empty.define("two", cc.nat_literal(2), cc.Nat()))
+
+    def test_bad_type_rejected(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.check_context(empty.extend("x", cc.Zero()))
+
+    def test_bad_definition_rejected(self, empty):
+        with pytest.raises(TypeCheckError):
+            cc.check_context(empty.define("x", cc.BoolLit(True), cc.Nat()))
+
+    def test_dependent_context(self, empty):
+        ctx = (
+            empty.extend("A", cc.Star())
+            .extend("P", cc.arrow(cc.Var("A"), cc.Star()))
+            .extend("x", cc.Var("A"))
+            .extend("h", cc.App(cc.Var("P"), cc.Var("x")))
+        )
+        cc.check_context(ctx)
+
+    def test_well_typed_predicate(self, empty):
+        assert cc.well_typed(empty, cc.Zero())
+        assert not cc.well_typed(empty, cc.Var("ghost"))
+
+
+class TestCorpusWellTyped:
+    def test_entire_corpus_checks(self):
+        from tests.corpus import CORPUS
+
+        for name, ctx, term in CORPUS:
+            cc.check_context(ctx)
+            cc.infer(ctx, term)  # must not raise

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCheck:
+    def test_check_expr(self, capsys):
+        assert main(["check", "-e", r"\ (A : Type) (x : A). x"]) == 0
+        out = capsys.readouterr().out
+        assert "Π (A : ⋆). A -> A" in out
+
+    def test_check_file(self, tmp_path, capsys):
+        source = tmp_path / "program.cc"
+        source.write_text(r"(\ (x : Nat). succ x) 4" + "\n-- a comment\n")
+        assert main(["check", str(source)]) == 0
+        assert "Nat" in capsys.readouterr().out
+
+    def test_ill_typed_fails(self, capsys):
+        assert main(["check", "-e", "0 0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_fails(self, capsys):
+        assert main(["check", "-e", "(("]) == 1
+        assert "parse error" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["check", "/nonexistent/program.cc"]) == 1
+
+
+class TestCompile:
+    def test_compile_verified(self, capsys):
+        assert main(["compile", "-e", r"\ (x : Nat). x"]) == 0
+        out = capsys.readouterr().out
+        assert "⟨⟨" in out
+        assert "verified" in out
+
+    def test_compile_no_verify(self, capsys):
+        assert main(["compile", "--no-verify", "-e", r"\ (x : Nat). x"]) == 0
+        assert "verified" not in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_ground_program(self, capsys):
+        assert main(["run", "-e", r"(\ (x : Nat). succ x) 41"]) == 0
+        out = capsys.readouterr().out
+        assert "value        : 42" in out
+        assert "code blocks" in out
+
+    def test_run_higher_order(self, capsys):
+        assert main(
+            ["run", "-e", r"(\ (f : Nat -> Nat) (x : Nat). f (f x)) (\ (y : Nat). succ y) 0"]
+        ) == 0
+        assert "value        : 2" in capsys.readouterr().out
+
+    def test_run_closure_value(self, capsys):
+        assert main(["run", "-e", r"\ (x : Nat). x"]) == 0
+        assert "MClo" in capsys.readouterr().out
+
+
+class TestDecompileAndHoist:
+    def test_decompile_reports_roundtrip(self, capsys):
+        assert main(["decompile", "-e", r"\ (x : Nat). x"]) == 0
+        assert "e ≡ (e⁺)°: True" in capsys.readouterr().out
+
+    def test_hoist_prints_code_table(self, capsys):
+        assert main(["hoist", "-e", r"(\ (A : Type) (x : A). x) Nat 1"]) == 0
+        out = capsys.readouterr().out
+        assert "code$0" in out and "main" in out
+
+
+class TestArgumentHandling:
+    def test_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,97 @@
+"""Differential testing: four independent executions of the same program.
+
+For closed ground-type programs we have four ways to compute the answer:
+
+1. the CC normalizer on the source,
+2. the CC-CC normalizer on the compiled term,
+3. the CBV machine on the hoisted program,
+4. the untyped baseline interpreter on the erased program,
+
+plus a fifth — the CC normalizer on the *decompiled* compiled term.  Any
+disagreement pinpoints a bug in one of the five systems; Corollary 5.8
+says they must all agree.  This module sweeps them over generated closed
+programs at both ground types.
+"""
+
+import pytest
+
+from repro import cc, cccc
+from repro.baseline import erase, uconvert, ueval
+from repro.closconv import compile_term
+from repro.gen import GenConfig, TermGenerator
+from repro.machine import hoist, machine_observation, run
+from repro.model import decompile
+
+_EMPTY = cc.Context.empty()
+_TARGET_EMPTY = cccc.Context.empty()
+
+
+def _observe_cc(term: cc.Term):
+    value = cc.normalize(_EMPTY, term)
+    if isinstance(value, cc.BoolLit):
+        return value.value
+    return cc.nat_value(value)
+
+
+def _observe_target(term: cccc.Term):
+    value = cccc.normalize(_TARGET_EMPTY, term)
+    if isinstance(value, cccc.BoolLit):
+        return value.value
+    return cccc.nat_value(value)
+
+
+def _closed_program(seed: int, ground: cc.Term) -> cc.Term | None:
+    gen = TermGenerator(seed, GenConfig(context_size=0, max_depth=5))
+    term = gen.term(_EMPTY, ground, 5)
+    if term is None or cc.free_vars(term):
+        return None
+    return term
+
+
+class TestFiveWayAgreement:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_nat_programs(self, seed):
+        term = _closed_program(seed, cc.Nat())
+        if term is None:
+            pytest.skip("no closed Nat program for this seed")
+        expected = _observe_cc(term)
+        assert expected is not None
+
+        compiled = compile_term(_EMPTY, term, verify=False).target
+        assert _observe_target(compiled) == expected, "CC-CC normalizer disagrees"
+
+        machine_value, _ = run(hoist(compiled))
+        assert machine_observation(machine_value) == expected, "machine disagrees"
+
+        assert ueval(uconvert(erase(term))) == expected, "untyped baseline disagrees"
+
+        assert _observe_cc(decompile(compiled)) == expected, "model image disagrees"
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_bool_programs(self, seed):
+        term = _closed_program(seed + 500_000, cc.Bool())
+        if term is None:
+            pytest.skip("no closed Bool program for this seed")
+        expected = _observe_cc(term)
+        assert expected is not None
+
+        compiled = compile_term(_EMPTY, term, verify=False).target
+        assert _observe_target(compiled) == expected
+        machine_value, _ = run(hoist(compiled))
+        assert machine_observation(machine_value) == expected
+        assert ueval(uconvert(erase(term))) == expected
+        assert _observe_cc(decompile(compiled)) == expected
+
+
+class TestCorpusGroundAgreement:
+    def test_all_closed_ground_programs(self):
+        from tests.corpus import CLOSED_GROUND_PROGRAMS
+
+        for name, term, expected in CLOSED_GROUND_PROGRAMS:
+            assert _observe_cc(term) == expected, name
+            compiled = compile_term(_EMPTY, term, verify=False).target
+            assert _observe_target(compiled) == expected, name
+            machine_value, _ = run(hoist(compiled))
+            assert machine_observation(machine_value) == expected, name
+            assert ueval(uconvert(erase(term))) == expected, name
+            assert _observe_cc(decompile(compiled)) == expected, name

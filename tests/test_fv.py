@@ -1,0 +1,111 @@
+"""Tests for the dependent free-variable metafunction FV (paper Figure 10)."""
+
+import pytest
+
+from repro import cc
+from repro.closconv.fv import dependent_free_vars
+from repro.common.errors import TranslationError
+from repro.surface import parse_term
+
+
+def _names(bindings):
+    return [binding.name for binding in bindings]
+
+
+class TestBasics:
+    def test_closed_term(self, empty):
+        assert dependent_free_vars(empty, parse_term(r"\ (x : Nat). x")) == []
+
+    def test_single_free_var(self, empty):
+        ctx = empty.extend("y", cc.Nat())
+        assert _names(dependent_free_vars(ctx, cc.Var("y"))) == ["y"]
+
+    def test_bound_vars_excluded(self, empty):
+        ctx = empty.extend("y", cc.Nat())
+        term = parse_term(r"\ (y : Nat). y")
+        assert dependent_free_vars(ctx, term) == []
+
+    def test_multiple_terms_unioned(self, empty):
+        ctx = empty.extend("a", cc.Nat()).extend("b", cc.Bool())
+        assert _names(dependent_free_vars(ctx, cc.Var("a"), cc.Var("b"))) == ["a", "b"]
+
+    def test_unbound_raises(self, empty):
+        with pytest.raises(TranslationError, match="ghost"):
+            dependent_free_vars(empty, cc.Var("ghost"))
+
+
+class TestDependencyClosure:
+    def test_type_dependency_pulled_in(self, empty):
+        # x : A where A : ⋆ — using x must also capture A.
+        ctx = empty.extend("A", cc.Star()).extend("x", cc.Var("A"))
+        assert _names(dependent_free_vars(ctx, cc.Var("x"))) == ["A", "x"]
+
+    def test_transitive_dependencies(self, empty):
+        # h : P x, P : A → ⋆, x : A, A : ⋆ — capture h drags all four.
+        ctx = (
+            empty.extend("A", cc.Star())
+            .extend("P", cc.arrow(cc.Var("A"), cc.Star()))
+            .extend("x", cc.Var("A"))
+            .extend("h", cc.App(cc.Var("P"), cc.Var("x")))
+        )
+        assert _names(dependent_free_vars(ctx, cc.Var("h"))) == ["A", "P", "x", "h"]
+
+    def test_type_only_occurrence(self, empty):
+        # The paper's point: FV must look at the *type* too.  Here the term
+        # is just `f y`, but f's type mentions C which must be captured.
+        ctx = (
+            empty.extend("C", cc.Star())
+            .extend("f", cc.arrow(cc.Nat(), cc.Var("C")))
+            .extend("y", cc.Nat())
+        )
+        term = cc.App(cc.Var("f"), cc.Var("y"))
+        term_type = cc.infer(ctx, term)
+        names = _names(dependent_free_vars(ctx, term, term_type))
+        assert names == ["C", "f", "y"]
+
+    def test_result_is_telescope_ordered(self, empty):
+        ctx = (
+            empty.extend("A", cc.Star())
+            .extend("B", cc.Star())
+            .extend("g", cc.arrow(cc.Var("B"), cc.Var("A")))
+        )
+        # Mention g first, then B: order must still follow Γ.
+        names = _names(dependent_free_vars(ctx, cc.Var("g"), cc.Var("B")))
+        assert names == ["A", "B", "g"]
+
+    def test_telescope_self_contained(self, empty):
+        """Every type in the result only mentions earlier result entries."""
+        ctx = (
+            empty.extend("A", cc.Star())
+            .extend("P", cc.arrow(cc.Var("A"), cc.Star()))
+            .extend("x", cc.Var("A"))
+            .extend("h", cc.App(cc.Var("P"), cc.Var("x")))
+            .extend("unrelated", cc.Bool())
+        )
+        bindings = dependent_free_vars(ctx, cc.Var("h"))
+        seen: set[str] = set()
+        for binding in bindings:
+            assert cc.free_vars(binding.type_) <= seen
+            seen.add(binding.name)
+
+    def test_irrelevant_entries_not_captured(self, empty):
+        ctx = empty.extend("junk", cc.Nat()).extend("y", cc.Nat())
+        assert _names(dependent_free_vars(ctx, cc.Var("y"))) == ["y"]
+
+    def test_definition_entries_captured_as_assumptions(self, empty):
+        ctx = empty.define("two", cc.nat_literal(2), cc.Nat())
+        [binding] = dependent_free_vars(ctx, cc.Var("two"))
+        assert binding.name == "two"
+        assert binding.type_ == cc.Nat()
+
+    def test_deterministic(self, empty):
+        ctx = (
+            empty.extend("A", cc.Star())
+            .extend("x", cc.Var("A"))
+            .extend("y", cc.Var("A"))
+            .extend("z", cc.Var("A"))
+        )
+        term = cc.make_app(cc.Var("z"), cc.Var("x"), cc.Var("y"))
+        first = _names(dependent_free_vars(ctx, term))
+        for _ in range(5):
+            assert _names(dependent_free_vars(ctx, term)) == first

@@ -1,0 +1,181 @@
+"""The model of CC-CC in CC (paper Figure 8, Lemmas 4.1–4.6).
+
+These tests validate the consistency/type-safety machinery: False
+preservation, compositionality, preservation of reduction, coherence, and
+type preservation of the *decompilation* ``°``.
+"""
+
+import pytest
+
+from repro import cc, cccc
+from repro.closconv import compile_term, translate
+from repro.model import CHURCH_UNIT_TYPE, CHURCH_UNIT_VALUE, decompile, decompile_context
+from repro.properties import (
+    check_model_coherence,
+    check_model_compositionality,
+    check_model_reduction_preservation,
+    check_model_type_preservation,
+)
+from repro.surface import parse_term
+from tests.corpus import CORPUS, corpus_ids
+
+
+def _compiled_corpus():
+    """CC-CC terms obtained by compiling the corpus — the natural supply of
+    well-typed target terms."""
+    out = []
+    for name, ctx, term in CORPUS:
+        result = compile_term(ctx, term, verify=False)
+        out.append((name, result.target_context, result.target))
+    return out
+
+
+_COMPILED = _compiled_corpus()
+
+
+class TestFigure8Rules:
+    def test_code_type_to_curried_pi(self):
+        code_type = cccc.CodeType("n", cccc.Unit(), "x", cccc.Nat(), cccc.Nat())
+        image = decompile(code_type)
+        assert image == cc.Pi("n", CHURCH_UNIT_TYPE, cc.Pi("x", cc.Nat(), cc.Nat()))
+
+    def test_code_to_curried_lambda(self):
+        code = cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
+        image = decompile(code)
+        assert image == cc.Lam("n", CHURCH_UNIT_TYPE, cc.Lam("x", cc.Nat(), cc.Var("x")))
+
+    def test_closure_to_partial_application(self):
+        code = cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
+        clo = cccc.Clo(code, cccc.UnitVal())
+        image = decompile(clo)
+        assert isinstance(image, cc.App)
+        assert image.arg == CHURCH_UNIT_VALUE
+
+    def test_unit_type_church_encoded(self, empty):
+        assert decompile(cccc.Unit()) == CHURCH_UNIT_TYPE
+        cc.check(empty, decompile(cccc.UnitVal()), CHURCH_UNIT_TYPE)
+
+    def test_pi_homomorphic(self):
+        pi = cccc.Pi("x", cccc.Nat(), cccc.Bool())
+        assert decompile(pi) == cc.Pi("x", cc.Nat(), cc.Bool())
+
+    def test_ground_types_fixed(self):
+        assert decompile(cccc.Nat()) == cc.Nat()
+        assert decompile(cccc.nat_literal(3)) == cc.nat_literal(3)
+        assert decompile(cccc.BoolLit(False)) == cc.BoolLit(False)
+
+
+class TestLemma41FalsePreservation:
+    def test_false_is_preserved_syntactically(self):
+        false_target = cccc.Pi("A", cccc.Star(), cccc.Var("A"))
+        false_source = cc.Pi("A", cc.Star(), cc.Var("A"))
+        # The paper stresses `=`, not just ≡.
+        assert decompile(false_target) == false_source
+
+
+class TestLemma42Compositionality:
+    @pytest.mark.parametrize(
+        "term, name, value",
+        [
+            (cccc.Succ(cccc.Var("y")), "y", cccc.nat_literal(3)),
+            (
+                cccc.Clo(
+                    cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x")),
+                    cccc.Var("e"),
+                ),
+                "e",
+                cccc.UnitVal(),
+            ),
+            (
+                cccc.App(cccc.Var("f"), cccc.Var("y")),
+                "f",
+                cccc.Clo(
+                    cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x")),
+                    cccc.UnitVal(),
+                ),
+            ),
+            (cccc.Pair(cccc.Var("y"), cccc.Zero(), cccc.Sigma("x", cccc.Nat(), cccc.Nat())),
+             "y", cccc.nat_literal(1)),
+        ],
+    )
+    def test_substitution_commutes(self, term, name, value):
+        assert check_model_compositionality(term, name, value)
+
+    def test_on_compiled_programs(self):
+        for name, ctx, term in _COMPILED[:10]:
+            free = cccc.free_vars(term)
+            if not free:
+                continue
+            target_name = sorted(free)[0]
+            assert check_model_compositionality(term, target_name, cccc.Zero())
+
+
+class TestLemma43ReductionPreservation:
+    @pytest.mark.parametrize(
+        "name, ctx, term", _COMPILED, ids=[n for n, _, _ in _COMPILED]
+    )
+    def test_compiled_corpus(self, name, ctx, term):
+        assert check_model_reduction_preservation(ctx, term)
+
+    def test_closure_beta_maps_to_cc_betas(self, empty, empty_target):
+        """⟨⟨code, env⟩⟩ arg ⊲β … maps to two β steps in CC."""
+        code = cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
+        redex = cccc.App(cccc.Clo(code, cccc.UnitVal()), cccc.nat_literal(2))
+        [reduct] = cccc.head_reducts(empty_target, redex)
+        image_redex = decompile(redex)
+        image_reduct = decompile(reduct)
+        assert cc.equivalent(empty, image_redex, image_reduct)
+        # And the CC image really is a nested β-redex.
+        head, args = cc.app_spine(image_redex)
+        assert isinstance(head, cc.Lam) and len(args) == 2
+
+
+class TestLemma45Coherence:
+    def test_closure_eta_preserved_in_model(self, empty_target):
+        """The model must validate the closure η-rule — the paper's note
+        that the η rule for closures is preserved by decompilation."""
+        tele_sigma = cccc.Sigma("y", cccc.Nat(), cccc.Unit())
+        captured = cccc.Clo(
+            cccc.CodeLam(
+                "n", tele_sigma, "x", cccc.Nat(), cccc.Fst(cccc.Var("n"))
+            ),
+            cccc.Pair(cccc.nat_literal(5), cccc.UnitVal(), tele_sigma),
+        )
+        inlined = cccc.Clo(
+            cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.nat_literal(5)),
+            cccc.UnitVal(),
+        )
+        assert check_model_coherence(empty_target, captured, inlined)
+
+    @pytest.mark.parametrize("index", range(0, len(_COMPILED), 3))
+    def test_compiled_reducts(self, index):
+        name, ctx, term = _COMPILED[index]
+        for reduct in cccc.reducts(ctx, term)[:2]:
+            assert check_model_coherence(ctx, term, reduct)
+
+
+class TestLemma46TypePreservation:
+    @pytest.mark.parametrize(
+        "name, ctx, term", _COMPILED, ids=[n for n, _, _ in _COMPILED]
+    )
+    def test_compiled_corpus(self, name, ctx, term):
+        assert check_model_type_preservation(ctx, term)
+
+    def test_context_decompilation(self, empty_target):
+        ctx = empty_target.extend("A", cccc.Star()).extend("x", cccc.Var("A"))
+        image = decompile_context(ctx)
+        assert image.names() == ["A", "x"]
+        cc.check_context(image)
+
+    def test_hand_built_closures(self, empty_target):
+        tele_sigma = cccc.Sigma("A", cccc.Star(), cccc.Unit())
+        code = cccc.CodeLam(
+            "n",
+            tele_sigma,
+            "x",
+            cccc.Fst(cccc.Var("n")),
+            cccc.Var("x"),
+        )
+        ctx = empty_target.extend("A", cccc.Star())
+        clo = cccc.Clo(code, cccc.Pair(cccc.Var("A"), cccc.UnitVal(), tele_sigma))
+        assert check_model_type_preservation(ctx, clo)

@@ -1,0 +1,84 @@
+"""Tests for both pretty printers (paper-notation rendering)."""
+
+import pytest
+
+from repro import cc, cccc
+from repro.surface import parse_term
+
+
+class TestCCPretty:
+    @pytest.mark.parametrize(
+        "term, expected",
+        [
+            (cc.Star(), "⋆"),
+            (cc.Box(), "□"),
+            (cc.Var("x"), "x"),
+            (cc.nat_literal(3), "3"),
+            (cc.BoolLit(True), "true"),
+            (cc.arrow(cc.Nat(), cc.Bool()), "Nat -> Bool"),
+            (cc.Lam("x", cc.Nat(), cc.Var("x")), "λ (x : Nat). x"),
+            (cc.Pi("A", cc.Star(), cc.Var("A")), "Π (A : ⋆). A"),
+            (cc.Sigma("x", cc.Nat(), cc.Bool()), "Σ (x : Nat). Bool"),
+            (cc.Fst(cc.Var("p")), "fst p"),
+            (cc.App(cc.Var("f"), cc.Var("x")), "f x"),
+        ],
+    )
+    def test_forms(self, term, expected):
+        assert cc.pretty(term) == expected
+
+    def test_application_grouping(self):
+        # f (g x) needs parens; (f g) x does not.
+        inner = cc.App(cc.Var("f"), cc.App(cc.Var("g"), cc.Var("x")))
+        assert cc.pretty(inner) == "f (g x)"
+        outer = cc.App(cc.App(cc.Var("f"), cc.Var("g")), cc.Var("x"))
+        assert cc.pretty(outer) == "f g x"
+
+    def test_arrow_grouping(self):
+        left_nested = cc.arrow(cc.arrow(cc.Nat(), cc.Nat()), cc.Nat())
+        assert cc.pretty(left_nested) == "(Nat -> Nat) -> Nat"
+        right_nested = cc.arrow(cc.Nat(), cc.arrow(cc.Nat(), cc.Nat()))
+        assert cc.pretty(right_nested) == "Nat -> Nat -> Nat"
+
+    def test_dependent_pi_not_arrow(self):
+        dependent = cc.Pi("x", cc.Nat(), cc.App(cc.Var("P"), cc.Var("x")))
+        assert "Π" in cc.pretty(dependent)
+
+    def test_succ_non_literal(self):
+        assert cc.pretty(cc.Succ(cc.Var("n"))) == "succ n"
+
+    def test_numerals_collapse(self):
+        assert cc.pretty(cc.Succ(cc.Succ(cc.Zero()))) == "2"
+
+    def test_pretty_matches_str(self):
+        term = parse_term(r"\ (x : Nat). succ x")
+        assert str(term) == cc.pretty(term)
+
+
+class TestCCCCPretty:
+    def test_unit_forms(self):
+        assert cccc.pretty(cccc.Unit()) == "1"
+        assert cccc.pretty(cccc.UnitVal()) == "⟨⟩"
+
+    def test_closure_brackets(self):
+        clo = cccc.Clo(cccc.Var("c"), cccc.Var("e"))
+        assert cccc.pretty(clo) == "⟨⟨c, e⟩⟩"
+
+    def test_code_lam(self):
+        code = cccc.CodeLam("n", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
+        assert cccc.pretty(code) == "λ (n : 1, x : Nat). x"
+
+    def test_code_type(self):
+        code_type = cccc.CodeType("n", cccc.Unit(), "x", cccc.Nat(), cccc.Nat())
+        assert cccc.pretty(code_type) == "Code (n : 1, x : Nat). Nat"
+
+    def test_nested_render_parses_visually(self):
+        from repro.closconv import compile_term
+
+        result = compile_term(cc.Context.empty(), parse_term(r"\ (x : Nat). x"))
+        text = cccc.pretty(result.target)
+        assert text.startswith("⟨⟨λ (")
+        assert text.endswith("⟨⟩⟩⟩")
+
+    def test_pair_annotation_shown(self):
+        pair = cccc.Pair(cccc.Zero(), cccc.UnitVal(), cccc.Sigma("x", cccc.Nat(), cccc.Unit()))
+        assert " as " in cccc.pretty(pair)

@@ -1,0 +1,61 @@
+"""Section 6: reflection of definitional equivalence.
+
+``e1⁺ ≡ e2⁺ ⟹ e1 ≡ e2`` — with preservation (Lemma 5.4), this is the
+paper's conjectured preservation-and-reflection pair for ≡.
+"""
+
+import pytest
+
+from repro import cc
+from repro.gen import TermGenerator
+from repro.properties import check_equivalence_reflection
+from repro.surface import parse_term
+
+
+class TestReflection:
+    def test_reflected_on_equivalent_pair(self, empty):
+        left = parse_term(r"(\ (x : Nat). succ x) 1")
+        right = cc.nat_literal(2)
+        assert check_equivalence_reflection(empty, left, right)
+
+    def test_vacuous_on_inequivalent_pair(self, empty):
+        assert check_equivalence_reflection(empty, cc.nat_literal(1), cc.nat_literal(2))
+
+    def test_eta_pair(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        expanded = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert check_equivalence_reflection(ctx, expanded, cc.Var("f"))
+
+    def test_compilation_does_not_conflate(self, empty, empty_target):
+        """The substantive content: distinct source behaviours stay
+        distinct after compilation, across a grid of value pairs."""
+        from repro.closconv import translate
+        from repro import cccc
+
+        values = [
+            cc.nat_literal(0),
+            cc.nat_literal(1),
+            cc.BoolLit(True),
+            cc.Lam("x", cc.Nat(), cc.Var("x")),
+            cc.Lam("x", cc.Nat(), cc.Succ(cc.Var("x"))),
+        ]
+        images = [translate(empty, v) for v in values]
+        for i, left in enumerate(images):
+            for j, right in enumerate(images):
+                if i != j:
+                    assert not cccc.equivalent(empty_target, left, right)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_pairs(self, seed):
+        gen = TermGenerator(seed + 3_000_000)
+        triple = gen.well_typed_term()
+        if triple is None:
+            pytest.skip("no term")
+        ctx, term, _ = triple
+        # term vs. each of its reducts: equivalent pair — reflection holds.
+        for reduct in cc.reducts(ctx, term)[:2]:
+            assert check_equivalence_reflection(ctx, term, reduct)
+        # term vs. an unrelated term: usually inequivalent — vacuous or real.
+        other = gen.any_term(ctx, 2)
+        if other is not None:
+            assert check_equivalence_reflection(ctx, term, other)

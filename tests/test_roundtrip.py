@@ -1,0 +1,49 @@
+"""The Section 6 conjecture: ``e ≡ (e⁺)°``.
+
+Compiling to CC-CC and decompiling through the model returns a term
+definitionally equal to the original.  The paper conjectures this (it is
+the missing piece of their preservation/reflection argument); our
+implementation lets us check it empirically.
+"""
+
+import pytest
+
+from repro import cc
+from repro.closconv import translate
+from repro.gen import TermGenerator
+from repro.model import decompile
+from repro.properties import check_roundtrip
+from tests.corpus import CORPUS, corpus_ids
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("name, ctx, term", CORPUS, ids=corpus_ids())
+    def test_roundtrip(self, name, ctx, term):
+        assert check_roundtrip(ctx, term)
+
+
+class TestShapes:
+    def test_roundtrip_is_not_syntactic_identity(self, empty):
+        """The round trip inserts environment plumbing, so the result is
+        definitionally — NOT syntactically — equal."""
+        from repro.cc import prelude
+
+        image = decompile(translate(empty, prelude.polymorphic_identity))
+        assert not cc.alpha_equal(image, prelude.polymorphic_identity)
+        assert cc.equivalent(empty, image, prelude.polymorphic_identity)
+
+    def test_roundtrip_fixed_points(self, empty):
+        """Terms with no functions come back syntactically unchanged."""
+        for term in [cc.nat_literal(3), cc.BoolLit(True), cc.Nat(), cc.Star()]:
+            assert cc.alpha_equal(decompile(translate(empty, term)), term)
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_roundtrips(self, seed):
+        gen = TermGenerator(seed + 123_456)
+        triple = gen.well_typed_term()
+        if triple is None:
+            pytest.skip("no term generated")
+        ctx, term, _ = triple
+        assert check_roundtrip(ctx, term)

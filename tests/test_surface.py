@@ -1,0 +1,170 @@
+"""Tests for the surface lexer and parser."""
+
+import pytest
+
+from repro import cc
+from repro.common.errors import ParseError
+from repro.surface import parse_term, tokenize
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        kinds = [t.kind for t in tokenize(r"\ (x : Nat). x")]
+        assert kinds == ["symbol", "symbol", "ident", "symbol", "keyword", "symbol", "symbol", "ident", "eof"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x -- a comment\ny")
+        assert [t.text for t in tokens[:-1]] == ["x", "y"]
+
+    def test_numbers(self):
+        [number, _eof] = tokenize("42")
+        assert number.kind == "number" and number.text == "42"
+
+    def test_primes_in_identifiers(self):
+        [ident, _eof] = tokenize("x'")
+        assert ident.text == "x'"
+
+    def test_positions(self):
+        tokens = tokenize("x\n  y")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_arrow_vs_parts(self):
+        tokens = tokenize("a -> b")
+        assert tokens[1].text == "->"
+
+    def test_dollar_rejected(self):
+        with pytest.raises(ParseError, match="reserved"):
+            tokenize("x$1")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x # y")
+
+
+class TestParserPositive:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("x", cc.Var("x")),
+            ("Type", cc.Star()),
+            ("Kind", cc.Box()),
+            ("Nat", cc.Nat()),
+            ("Bool", cc.Bool()),
+            ("true", cc.BoolLit(True)),
+            ("false", cc.BoolLit(False)),
+            ("0", cc.Zero()),
+            ("3", cc.nat_literal(3)),
+            ("succ 0", cc.Succ(cc.Zero())),
+            ("f x", cc.App(cc.Var("f"), cc.Var("x"))),
+            ("f x y", cc.App(cc.App(cc.Var("f"), cc.Var("x")), cc.Var("y"))),
+            ("fst p", cc.Fst(cc.Var("p"))),
+            ("snd p", cc.Snd(cc.Var("p"))),
+            (r"\ (x : Nat). x", cc.Lam("x", cc.Nat(), cc.Var("x"))),
+            ("fun (x : Nat). x", cc.Lam("x", cc.Nat(), cc.Var("x"))),
+            ("forall (x : Nat), Bool", cc.Pi("x", cc.Nat(), cc.Bool())),
+            ("exists (x : Nat), Bool", cc.Sigma("x", cc.Nat(), cc.Bool())),
+            ("Nat -> Bool", cc.arrow(cc.Nat(), cc.Bool())),
+            (
+                "let x = 0 : Nat in x",
+                cc.Let("x", cc.Zero(), cc.Nat(), cc.Var("x")),
+            ),
+            (
+                "if b then 0 else 1",
+                cc.If(cc.Var("b"), cc.Zero(), cc.nat_literal(1)),
+            ),
+        ],
+    )
+    def test_forms(self, source, expected):
+        assert parse_term(source) == expected
+
+    def test_multi_binder_lambda(self):
+        term = parse_term(r"\ (A : Type) (x : A). x")
+        assert term == cc.Lam("A", cc.Star(), cc.Lam("x", cc.Var("A"), cc.Var("x")))
+
+    def test_grouped_binder(self):
+        term = parse_term(r"\ (x y : Nat). x")
+        assert term == cc.Lam("x", cc.Nat(), cc.Lam("y", cc.Nat(), cc.Var("x")))
+
+    def test_multi_binder_forall(self):
+        term = parse_term("forall (A : Type) (x : A), A")
+        assert term == cc.Pi("A", cc.Star(), cc.Pi("x", cc.Var("A"), cc.Var("A")))
+
+    def test_arrow_right_associative(self):
+        assert parse_term("Nat -> Nat -> Nat") == cc.arrow(
+            cc.Nat(), cc.arrow(cc.Nat(), cc.Nat())
+        )
+
+    def test_app_binds_tighter_than_arrow(self):
+        term = parse_term("F Nat -> Bool")
+        assert term == cc.arrow(cc.App(cc.Var("F"), cc.Nat()), cc.Bool())
+
+    def test_application_left_associative(self):
+        head, args = cc.app_spine(parse_term("f a b c"))
+        assert head == cc.Var("f") and len(args) == 3
+
+    def test_pair_syntax(self):
+        term = parse_term("<1, true> as (exists (x : Nat), Bool)")
+        assert isinstance(term, cc.Pair)
+        assert cc.nat_value(term.fst_val) == 1
+
+    def test_natelim_syntax(self):
+        term = parse_term(r"natelim(\ (k : Nat). Nat, 0, s, n)")
+        assert isinstance(term, cc.NatElim)
+
+    def test_prefix_chains(self):
+        assert parse_term("fst snd p") == cc.Fst(cc.Snd(cc.Var("p")))
+        assert parse_term("succ succ 0") == cc.nat_literal(2)
+
+    def test_parens_override(self):
+        term = parse_term("(Nat -> Nat) -> Nat")
+        assert term == cc.arrow(cc.arrow(cc.Nat(), cc.Nat()), cc.Nat())
+
+    def test_nested_everything(self):
+        source = r"""
+        let pos = <2, true> as (exists (x : Nat), Bool) : exists (x : Nat), Bool in
+          if snd pos then fst pos else 0
+        """
+        term = parse_term(source)
+        assert isinstance(term, cc.Let)
+
+    def test_whitespace_insensitive(self):
+        compact = parse_term(r"\ (x:Nat). x")
+        spaced = parse_term(" \\  ( x  :  Nat ) .  x ")
+        assert compact == spaced
+
+
+class TestParserNegative:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "(",
+            "f )",
+            r"\ x . x",  # binder needs parentheses + annotation
+            r"\ (x : Nat) x",  # missing dot
+            "forall (x : Nat) Bool",  # missing comma
+            "let x = 0 in x",  # missing annotation
+            "<1, 2>",  # pair without 'as'
+            "if b then 1",  # missing else
+            "natelim(a, b, c)",  # wrong arity
+            "x y )",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse_term(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_term("f\n  )")
+        assert "2:" in str(excinfo.value)
+
+
+class TestRoundTrips:
+    def test_parse_typecheck_corpus(self):
+        """Every parsed surface program in the corpus is well-typed."""
+        from tests.corpus import CORPUS
+
+        for name, ctx, term in CORPUS:
+            cc.infer(ctx, term)

@@ -1,0 +1,125 @@
+"""Lemmas 5.2–5.4: preservation of reduction and coherence of ``⁺``.
+
+* Lemma 5.2/5.3: if ``e ⊲ e′`` then the images are definitionally equal in
+  CC-CC (the paper proves ``e⁺ ⊲* ≡ e′⁺``; ≡ of the images is the
+  checkable consequence, and we additionally confirm the images share a
+  normal form up to the closure η-rules).
+* Lemma 5.4: ``e ≡ e′`` implies ``e⁺ ≡ e′⁺`` — checked on reduction
+  chains, η-expansions, and random equivalent pairs.
+"""
+
+import pytest
+
+from repro import cc, cccc
+from repro.cc import prelude
+from repro.closconv import translate, translate_context
+from repro.gen import TermGenerator
+from repro.properties import check_coherence, check_preservation_of_reduction
+from repro.surface import parse_term
+from tests.corpus import CORPUS, corpus_ids
+
+
+class TestReductionPreservation:
+    @pytest.mark.parametrize("name, ctx, term", CORPUS, ids=corpus_ids())
+    def test_corpus_single_steps(self, name, ctx, term):
+        assert check_preservation_of_reduction(ctx, term)
+
+    def test_beta_step_explicit(self, empty, empty_target):
+        source = parse_term(r"(\ (x : Nat). succ x) 4")
+        stepped = cc.nat_literal(5)
+        assert cccc.equivalent(
+            empty_target, translate(empty, source), translate(empty, stepped)
+        )
+
+    def test_delta_step_explicit(self, empty):
+        ctx = empty.define("two", cc.nat_literal(2), cc.Nat())
+        target_ctx = translate_context(ctx)
+        assert cccc.equivalent(
+            target_ctx, translate(ctx, cc.Var("two")), translate(ctx, cc.nat_literal(2))
+        )
+
+    def test_multi_step_chain(self, empty, empty_target):
+        """Follow a full reduction sequence, checking each link's image."""
+        term = parse_term(
+            r"(\ (f : Nat -> Nat) (x : Nat). f (f x)) (\ (y : Nat). succ y) 5"
+        )
+        current = term
+        steps = 0
+        while True:
+            reducts = cc.reducts(empty, current)
+            if not reducts:
+                break
+            following = reducts[0]
+            assert cccc.equivalent(
+                empty_target, translate(empty, current), translate(empty, following)
+            )
+            current = following
+            steps += 1
+            if steps > 30:
+                pytest.fail("reduction did not terminate")
+        assert cc.nat_value(current) == 7
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_terms(self, seed):
+        gen = TermGenerator(seed + 31337)
+        triple = gen.well_typed_term()
+        if triple is None:
+            pytest.skip("no term generated")
+        ctx, term, _ = triple
+        assert check_preservation_of_reduction(ctx, term)
+
+
+class TestCoherence:
+    @pytest.mark.parametrize(
+        "left_src, right_src",
+        [
+            (r"(\ (x : Nat). succ x) 1", "2"),
+            (r"let y = 1 : Nat in succ y", "2"),
+            (r"fst (<3, true> as (exists (x : Nat), Bool))", "3"),
+            (r"if true then 1 else 0", "1"),
+            (
+                r"natelim(\ (k : Nat). Nat, 0, \ (k : Nat) (ih : Nat). succ ih, 2)",
+                "2",
+            ),
+        ],
+    )
+    def test_reduction_equalities(self, empty, left_src, right_src):
+        assert check_coherence(empty, parse_term(left_src), parse_term(right_src))
+
+    def test_eta_equivalence_preserved(self, empty):
+        """The proof's interesting case: source η becomes closure η."""
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        expanded = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert cc.equivalent(ctx, expanded, cc.Var("f"))  # η in CC
+        assert check_coherence(ctx, expanded, cc.Var("f"))
+
+    def test_eta_under_capture(self, empty):
+        ctx = empty.extend("A", cc.Star()).extend("f", cc.arrow(cc.Var("A"), cc.Var("A")))
+        expanded = cc.Lam("x", cc.Var("A"), cc.App(cc.Var("f"), cc.Var("x")))
+        assert check_coherence(ctx, expanded, cc.Var("f"))
+
+    def test_church_equality(self, empty):
+        left = cc.make_app(prelude.church_add, prelude.church_nat(2), prelude.church_nat(2))
+        right = prelude.church_nat(4)
+        assert check_coherence(empty, left, right)
+
+    def test_vacuous_on_inequivalent(self, empty):
+        # Not equivalent in CC ⇒ the lemma says nothing; checker returns True.
+        assert check_coherence(empty, cc.nat_literal(1), cc.nat_literal(2))
+
+    def test_images_of_inequivalent_stay_inequivalent(self, empty, empty_target):
+        """Soundness direction (not a paper lemma, but a sanity check):
+        the translation should not *conflate* observably different terms."""
+        left = translate(empty, cc.nat_literal(1))
+        right = translate(empty, cc.nat_literal(2))
+        assert not cccc.equivalent(empty_target, left, right)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_reduct_pairs(self, seed):
+        gen = TermGenerator(seed + 777)
+        triple = gen.well_typed_term()
+        if triple is None:
+            pytest.skip("no term generated")
+        ctx, term, _ = triple
+        for reduct in cc.reducts(ctx, term)[:3]:
+            assert check_coherence(ctx, term, reduct)
