@@ -1,0 +1,122 @@
+"""E15 — the shared term kernel's caches (cold vs. warm).
+
+Series: the three kernel caches introduced with ``repro/kernel/`` —
+memoized normalization, cached free variables (as exercised by
+substitution), and hash-consing/interning — each measured cold (caches
+empty) against warm (caches filled by an identical prior run).
+
+``test_warm_normalize_speedup`` is the acceptance gate for the caching
+layer: a warm-cache ``normalize`` must be at least 2× faster than a cold
+run on the same workload.  In practice the warm run is a single dict probe
+and the ratio is orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import cc
+from repro.common.names import reset_fresh_counter
+from workloads import church_sum, nat_sum, nested_lambdas, wide_capture
+
+_EMPTY = cc.Context.empty()
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_warm_normalize_speedup():
+    """Acceptance: warm-cache normalize ≥ 2× faster than cold."""
+    term = church_sum(6)
+    reset_fresh_counter()  # cold: every kernel cache empty
+
+    start = time.perf_counter()
+    cold_result = cc.normalize(_EMPTY, term)
+    cold = time.perf_counter() - start
+
+    warm = _best_of(lambda: cc.normalize(_EMPTY, term))
+    warm_result = cc.normalize(_EMPTY, term)
+
+    assert warm_result is cold_result  # the memoized object comes back
+    assert cc.nat_value(warm_result) == 12
+    assert warm * 2 <= cold, f"warm {warm:.6f}s not 2x faster than cold {cold:.6f}s"
+
+
+def test_step_accounting_survives_caching():
+    """Fuel replay: cold and warm runs report identical step counts."""
+    term = nat_sum(32)
+    reset_fresh_counter()
+    _, cold_steps = cc.normalize_counting(_EMPTY, term)
+    _, warm_steps = cc.normalize_counting(_EMPTY, term)
+    assert cold_steps == warm_steps > 0
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_normalize_warm(benchmark, n):
+    """Steady-state normalize: every iteration after the first is a hit."""
+    term = church_sum(n)
+    benchmark.group = "E15 normalize (warm)"
+    result = benchmark(lambda: cc.normalize(_EMPTY, term))
+    assert cc.nat_value(result) == 2 * n
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_normalize_cold(benchmark, n):
+    """Cold normalize: caches are reset before every iteration."""
+    term = church_sum(n)
+    benchmark.group = "E15 normalize (cold)"
+
+    def run():
+        reset_fresh_counter()
+        return cc.normalize(_EMPTY, term)
+
+    result = benchmark(run)
+    assert cc.nat_value(result) == 2 * n
+
+
+@pytest.mark.parametrize("depth", [16, 64])
+def test_subst_heavy_warm_fv_cache(benchmark, depth):
+    """Substitution over a big term with the free-variable cache warm.
+
+    ``nested_lambdas(depth)`` only has ``x0`` free under the outer binder,
+    so each call's relevance scan is the hot path; with cached
+    free-variable sets it is a dict probe instead of a term walk.
+    """
+    term = nested_lambdas(depth).body  # λ x1 … λ x_{depth-1}. x0, x0 free
+    replacement = cc.nat_literal(3)
+    cc.cached_free_vars(term)  # warm the cache once
+    benchmark.group = "E15 subst (warm fv cache)"
+    result = benchmark(lambda: cc.subst1(term, "x0", replacement))
+    assert cc.free_vars(result) == set()
+
+
+@pytest.mark.parametrize("width", [16, 64])
+def test_subst_wide_capture(benchmark, width):
+    """Parallel substitution across a wide-capture body (many free vars)."""
+    _, lam = wide_capture(width)
+    mapping = {f"v{index}": cc.nat_literal(1) for index in range(width)}
+    cc.cached_free_vars(lam)
+    benchmark.group = "E15 subst (wide mapping)"
+    result = benchmark(lambda: cc.subst(lam, mapping))
+    assert cc.free_vars(result) == set()
+
+
+def test_intern_dedup(benchmark):
+    """Interning α-identical builds: second and later calls are lookups."""
+    terms = [nested_lambdas(12) for _ in range(8)]
+    benchmark.group = "E15 intern"
+
+    def run():
+        reps = {id(cc.intern(t)) for t in terms}
+        assert len(reps) == 1
+
+    benchmark(run)

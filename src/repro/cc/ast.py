@@ -27,6 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Union
 
+from repro.kernel import fv as _kernel_fv  # noqa: F401 (submodule import)
+from repro.kernel import traverse as _kernel_traverse
+from repro.kernel.intern import build as _kernel_build
+from repro.kernel.intern import intern as _kernel_intern_fn
+from repro.kernel.nodespec import Language
+
 __all__ = [
     "App",
     "Bool",
@@ -34,6 +40,7 @@ __all__ = [
     "Box",
     "Fst",
     "If",
+    "LANGUAGE",
     "Lam",
     "Let",
     "Nat",
@@ -49,7 +56,10 @@ __all__ = [
     "Zero",
     "app_spine",
     "arrow",
+    "cached_free_vars",
     "free_vars",
+    "hashcons",
+    "intern",
     "make_app",
     "nat_literal",
     "nat_value",
@@ -65,9 +75,12 @@ class Term:
     equality (names matter).  Use :func:`repro.cc.subst.alpha_equal` for
     α-equivalence and :func:`repro.cc.equiv.equivalent` for definitional
     equivalence.
+
+    The ``__weakref__`` slot lets the shared kernel keep identity-keyed
+    weak caches (free variables, interned representatives) over terms.
     """
 
-    __slots__ = ()
+    __slots__ = ("__weakref__",)
 
     def __str__(self) -> str:
         from repro.cc.pretty import pretty
@@ -318,62 +331,75 @@ def children(term: Term) -> list[Child]:
 
     For each ``(name, sub)`` pair, ``name`` is the variable the parent binds
     *in that subterm* (``None`` when the subterm is outside the binder's
-    scope).  This single source of truth drives free-variable computation and
-    size/occurrence utilities; substitution and α-equivalence are written
-    out explicitly per node for clarity.
+    scope).  Derived from the kernel node specs registered below, so the
+    binding structure has a single source of truth.
     """
-    match term:
-        case Var() | Star() | Box() | Bool() | BoolLit() | Nat() | Zero():
-            return []
-        case Pi(name, domain, codomain):
-            return [(None, domain), (name, codomain)]
-        case Lam(name, domain, body):
-            return [(None, domain), (name, body)]
-        case App(fn, arg):
-            return [(None, fn), (None, arg)]
-        case Let(name, bound, annot, body):
-            return [(None, bound), (None, annot), (name, body)]
-        case Sigma(name, first, second):
-            return [(None, first), (name, second)]
-        case Pair(fst_val, snd_val, annot):
-            return [(None, fst_val), (None, snd_val), (None, annot)]
-        case Fst(pair):
-            return [(None, pair)]
-        case Snd(pair):
-            return [(None, pair)]
-        case If(cond, then_branch, else_branch):
-            return [(None, cond), (None, then_branch), (None, else_branch)]
-        case Succ(pred):
-            return [(None, pred)]
-        case NatElim(motive, base, step, target):
-            return [(None, motive), (None, base), (None, step), (None, target)]
-        case _:
-            raise TypeError(f"not a CC term: {term!r}")
+    spec = LANGUAGE.spec(term)
+    return [
+        (getattr(term, child.binders[0]) if child.binders else None, getattr(term, child.attr))
+        for child in spec.children
+    ]
+
+
+# --------------------------------------------------------------------------
+# Kernel registration: binding structure of every node, used by the shared
+# engines for free variables, substitution, α-equivalence, traversal, and
+# hash-consing (see repro.kernel).
+# --------------------------------------------------------------------------
+
+LANGUAGE = Language("cc", Term, Var)
+LANGUAGE.node(Var, data=("name",))
+LANGUAGE.node(Star)
+LANGUAGE.node(Box)
+LANGUAGE.node(Pi, binders=("name",), scopes={"codomain": 1})
+LANGUAGE.node(Lam, binders=("name",), scopes={"body": 1})
+LANGUAGE.node(App)
+LANGUAGE.node(Let, binders=("name",), scopes={"body": 1})
+LANGUAGE.node(Sigma, binders=("name",), scopes={"second": 1})
+LANGUAGE.node(Pair)
+LANGUAGE.node(Fst)
+LANGUAGE.node(Snd)
+LANGUAGE.node(Bool)
+LANGUAGE.node(BoolLit, data=("value",))
+LANGUAGE.node(If)
+LANGUAGE.node(Nat)
+LANGUAGE.node(Zero)
+LANGUAGE.node(Succ)
+LANGUAGE.node(NatElim)
 
 
 def free_vars(term: Term) -> set[str]:
-    """The set of free variable names of ``term``."""
-    out: set[str] = set()
-    _free_vars_into(term, frozenset(), out)
-    return out
+    """The set of free variable names of ``term`` (a fresh, mutable copy).
+
+    Computed once per node and cached by identity in the kernel; prefer
+    :func:`cached_free_vars` when a shared immutable set suffices.
+    """
+    return set(_kernel_fv.free_vars(LANGUAGE, term))
 
 
-def _free_vars_into(term: Term, bound: frozenset[str], out: set[str]) -> None:
-    if isinstance(term, Var):
-        if term.name not in bound:
-            out.add(term.name)
-        return
-    for name, sub in children(term):
-        _free_vars_into(sub, bound | {name} if name is not None else bound, out)
+def cached_free_vars(term: Term) -> frozenset[str]:
+    """The kernel's cached free-variable set for ``term`` (shared, frozen)."""
+    return _kernel_fv.free_vars(LANGUAGE, term)
+
+
+def intern(term: Term) -> Term:
+    """The canonical (hash-consed) representative of ``term``'s α-class.
+
+    ``intern(a) is intern(b)`` exactly when ``a`` and ``b`` are α-equivalent.
+    """
+    return _kernel_intern_fn(LANGUAGE, term)
+
+
+def hashcons(cls: type, *args) -> Term:
+    """Hash-consing constructor: ``cls(*args)`` interned by structure."""
+    return _kernel_build(LANGUAGE, cls, *args)
 
 
 def subterms(term: Term) -> Iterator[Term]:
-    """Pre-order iterator over ``term`` and all of its subterms."""
-    yield term
-    for _, sub in children(term):
-        yield from subterms(sub)
+    """Pre-order iterator over ``term`` and all of its subterms (iterative)."""
+    return _kernel_traverse.subterms(LANGUAGE, term)
 
 
 def term_size(term: Term) -> int:
     """Number of AST nodes in ``term`` (a proxy for program size)."""
-    return sum(1 for _ in subterms(term))
+    return _kernel_traverse.term_size(LANGUAGE, term)

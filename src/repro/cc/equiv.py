@@ -42,7 +42,7 @@ def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = No
     """Decide ``Γ ⊢ left ≡ right``."""
     if budget is None:
         budget = Budget()
-    if left == right:  # cheap syntactic hit before normalizing
+    if left is right or left == right:  # cheap syntactic hit before normalizing
         return True
     left_nf = normalize(ctx, left, budget)
     right_nf = normalize(ctx, right, budget)

@@ -27,7 +27,7 @@ from repro.cc.ast import (
     Term,
     Var,
     Zero,
-    free_vars,
+    cached_free_vars,
     nat_value,
 )
 
@@ -71,7 +71,7 @@ def _pp(term: Term, prec: int) -> str:
                 return str(value)
             return _parens(f"succ {_pp(term.pred, _PREC_ATOM)}", prec > _PREC_APP)
         case Pi(name, domain, codomain):
-            if name == "_" or name not in free_vars(codomain):
+            if name == "_" or name not in cached_free_vars(codomain):
                 text = f"{_pp(domain, _PREC_APP)} -> {_pp(codomain, _PREC_ARROW)}"
                 return _parens(text, prec > _PREC_ARROW)
             text = f"Π ({name} : {_pp(domain, _PREC_BINDER)}). {_pp(codomain, _PREC_BINDER)}"

@@ -22,20 +22,22 @@ This module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.cc.ast import (
     App,
+    Bool,
     BoolLit,
+    Box,
     Fst,
     If,
     Lam,
     Let,
+    Nat,
     NatElim,
     Pair,
     Pi,
     Sigma,
     Snd,
+    Star,
     Succ,
     Term,
     Var,
@@ -44,7 +46,8 @@ from repro.cc.ast import (
 )
 from repro.cc.context import Context
 from repro.cc.subst import subst1
-from repro.common.errors import NormalizationDepthExceeded
+from repro.kernel.budget import DEFAULT_FUEL, Budget
+from repro.kernel.memo import NORMALIZATION_CACHE, context_token
 
 __all__ = [
     "DEFAULT_FUEL",
@@ -57,34 +60,45 @@ __all__ = [
     "whnf",
 ]
 
-DEFAULT_FUEL = 1_000_000
-
-
-@dataclass
-class Budget:
-    """Remaining reduction steps; shared across a normalization call tree."""
-
-    remaining: int = DEFAULT_FUEL
-    spent: int = 0
-
-    def spend(self) -> None:
-        """Consume one reduction step."""
-        if self.remaining <= 0:
-            raise NormalizationDepthExceeded(
-                f"normalization exceeded its fuel after {self.spent} steps"
-            )
-        self.remaining -= 1
-        self.spent += 1
+#: Node classes a whnf step can act on; anything else is already weak-head
+#: normal, so whnf returns it without touching the memo cache.  MUST list
+#: exactly the head classes matched by the `_whnf` loop below — a class
+#: with a reduction arm missing here would be returned unreduced
+#: (tests/test_kernel.py guards this with a no-reducts-in-normal-forms check).
+_WHNF_ACTIVE = (Var, Let, App, Fst, Snd, If, NatElim)
 
 
 def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
     """Reduce ``term`` to weak-head normal form under ``ctx``.
 
     Only the head position is reduced; arguments, pair components, binder
-    bodies, etc. are left untouched.
+    bodies, etc. are left untouched.  Results are memoized per (term
+    identity, context definitions); hits replay the originally recorded
+    fuel cost, so budgets behave exactly as if the reduction had re-run.
     """
     if budget is None:
         budget = Budget()
+    if isinstance(term, Var):
+        # Fast path for the overwhelmingly common case: a neutral variable
+        # needs one context probe, not a memo round-trip.
+        binding = ctx.lookup(term.name)
+        if binding is None or binding.definition is None:
+            return term
+    elif not isinstance(term, _WHNF_ACTIVE):
+        return term
+    token = context_token(ctx)
+    hit = NORMALIZATION_CACHE.lookup("cc.whnf", term, token)
+    if hit is not None:
+        result, steps = hit
+        budget.charge(steps)
+        return result
+    before = budget.spent
+    result = _whnf(ctx, term, budget)
+    NORMALIZATION_CACHE.store("cc.whnf", term, token, result, budget.spent - before)
+    return result
+
+
+def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
     while True:
         match term:
             case Var(name):
@@ -144,16 +158,41 @@ def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
                 return term
 
 
+#: Leaf classes whose normal form is always themselves (no children, no δ):
+#: caching these would only churn the memo table.
+_NF_TRIVIAL = (Star, Box, Bool, BoolLit, Nat, Zero)
+
+
 def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
     """Fully normalize ``term`` under ``ctx``.
 
     The result contains no δ/ζ/β/π/ι redexes (``let`` disappears entirely:
     normal forms are ``let``-free).  Bound variables shadow any definitions
     of the same name in ``ctx``, which the recursion tracks by extending the
-    context at each binder.
+    context at each binder.  Like :func:`whnf`, results are memoized per
+    (term identity, context definitions) with fuel replay on hits.
     """
     if budget is None:
         budget = Budget()
+    if isinstance(term, _NF_TRIVIAL):
+        return term
+    if isinstance(term, Var):
+        binding = ctx.lookup(term.name)
+        if binding is None or binding.definition is None:
+            return term
+    token = context_token(ctx)
+    hit = NORMALIZATION_CACHE.lookup("cc.nf", term, token)
+    if hit is not None:
+        result, steps = hit
+        budget.charge(steps)
+        return result
+    before = budget.spent
+    result = _normalize(ctx, term, budget)
+    NORMALIZATION_CACHE.store("cc.nf", term, token, result, budget.spent - before)
+    return result
+
+
+def _normalize(ctx: Context, term: Term, budget: Budget) -> Term:
     term = whnf(ctx, term, budget)
     match term:
         case Pi(name, domain, codomain):

@@ -4,33 +4,18 @@ Substitution is *parallel*: a mapping from names to replacement terms is
 applied simultaneously.  Binders whose bound name would capture a free
 variable of a replacement (or shadow a mapped name in a way that matters)
 are renamed on the fly using the global fresh-name supply.
+
+The actual engine lives in the shared kernel
+(:mod:`repro.kernel.substitution`, :mod:`repro.kernel.alpha`), driven by
+the node specs registered in :mod:`repro.cc.ast`; free-variable scans come
+from the kernel's identity-keyed cache instead of a per-call traversal.
 """
 
 from __future__ import annotations
 
-from repro.cc.ast import (
-    App,
-    Bool,
-    BoolLit,
-    Box,
-    Fst,
-    If,
-    Lam,
-    Let,
-    Nat,
-    NatElim,
-    Pair,
-    Pi,
-    Sigma,
-    Snd,
-    Star,
-    Succ,
-    Term,
-    Var,
-    Zero,
-    free_vars,
-)
-from repro.common.names import fresh
+from repro.cc.ast import LANGUAGE, Term, Var
+from repro.kernel import alpha as _kernel_alpha
+from repro.kernel import substitution as _kernel_subst
 
 __all__ = ["alpha_equal", "rename", "subst", "subst1"]
 
@@ -42,12 +27,12 @@ def subst1(term: Term, name: str, replacement: Term) -> Term:
 
     This is the paper's ``e[e'/x]``.
     """
-    return subst(term, {name: replacement})
+    return _kernel_subst.subst(LANGUAGE, term, {name: replacement})
 
 
 def rename(term: Term, old: str, new: str) -> Term:
     """Rename free occurrences of ``old`` to ``new`` (capture-avoiding)."""
-    return subst(term, {old: Var(new)})
+    return _kernel_subst.subst(LANGUAGE, term, {old: Var(new)})
 
 
 def subst(term: Term, mapping: Substitution) -> Term:
@@ -56,187 +41,9 @@ def subst(term: Term, mapping: Substitution) -> Term:
     Names not in ``mapping`` are untouched.  The result shares unmodified
     subterms with the input where possible.
     """
-    if not mapping:
-        return term
-    relevant = {k: v for k, v in mapping.items() if k in free_vars(term)}
-    if not relevant:
-        return term
-    capturable: set[str] = set()
-    for value in relevant.values():
-        capturable |= free_vars(value)
-    return _subst(term, relevant, capturable)
-
-
-def _under_binder(
-    name: str, body: Term, mapping: Substitution, capturable: set[str]
-) -> tuple[str, Term, Substitution]:
-    """Prepare to substitute inside ``body`` where ``name`` is bound.
-
-    Drops the bound name from the mapping (it is shadowed) and renames the
-    binder if it would capture a free variable of some replacement.
-    """
-    inner = {k: v for k, v in mapping.items() if k != name}
-    if not inner:
-        return name, body, inner
-    if name in capturable:
-        renamed = fresh(name)
-        body = subst(body, {name: Var(renamed)})
-        return renamed, body, inner
-    return name, body, inner
-
-
-def _subst(term: Term, mapping: Substitution, capturable: set[str]) -> Term:
-    match term:
-        case Var(name):
-            return mapping.get(name, term)
-        case Star() | Box() | Bool() | BoolLit() | Nat() | Zero():
-            return term
-        case Pi(name, domain, codomain):
-            new_domain = _subst(domain, mapping, capturable)
-            name, codomain, inner = _under_binder(name, codomain, mapping, capturable)
-            new_codomain = _subst(codomain, inner, capturable) if inner else codomain
-            return Pi(name, new_domain, new_codomain)
-        case Lam(name, domain, body):
-            new_domain = _subst(domain, mapping, capturable)
-            name, body, inner = _under_binder(name, body, mapping, capturable)
-            new_body = _subst(body, inner, capturable) if inner else body
-            return Lam(name, new_domain, new_body)
-        case App(fn, arg):
-            return App(_subst(fn, mapping, capturable), _subst(arg, mapping, capturable))
-        case Let(name, bound, annot, body):
-            new_bound = _subst(bound, mapping, capturable)
-            new_annot = _subst(annot, mapping, capturable)
-            name, body, inner = _under_binder(name, body, mapping, capturable)
-            new_body = _subst(body, inner, capturable) if inner else body
-            return Let(name, new_bound, new_annot, new_body)
-        case Sigma(name, first, second):
-            new_first = _subst(first, mapping, capturable)
-            name, second, inner = _under_binder(name, second, mapping, capturable)
-            new_second = _subst(second, inner, capturable) if inner else second
-            return Sigma(name, new_first, new_second)
-        case Pair(fst_val, snd_val, annot):
-            return Pair(
-                _subst(fst_val, mapping, capturable),
-                _subst(snd_val, mapping, capturable),
-                _subst(annot, mapping, capturable),
-            )
-        case Fst(pair):
-            return Fst(_subst(pair, mapping, capturable))
-        case Snd(pair):
-            return Snd(_subst(pair, mapping, capturable))
-        case If(cond, then_branch, else_branch):
-            return If(
-                _subst(cond, mapping, capturable),
-                _subst(then_branch, mapping, capturable),
-                _subst(else_branch, mapping, capturable),
-            )
-        case Succ(pred):
-            return Succ(_subst(pred, mapping, capturable))
-        case NatElim(motive, base, step, target):
-            return NatElim(
-                _subst(motive, mapping, capturable),
-                _subst(base, mapping, capturable),
-                _subst(step, mapping, capturable),
-                _subst(target, mapping, capturable),
-            )
-        case _:
-            raise TypeError(f"not a CC term: {term!r}")
-
-
-# --------------------------------------------------------------------------
-# α-equivalence.
-# --------------------------------------------------------------------------
+    return _kernel_subst.subst(LANGUAGE, term, mapping)
 
 
 def alpha_equal(left: Term, right: Term) -> bool:
     """Structural equality of ``left`` and ``right`` up to bound names."""
-    return _alpha(left, right, {}, {}, [0])
-
-
-def _alpha(
-    left: Term,
-    right: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-) -> bool:
-    match left, right:
-        case Var(a), Var(b):
-            la, lb = env_l.get(a), env_r.get(b)
-            if la is None and lb is None:
-                return a == b
-            return la is not None and la == lb
-        case (Star(), Star()) | (Box(), Box()) | (Bool(), Bool()) | (Nat(), Nat()) | (
-            Zero(),
-            Zero(),
-        ):
-            return True
-        case BoolLit(a), BoolLit(b):
-            return a == b
-        case Pi(n1, d1, c1), Pi(n2, d2, c2):
-            return _alpha(d1, d2, env_l, env_r, counter) and _alpha_binder(
-                n1, c1, n2, c2, env_l, env_r, counter
-            )
-        case Lam(n1, d1, b1), Lam(n2, d2, b2):
-            return _alpha(d1, d2, env_l, env_r, counter) and _alpha_binder(
-                n1, b1, n2, b2, env_l, env_r, counter
-            )
-        case App(f1, a1), App(f2, a2):
-            return _alpha(f1, f2, env_l, env_r, counter) and _alpha(a1, a2, env_l, env_r, counter)
-        case Let(n1, e1, t1, b1), Let(n2, e2, t2, b2):
-            return (
-                _alpha(e1, e2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-                and _alpha_binder(n1, b1, n2, b2, env_l, env_r, counter)
-            )
-        case Sigma(n1, f1, s1), Sigma(n2, f2, s2):
-            return _alpha(f1, f2, env_l, env_r, counter) and _alpha_binder(
-                n1, s1, n2, s2, env_l, env_r, counter
-            )
-        case Pair(f1, s1, t1), Pair(f2, s2, t2):
-            return (
-                _alpha(f1, f2, env_l, env_r, counter)
-                and _alpha(s1, s2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-            )
-        case Fst(p1), Fst(p2):
-            return _alpha(p1, p2, env_l, env_r, counter)
-        case Snd(p1), Snd(p2):
-            return _alpha(p1, p2, env_l, env_r, counter)
-        case If(c1, t1, e1), If(c2, t2, e2):
-            return (
-                _alpha(c1, c2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-                and _alpha(e1, e2, env_l, env_r, counter)
-            )
-        case Succ(p1), Succ(p2):
-            return _alpha(p1, p2, env_l, env_r, counter)
-        case NatElim(m1, z1, s1, t1), NatElim(m2, z2, s2, t2):
-            return (
-                _alpha(m1, m2, env_l, env_r, counter)
-                and _alpha(z1, z2, env_l, env_r, counter)
-                and _alpha(s1, s2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-            )
-        case _:
-            return False
-
-
-def _alpha_binder(
-    name_l: str,
-    body_l: Term,
-    name_r: str,
-    body_r: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-) -> bool:
-    index = counter[0]
-    counter[0] += 1
-    new_l = dict(env_l)
-    new_r = dict(env_r)
-    new_l[name_l] = index
-    new_r[name_r] = index
-    result = _alpha(body_l, body_r, new_l, new_r, counter)
-    counter[0] -= 1
-    return result
+    return _kernel_alpha.alpha_equal(LANGUAGE, left, right)

@@ -34,6 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Union
 
+from repro.kernel import fv as _kernel_fv  # noqa: F401 (submodule import)
+from repro.kernel import traverse as _kernel_traverse
+from repro.kernel.intern import build as _kernel_build
+from repro.kernel.intern import intern as _kernel_intern_fn
+from repro.kernel.nodespec import Language
+
 __all__ = [
     "App",
     "Bool",
@@ -44,6 +50,7 @@ __all__ = [
     "CodeType",
     "Fst",
     "If",
+    "LANGUAGE",
     "Let",
     "Nat",
     "NatElim",
@@ -60,7 +67,10 @@ __all__ = [
     "Zero",
     "app_spine",
     "arrow",
+    "cached_free_vars",
     "free_vars",
+    "hashcons",
+    "intern",
     "make_app",
     "nat_literal",
     "nat_value",
@@ -70,9 +80,13 @@ __all__ = [
 
 
 class Term:
-    """Base class of all CC-CC expressions (structural ``==`` is syntactic)."""
+    """Base class of all CC-CC expressions (structural ``==`` is syntactic).
 
-    __slots__ = ()
+    The ``__weakref__`` slot lets the shared kernel keep identity-keyed
+    weak caches (free variables, interned representatives) over terms.
+    """
+
+    __slots__ = ("__weakref__",)
 
     def __str__(self) -> str:
         from repro.cccc.pretty import pretty
@@ -322,63 +336,91 @@ Child = tuple[tuple[str, ...], Term]
 
 
 def children(term: Term) -> list[Child]:
-    """Immediate subterms with the names the parent binds in each."""
-    match term:
-        case Var() | Star() | Box() | Unit() | UnitVal() | Bool() | BoolLit() | Nat() | Zero():
-            return []
-        case Pi(name, domain, codomain):
-            return [((), domain), ((name,), codomain)]
-        case CodeType(env_name, env_type, arg_name, arg_type, result):
-            return [((), env_type), ((env_name,), arg_type), ((env_name, arg_name), result)]
-        case CodeLam(env_name, env_type, arg_name, arg_type, body):
-            return [((), env_type), ((env_name,), arg_type), ((env_name, arg_name), body)]
-        case Clo(code, env):
-            return [((), code), ((), env)]
-        case App(fn, arg):
-            return [((), fn), ((), arg)]
-        case Let(name, bound, annot, body):
-            return [((), bound), ((), annot), ((name,), body)]
-        case Sigma(name, first, second):
-            return [((), first), ((name,), second)]
-        case Pair(fst_val, snd_val, annot):
-            return [((), fst_val), ((), snd_val), ((), annot)]
-        case Fst(pair):
-            return [((), pair)]
-        case Snd(pair):
-            return [((), pair)]
-        case If(cond, then_branch, else_branch):
-            return [((), cond), ((), then_branch), ((), else_branch)]
-        case Succ(pred):
-            return [((), pred)]
-        case NatElim(motive, base, step, target):
-            return [((), motive), ((), base), ((), step), ((), target)]
-        case _:
-            raise TypeError(f"not a CC-CC term: {term!r}")
+    """Immediate subterms with the names the parent binds in each.
+
+    Derived from the kernel node specs registered below, so the binding
+    structure has a single source of truth.
+    """
+    spec = LANGUAGE.spec(term)
+    return [
+        (tuple(getattr(term, b) for b in child.binders), getattr(term, child.attr))
+        for child in spec.children
+    ]
+
+
+# --------------------------------------------------------------------------
+# Kernel registration: binding structure of every node, used by the shared
+# engines for free variables, substitution, α-equivalence, traversal, and
+# hash-consing (see repro.kernel).  The two-binder code forms register their
+# telescopic scoping: the environment binder scopes the argument annotation
+# and the body/result; the argument binder scopes the body/result only.
+# --------------------------------------------------------------------------
+
+LANGUAGE = Language("cc-cc", Term, Var)
+LANGUAGE.node(Var, data=("name",))
+LANGUAGE.node(Star)
+LANGUAGE.node(Box)
+LANGUAGE.node(Pi, binders=("name",), scopes={"codomain": 1})
+LANGUAGE.node(
+    CodeType,
+    binders=("env_name", "arg_name"),
+    scopes={"arg_type": 1, "result": 2},
+)
+LANGUAGE.node(
+    CodeLam,
+    binders=("env_name", "arg_name"),
+    scopes={"arg_type": 1, "body": 2},
+)
+LANGUAGE.node(Clo)
+LANGUAGE.node(App)
+LANGUAGE.node(Let, binders=("name",), scopes={"body": 1})
+LANGUAGE.node(Sigma, binders=("name",), scopes={"second": 1})
+LANGUAGE.node(Pair)
+LANGUAGE.node(Fst)
+LANGUAGE.node(Snd)
+LANGUAGE.node(Unit)
+LANGUAGE.node(UnitVal)
+LANGUAGE.node(Bool)
+LANGUAGE.node(BoolLit, data=("value",))
+LANGUAGE.node(If)
+LANGUAGE.node(Nat)
+LANGUAGE.node(Zero)
+LANGUAGE.node(Succ)
+LANGUAGE.node(NatElim)
 
 
 def free_vars(term: Term) -> set[str]:
-    """The set of free variable names of ``term``."""
-    out: set[str] = set()
-    _free_vars_into(term, frozenset(), out)
-    return out
+    """The set of free variable names of ``term`` (a fresh, mutable copy).
+
+    Computed once per node and cached by identity in the kernel; prefer
+    :func:`cached_free_vars` when a shared immutable set suffices.
+    """
+    return set(_kernel_fv.free_vars(LANGUAGE, term))
 
 
-def _free_vars_into(term: Term, bound: frozenset[str], out: set[str]) -> None:
-    if isinstance(term, Var):
-        if term.name not in bound:
-            out.add(term.name)
-        return
-    for names, sub in children(term):
-        _free_vars_into(sub, bound | set(names) if names else bound, out)
+def cached_free_vars(term: Term) -> frozenset[str]:
+    """The kernel's cached free-variable set for ``term`` (shared, frozen)."""
+    return _kernel_fv.free_vars(LANGUAGE, term)
+
+
+def intern(term: Term) -> Term:
+    """The canonical (hash-consed) representative of ``term``'s α-class.
+
+    ``intern(a) is intern(b)`` exactly when ``a`` and ``b`` are α-equivalent.
+    """
+    return _kernel_intern_fn(LANGUAGE, term)
+
+
+def hashcons(cls: type, *args) -> Term:
+    """Hash-consing constructor: ``cls(*args)`` interned by structure."""
+    return _kernel_build(LANGUAGE, cls, *args)
 
 
 def subterms(term: Term) -> Iterator[Term]:
-    """Pre-order iterator over ``term`` and all of its subterms."""
-    yield term
-    for _, sub in children(term):
-        yield from subterms(sub)
+    """Pre-order iterator over ``term`` and all of its subterms (iterative)."""
+    return _kernel_traverse.subterms(LANGUAGE, term)
 
 
 def term_size(term: Term) -> int:
     """Number of AST nodes in ``term``."""
-    return sum(1 for _ in subterms(term))
+    return _kernel_traverse.term_size(LANGUAGE, term)

@@ -51,7 +51,7 @@ def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = No
     """Decide ``Γ ⊢ left ≡ right`` in CC-CC."""
     if budget is None:
         budget = Budget()
-    if left == right:
+    if left is right or left == right:
         return True
     left_nf = normalize(ctx, left, budget)
     right_nf = normalize(ctx, right, budget)

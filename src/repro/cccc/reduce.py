@@ -11,31 +11,36 @@ closure is applied.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.cccc.ast import (
     App,
+    Bool,
     BoolLit,
+    Box,
     Clo,
     CodeLam,
     CodeType,
     Fst,
     If,
     Let,
+    Nat,
     NatElim,
     Pair,
     Pi,
     Sigma,
     Snd,
+    Star,
     Succ,
     Term,
+    Unit,
+    UnitVal,
     Var,
     Zero,
     make_app,
 )
 from repro.cccc.context import Context
 from repro.cccc.subst import subst, subst1
-from repro.common.errors import NormalizationDepthExceeded
+from repro.kernel.budget import DEFAULT_FUEL, Budget
+from repro.kernel.memo import NORMALIZATION_CACHE, context_token
 
 __all__ = [
     "DEFAULT_FUEL",
@@ -47,38 +52,57 @@ __all__ = [
     "whnf",
 ]
 
-DEFAULT_FUEL = 1_000_000
-
-
-@dataclass
-class Budget:
-    """Remaining reduction steps; shared across a normalization call tree."""
-
-    remaining: int = DEFAULT_FUEL
-    spent: int = 0
-
-    def spend(self) -> None:
-        """Consume one reduction step."""
-        if self.remaining <= 0:
-            raise NormalizationDepthExceeded(
-                f"normalization exceeded its fuel after {self.spent} steps"
-            )
-        self.remaining -= 1
-        self.spent += 1
-
 
 def _beta(clo: Clo, code: CodeLam, arg: Term) -> Term:
-    """The closure β-contractum ``body[env/env_name][arg/arg_name]``."""
-    return subst(
-        subst1(code.body, code.env_name, clo.env),
-        {code.arg_name: arg},
-    )
+    """The closure β-contractum ``body[env/env_name][arg/arg_name]``.
+
+    The two substitutions are performed in *parallel*: sequential
+    application would let the second capture free variables of ``clo.env``
+    that happen to share the argument binder's name (the same hazard the
+    [Clo] typing rule guards against by renaming).  When the code shadows
+    ``env_name`` with ``arg_name``, the argument mapping wins, matching the
+    binder scoping of ``CodeLam``.
+    """
+    return subst(code.body, {code.env_name: clo.env, code.arg_name: arg})
+
+
+#: Node classes a whnf step can act on; anything else is already weak-head
+#: normal, so whnf returns it without touching the memo cache.  MUST list
+#: exactly the head classes matched by the `_whnf` loop below — a class
+#: with a reduction arm missing here would be returned unreduced
+#: (tests/test_kernel.py guards this with a no-reducts-in-normal-forms check).
+_WHNF_ACTIVE = (Var, Let, App, Fst, Snd, If, NatElim)
 
 
 def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
-    """Reduce ``term`` to weak-head normal form under ``ctx``."""
+    """Reduce ``term`` to weak-head normal form under ``ctx``.
+
+    Results are memoized per (term identity, context definitions); hits
+    replay the originally recorded fuel cost into ``budget``.
+    """
     if budget is None:
         budget = Budget()
+    if isinstance(term, Var):
+        # Fast path for the overwhelmingly common case: a neutral variable
+        # needs one context probe, not a memo round-trip.
+        binding = ctx.lookup(term.name)
+        if binding is None or binding.definition is None:
+            return term
+    elif not isinstance(term, _WHNF_ACTIVE):
+        return term
+    token = context_token(ctx)
+    hit = NORMALIZATION_CACHE.lookup("cccc.whnf", term, token)
+    if hit is not None:
+        result, steps = hit
+        budget.charge(steps)
+        return result
+    before = budget.spent
+    result = _whnf(ctx, term, budget)
+    NORMALIZATION_CACHE.store("cccc.whnf", term, token, result, budget.spent - before)
+    return result
+
+
+def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
     while True:
         match term:
             case Var(name):
@@ -142,10 +166,37 @@ def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
                 return term
 
 
+#: Leaf classes whose normal form is always themselves (no children, no δ).
+_NF_TRIVIAL = (Star, Box, Unit, UnitVal, Bool, BoolLit, Nat, Zero)
+
+
 def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
-    """Fully normalize ``term`` under ``ctx``."""
+    """Fully normalize ``term`` under ``ctx``.
+
+    Like :func:`whnf`, results are memoized per (term identity, context
+    definitions) with fuel replay on hits.
+    """
     if budget is None:
         budget = Budget()
+    if isinstance(term, _NF_TRIVIAL):
+        return term
+    if isinstance(term, Var):
+        binding = ctx.lookup(term.name)
+        if binding is None or binding.definition is None:
+            return term
+    token = context_token(ctx)
+    hit = NORMALIZATION_CACHE.lookup("cccc.nf", term, token)
+    if hit is not None:
+        result, steps = hit
+        budget.charge(steps)
+        return result
+    before = budget.spent
+    result = _normalize(ctx, term, budget)
+    NORMALIZATION_CACHE.store("cccc.nf", term, token, result, budget.spent - before)
+    return result
+
+
+def _normalize(ctx: Context, term: Term, budget: Budget) -> Term:
     term = whnf(ctx, term, budget)
     match term:
         case Pi(name, domain, codomain):

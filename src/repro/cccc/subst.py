@@ -2,38 +2,18 @@
 
 Identical in spirit to :mod:`repro.cc.subst`; the only new wrinkle is the
 two-binder code forms (``CodeLam``/``CodeType``), whose environment binder
-scopes over both the argument annotation and the body/result.
+scopes over both the argument annotation and the body/result.  That
+telescopic scoping is registered declaratively in :mod:`repro.cccc.ast`,
+and the shared kernel engines (:mod:`repro.kernel.substitution`,
+:mod:`repro.kernel.alpha`) handle it generically — with free-variable
+scans served from the kernel's identity-keyed cache.
 """
 
 from __future__ import annotations
 
-from repro.cccc.ast import (
-    App,
-    Bool,
-    BoolLit,
-    Box,
-    Clo,
-    CodeLam,
-    CodeType,
-    Fst,
-    If,
-    Let,
-    Nat,
-    NatElim,
-    Pair,
-    Pi,
-    Sigma,
-    Snd,
-    Star,
-    Succ,
-    Term,
-    Unit,
-    UnitVal,
-    Var,
-    Zero,
-    free_vars,
-)
-from repro.common.names import fresh
+from repro.cccc.ast import LANGUAGE, Term, Var
+from repro.kernel import alpha as _kernel_alpha
+from repro.kernel import substitution as _kernel_subst
 
 __all__ = ["alpha_equal", "rename", "subst", "subst1"]
 
@@ -42,217 +22,19 @@ Substitution = dict[str, Term]
 
 def subst1(term: Term, name: str, replacement: Term) -> Term:
     """The paper's ``e[e'/x]``."""
-    return subst(term, {name: replacement})
+    return _kernel_subst.subst(LANGUAGE, term, {name: replacement})
 
 
 def rename(term: Term, old: str, new: str) -> Term:
     """Rename free occurrences of ``old`` to ``new`` (capture-avoiding)."""
-    return subst(term, {old: Var(new)})
+    return _kernel_subst.subst(LANGUAGE, term, {old: Var(new)})
 
 
 def subst(term: Term, mapping: Substitution) -> Term:
     """Apply the parallel substitution ``mapping`` to ``term``."""
-    if not mapping:
-        return term
-    relevant = {k: v for k, v in mapping.items() if k in free_vars(term)}
-    if not relevant:
-        return term
-    capturable: set[str] = set()
-    for value in relevant.values():
-        capturable |= free_vars(value)
-    return _subst(term, relevant, capturable)
-
-
-def _under_binder(
-    name: str, bodies: list[Term], mapping: Substitution, capturable: set[str]
-) -> tuple[str, list[Term], Substitution]:
-    """Prepare to substitute inside subterms where ``name`` is bound."""
-    inner = {k: v for k, v in mapping.items() if k != name}
-    if not inner:
-        return name, bodies, inner
-    if name in capturable:
-        renamed = fresh(name)
-        bodies = [subst(body, {name: Var(renamed)}) for body in bodies]
-        return renamed, bodies, inner
-    return name, bodies, inner
-
-
-def _subst(term: Term, mapping: Substitution, capturable: set[str]) -> Term:
-    match term:
-        case Var(name):
-            return mapping.get(name, term)
-        case Star() | Box() | Unit() | UnitVal() | Bool() | BoolLit() | Nat() | Zero():
-            return term
-        case Pi(name, domain, codomain):
-            new_domain = _subst(domain, mapping, capturable)
-            name, [codomain], inner = _under_binder(name, [codomain], mapping, capturable)
-            new_codomain = _subst(codomain, inner, capturable) if inner else codomain
-            return Pi(name, new_domain, new_codomain)
-        case CodeType(env_name, env_type, arg_name, arg_type, result):
-            new_env_type = _subst(env_type, mapping, capturable)
-            env_name, [arg_type, result], inner = _under_binder(
-                env_name, [arg_type, result], mapping, capturable
-            )
-            new_arg_type = _subst(arg_type, inner, capturable) if inner else arg_type
-            arg_name, [result], inner2 = _under_binder(arg_name, [result], inner, capturable)
-            new_result = _subst(result, inner2, capturable) if inner2 else result
-            return CodeType(env_name, new_env_type, arg_name, new_arg_type, new_result)
-        case CodeLam(env_name, env_type, arg_name, arg_type, body):
-            new_env_type = _subst(env_type, mapping, capturable)
-            env_name, [arg_type, body], inner = _under_binder(
-                env_name, [arg_type, body], mapping, capturable
-            )
-            new_arg_type = _subst(arg_type, inner, capturable) if inner else arg_type
-            arg_name, [body], inner2 = _under_binder(arg_name, [body], inner, capturable)
-            new_body = _subst(body, inner2, capturable) if inner2 else body
-            return CodeLam(env_name, new_env_type, arg_name, new_arg_type, new_body)
-        case Clo(code, env):
-            return Clo(_subst(code, mapping, capturable), _subst(env, mapping, capturable))
-        case App(fn, arg):
-            return App(_subst(fn, mapping, capturable), _subst(arg, mapping, capturable))
-        case Let(name, bound, annot, body):
-            new_bound = _subst(bound, mapping, capturable)
-            new_annot = _subst(annot, mapping, capturable)
-            name, [body], inner = _under_binder(name, [body], mapping, capturable)
-            new_body = _subst(body, inner, capturable) if inner else body
-            return Let(name, new_bound, new_annot, new_body)
-        case Sigma(name, first, second):
-            new_first = _subst(first, mapping, capturable)
-            name, [second], inner = _under_binder(name, [second], mapping, capturable)
-            new_second = _subst(second, inner, capturable) if inner else second
-            return Sigma(name, new_first, new_second)
-        case Pair(fst_val, snd_val, annot):
-            return Pair(
-                _subst(fst_val, mapping, capturable),
-                _subst(snd_val, mapping, capturable),
-                _subst(annot, mapping, capturable),
-            )
-        case Fst(pair):
-            return Fst(_subst(pair, mapping, capturable))
-        case Snd(pair):
-            return Snd(_subst(pair, mapping, capturable))
-        case If(cond, then_branch, else_branch):
-            return If(
-                _subst(cond, mapping, capturable),
-                _subst(then_branch, mapping, capturable),
-                _subst(else_branch, mapping, capturable),
-            )
-        case Succ(pred):
-            return Succ(_subst(pred, mapping, capturable))
-        case NatElim(motive, base, step, target):
-            return NatElim(
-                _subst(motive, mapping, capturable),
-                _subst(base, mapping, capturable),
-                _subst(step, mapping, capturable),
-                _subst(target, mapping, capturable),
-            )
-        case _:
-            raise TypeError(f"not a CC-CC term: {term!r}")
-
-
-# --------------------------------------------------------------------------
-# α-equivalence.
-# --------------------------------------------------------------------------
+    return _kernel_subst.subst(LANGUAGE, term, mapping)
 
 
 def alpha_equal(left: Term, right: Term) -> bool:
     """Structural equality up to bound names."""
-    return _alpha(left, right, {}, {}, [0])
-
-
-def _bind(
-    name_l: str, name_r: str, env_l: dict[str, int], env_r: dict[str, int], counter: list[int]
-) -> tuple[dict[str, int], dict[str, int]]:
-    index = counter[0]
-    counter[0] += 1
-    new_l = dict(env_l)
-    new_r = dict(env_r)
-    new_l[name_l] = index
-    new_r[name_r] = index
-    return new_l, new_r
-
-
-def _alpha(
-    left: Term,
-    right: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-) -> bool:
-    match left, right:
-        case Var(a), Var(b):
-            la, lb = env_l.get(a), env_r.get(b)
-            if la is None and lb is None:
-                return a == b
-            return la is not None and la == lb
-        case BoolLit(a), BoolLit(b):
-            return a == b
-        case Pi(n1, d1, c1), Pi(n2, d2, c2):
-            if not _alpha(d1, d2, env_l, env_r, counter):
-                return False
-            inner_l, inner_r = _bind(n1, n2, env_l, env_r, counter)
-            return _alpha(c1, c2, inner_l, inner_r, counter)
-        case CodeType(en1, et1, an1, at1, r1), CodeType(en2, et2, an2, at2, r2):
-            if not _alpha(et1, et2, env_l, env_r, counter):
-                return False
-            mid_l, mid_r = _bind(en1, en2, env_l, env_r, counter)
-            if not _alpha(at1, at2, mid_l, mid_r, counter):
-                return False
-            inner_l, inner_r = _bind(an1, an2, mid_l, mid_r, counter)
-            return _alpha(r1, r2, inner_l, inner_r, counter)
-        case CodeLam(en1, et1, an1, at1, b1), CodeLam(en2, et2, an2, at2, b2):
-            if not _alpha(et1, et2, env_l, env_r, counter):
-                return False
-            mid_l, mid_r = _bind(en1, en2, env_l, env_r, counter)
-            if not _alpha(at1, at2, mid_l, mid_r, counter):
-                return False
-            inner_l, inner_r = _bind(an1, an2, mid_l, mid_r, counter)
-            return _alpha(b1, b2, inner_l, inner_r, counter)
-        case Clo(c1, e1), Clo(c2, e2):
-            return _alpha(c1, c2, env_l, env_r, counter) and _alpha(e1, e2, env_l, env_r, counter)
-        case App(f1, a1), App(f2, a2):
-            return _alpha(f1, f2, env_l, env_r, counter) and _alpha(a1, a2, env_l, env_r, counter)
-        case Let(n1, e1, t1, b1), Let(n2, e2, t2, b2):
-            if not (
-                _alpha(e1, e2, env_l, env_r, counter) and _alpha(t1, t2, env_l, env_r, counter)
-            ):
-                return False
-            inner_l, inner_r = _bind(n1, n2, env_l, env_r, counter)
-            return _alpha(b1, b2, inner_l, inner_r, counter)
-        case Sigma(n1, f1, s1), Sigma(n2, f2, s2):
-            if not _alpha(f1, f2, env_l, env_r, counter):
-                return False
-            inner_l, inner_r = _bind(n1, n2, env_l, env_r, counter)
-            return _alpha(s1, s2, inner_l, inner_r, counter)
-        case Pair(f1, s1, t1), Pair(f2, s2, t2):
-            return (
-                _alpha(f1, f2, env_l, env_r, counter)
-                and _alpha(s1, s2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-            )
-        case Fst(p1), Fst(p2):
-            return _alpha(p1, p2, env_l, env_r, counter)
-        case Snd(p1), Snd(p2):
-            return _alpha(p1, p2, env_l, env_r, counter)
-        case If(c1, t1, e1), If(c2, t2, e2):
-            return (
-                _alpha(c1, c2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-                and _alpha(e1, e2, env_l, env_r, counter)
-            )
-        case Succ(p1), Succ(p2):
-            return _alpha(p1, p2, env_l, env_r, counter)
-        case NatElim(m1, z1, s1, t1), NatElim(m2, z2, s2, t2):
-            return (
-                _alpha(m1, m2, env_l, env_r, counter)
-                and _alpha(z1, z2, env_l, env_r, counter)
-                and _alpha(s1, s2, env_l, env_r, counter)
-                and _alpha(t1, t2, env_l, env_r, counter)
-            )
-        case _:
-            return type(left) is type(right) and not _has_fields(left)
-
-
-def _has_fields(term: Term) -> bool:
-    """True if the node carries data (so bare type equality is unsound)."""
-    return bool(getattr(term, "__slots__", ()))
+    return _kernel_alpha.alpha_equal(LANGUAGE, left, right)

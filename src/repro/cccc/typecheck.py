@@ -43,7 +43,7 @@ from repro.cccc.ast import (
     UnitVal,
     Var,
     Zero,
-    free_vars,
+    cached_free_vars,
 )
 from repro.cccc.context import Context
 from repro.cccc.equiv import equivalent
@@ -81,7 +81,7 @@ def infer(ctx: Context, term: Term) -> Term:
             # [Code]: the body checks under the *empty* environment — this
             # is the static closedness guarantee.
             empty = Context.empty()
-            stray = free_vars(term)
+            stray = cached_free_vars(term)
             if stray:
                 raise TypeCheckError(
                     f"code is not closed: free variables {sorted(stray)}"
@@ -105,7 +105,7 @@ def infer(ctx: Context, term: Term) -> Term:
             arg_name = code_type.arg_name
             arg_type = code_type.arg_type
             result = code_type.result
-            if arg_name in free_vars(env):
+            if arg_name in cached_free_vars(env):
                 renamed = fresh(arg_name)
                 result = rename(result, arg_name, renamed)
                 arg_name = renamed

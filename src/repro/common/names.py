@@ -13,18 +13,30 @@ old suffix is stripped first so names do not grow without bound).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 _SEPARATOR = "$"
 
+# Thread safety: ``next()`` on an ``itertools.count`` is atomic under the
+# GIL (the iterator advances in a single C-level call with no Python-level
+# re-entry), so concurrent ``fresh`` calls can never observe or issue the
+# same number.  Rebinding the module global in ``reset_fresh_counter`` is
+# likewise a single atomic store; the lock below only serializes
+# *concurrent resets* (so two resets cannot interleave with the cache
+# clearing they trigger).  A ``fresh`` call racing a reset may draw from
+# either counter — acceptable, since resets exist for single-threaded
+# test determinism, not concurrent use.
 _counter = itertools.count(1)
+_reset_lock = threading.Lock()
 
 
 def fresh(base: str = "x") -> str:
     """Return a globally fresh name derived from ``base``.
 
     The result never collides with a surface-syntax identifier (those cannot
-    contain ``$``) nor with any previously issued fresh name.
+    contain ``$``) nor with any previously issued fresh name.  Safe to call
+    from multiple threads.
     """
     stem = base_name(base)
     if not stem:
@@ -46,9 +58,20 @@ def is_machine_name(name: str) -> bool:
 
 
 def reset_fresh_counter() -> None:
-    """Reset the global counter.  Only for tests that need determinism."""
+    """Reset the global counter.  Only for tests that need determinism.
+
+    Also clears every kernel cache (hash-consing tables, cached
+    free-variable sets, memoized normal forms): cached results may embed
+    fresh names issued before the reset, and keeping them would make runs
+    depend on execution history — exactly what resetting is meant to avoid.
+    """
+    # Imported lazily: the kernel depends on this module for ``fresh``.
+    from repro.kernel.cache import reset_caches
+
     global _counter
-    _counter = itertools.count(1)
+    with _reset_lock:
+        _counter = itertools.count(1)
+        reset_caches()
 
 
 @dataclass

@@ -67,7 +67,13 @@ class Context:
     def _push(self, binding: Binding) -> "Context":
         new_index = dict(self._index)
         new_index[binding.name] = len(self.entries)
-        return Context(self.entries + (binding,), new_index)
+        child = Context(self.entries + (binding,), new_index)
+        # Parent link for the kernel's incremental context fingerprinting
+        # (repro.kernel.memo.context_token): lets a one-entry extension
+        # derive its visible-definitions map from this context in O(1)
+        # instead of rescanning all entries.
+        object.__setattr__(child, "_kernel_parent", (self, binding))
+        return child
 
     def lookup(self, name: str) -> Binding | None:
         """The entry binding ``name`` (innermost on shadowing), or None."""

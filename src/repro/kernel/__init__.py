@@ -1,0 +1,60 @@
+"""The shared term kernel: one engine under both calculi.
+
+CC (:mod:`repro.cc`) and CC-CC (:mod:`repro.cccc`) are different *languages*
+— different node types, different reduction axioms — but identical *term
+machinery*: capture-avoiding parallel substitution, α-equivalence, free
+variables, traversal, and normalization bookkeeping.  This package factors
+that machinery out, parameterized by a :class:`~repro.kernel.nodespec.Language`
+descriptor that records, for every AST node class, which fields are binders,
+which are subterms, and which binders scope over which subterms.
+
+On top of the generic engines, the kernel adds the sharing discipline that
+makes the hot paths fast:
+
+* **hash-consing** (:mod:`repro.kernel.intern`) — constructors that intern
+  structurally equal nodes, so equal terms are pointer-comparable, plus an
+  α-canonicalizing :func:`intern` whose representatives coincide exactly for
+  α-equivalent terms;
+* **cached free variables** (:mod:`repro.kernel.fv`) — per-node frozensets
+  computed bottom-up and memoized in an identity-keyed weak cache, turning
+  the per-call ``free_vars`` scan inside ``subst`` into an O(1) lookup;
+* **memoized normalization** (:mod:`repro.kernel.memo`) — a WHNF/normalize
+  cache keyed on term identity plus a context fingerprint, replaying the
+  recorded fuel consumption on every hit so budget semantics are preserved.
+
+All caches register themselves with :func:`reset_caches`;
+:func:`repro.common.names.reset_fresh_counter` calls it so tests that reset
+the fresh-name supply also start from cold caches.
+"""
+
+from repro.kernel.alpha import alpha_equal
+from repro.kernel.budget import DEFAULT_FUEL, Budget
+from repro.kernel.cache import TermCache, cache_stats, register_cache, reset_caches
+from repro.kernel.fv import free_vars
+from repro.kernel.intern import build, intern
+from repro.kernel.memo import NORMALIZATION_CACHE, NormalizationCache, context_token
+from repro.kernel.nodespec import ChildSpec, Language, NodeSpec
+from repro.kernel.substitution import subst
+from repro.kernel.traverse import subterms, term_size
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "Budget",
+    "ChildSpec",
+    "Language",
+    "NORMALIZATION_CACHE",
+    "NodeSpec",
+    "NormalizationCache",
+    "TermCache",
+    "alpha_equal",
+    "build",
+    "cache_stats",
+    "context_token",
+    "free_vars",
+    "intern",
+    "register_cache",
+    "reset_caches",
+    "subst",
+    "subterms",
+    "term_size",
+]

@@ -1,0 +1,67 @@
+"""Generic α-equivalence, driven by node specs.
+
+Structural equality up to bound names, for any registered language.  Bound
+occurrences are compared through de Bruijn-style level environments; free
+occurrences by name.  Telescopic scoping (see
+:mod:`repro.kernel.nodespec`) lets one loop interleave child comparisons
+with binder introductions for single- and multi-binder nodes alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.nodespec import Language
+
+__all__ = ["alpha_equal"]
+
+
+def alpha_equal(lang: Language, left: Any, right: Any) -> bool:
+    """Structural equality of ``left`` and ``right`` up to bound names."""
+    return _alpha(lang, left, right, {}, {}, [0])
+
+
+def _alpha(
+    lang: Language,
+    left: Any,
+    right: Any,
+    env_l: dict[str, int],
+    env_r: dict[str, int],
+    counter: list[int],
+) -> bool:
+    if left is right and env_l == env_r:
+        # Identical objects under identical binder environments compare
+        # equal without a traversal — the common case once terms are
+        # hash-consed.
+        return True
+    var_cls = lang.var_cls
+    if isinstance(left, var_cls):
+        if not isinstance(right, var_cls):
+            return False
+        level_l, level_r = env_l.get(left.name), env_r.get(right.name)
+        if level_l is None and level_r is None:
+            return left.name == right.name
+        return level_l is not None and level_l == level_r
+    if type(left) is not type(right):
+        return False
+    spec = lang.spec(left)
+    for attr in spec.data_attrs:
+        if getattr(left, attr) != getattr(right, attr):
+            return False
+    depth = 0
+    cur_l, cur_r = env_l, env_r
+    for child in spec.children:
+        while depth < len(child.binders):
+            binder = spec.binder_attrs[depth]
+            index = counter[0]
+            counter[0] += 1
+            cur_l = dict(cur_l)
+            cur_l[getattr(left, binder)] = index
+            cur_r = dict(cur_r)
+            cur_r[getattr(right, binder)] = index
+            depth += 1
+        if not _alpha(
+            lang, getattr(left, child.attr), getattr(right, child.attr), cur_l, cur_r, counter
+        ):
+            return False
+    return True

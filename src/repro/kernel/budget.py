@@ -1,0 +1,55 @@
+"""Reduction fuel, shared by both calculi.
+
+A :class:`Budget` is threaded through a whole normalization call tree and
+spent one step per δ/ζ/β/π/ι contraction.  The memoized normalizer
+(:mod:`repro.kernel.memo`) records how many steps a cached computation
+originally took and *replays* that cost via :meth:`Budget.charge` on every
+hit, so fuel exhaustion and step counting (``normalize_counting``) behave
+identically whether or not a result came from the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import NormalizationDepthExceeded
+
+__all__ = ["DEFAULT_FUEL", "Budget"]
+
+DEFAULT_FUEL = 1_000_000
+
+
+@dataclass
+class Budget:
+    """Remaining reduction steps; shared across a normalization call tree."""
+
+    remaining: int = DEFAULT_FUEL
+    spent: int = 0
+
+    def spend(self) -> None:
+        """Consume one reduction step."""
+        if self.remaining <= 0:
+            raise NormalizationDepthExceeded(
+                f"normalization exceeded its fuel after {self.spent} steps"
+            )
+        self.remaining -= 1
+        self.spent += 1
+
+    def charge(self, steps: int) -> None:
+        """Replay ``steps`` reduction steps recorded by a cached computation.
+
+        Equivalent to calling :meth:`spend` ``steps`` times: raises
+        :class:`NormalizationDepthExceeded` at the point the fuel would have
+        run out, leaving ``spent`` at the value an uncached run would have
+        reached.
+        """
+        if steps <= 0:
+            return
+        if steps > self.remaining:
+            self.spent += self.remaining
+            self.remaining = 0
+            raise NormalizationDepthExceeded(
+                f"normalization exceeded its fuel after {self.spent} steps"
+            )
+        self.remaining -= steps
+        self.spent += steps

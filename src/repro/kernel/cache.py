@@ -1,0 +1,99 @@
+"""Identity-keyed caches over immutable terms, with a global reset registry.
+
+Terms in both calculi are immutable, so any fact derived from a term (its
+free-variable set, its interned representative, its normal form under a
+fixed context) can be cached against the term's *identity*.  Identity keys
+avoid the O(n) structural hashing a ``dict[Term, ...]`` would pay on every
+lookup — but they are only sound while the keyed object is alive, because
+CPython reuses addresses.  :class:`TermCache` therefore holds a weak
+reference to every key and evicts the entry the moment the term is
+collected, before its id can be recycled.
+
+Every cache created by the kernel registers itself here so that
+:func:`reset_caches` (invoked by ``repro.common.names.reset_fresh_counter``)
+returns the whole kernel to a cold, deterministic state.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Iterable
+
+__all__ = ["TermCache", "cache_stats", "register_cache", "reset_caches"]
+
+#: Every registered cache; anything with a ``clear()`` method qualifies.
+_REGISTRY: list[Any] = []
+
+
+def register_cache(cache: Any) -> Any:
+    """Register ``cache`` for global resets and return it (decorator-style)."""
+    _REGISTRY.append(cache)
+    return cache
+
+
+def reset_caches() -> None:
+    """Clear every registered kernel cache.
+
+    Used by tests (via ``reset_fresh_counter``) to make cached results —
+    which may embed fresh names generated before the reset — unreachable,
+    so runs stay deterministic.
+    """
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def cache_stats() -> dict[str, int]:
+    """Entry counts per registered cache, for benchmarks and diagnostics."""
+    return {cache.name: len(cache) for cache in _REGISTRY}
+
+
+class TermCache:
+    """Map ``id(term) -> value`` with eviction when the term is collected.
+
+    The cache does *not* keep its keys alive: each entry is paired with a
+    weak reference whose callback removes the entry when the term dies.
+    This makes the cache safe for identity keying (a recycled id can never
+    observe a stale entry) without pinning every term ever seen.
+    """
+
+    __slots__ = ("name", "_values", "_refs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: dict[int, Any] = {}
+        self._refs: dict[int, weakref.ref] = {}
+
+    def get(self, term: Any) -> Any | None:
+        """The cached value for ``term``, or None."""
+        return self._values.get(id(term))
+
+    def put(self, term: Any, value: Any) -> Any:
+        """Cache ``value`` for ``term`` and return it."""
+        key = id(term)
+        values = self._values
+        if key in values:
+            values[key] = value
+            return value
+        values[key] = value
+        refs = self._refs
+
+        def _evict(_ref: weakref.ref, _key: int = key) -> None:
+            values.pop(_key, None)
+            refs.pop(_key, None)
+
+        refs[key] = weakref.ref(term, _evict)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (the weak references die with their dict)."""
+        self._values.clear()
+        self._refs.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, term: Any) -> bool:
+        return id(term) in self._values
+
+    def values(self) -> Iterable[Any]:
+        return self._values.values()

@@ -1,0 +1,77 @@
+"""Cached free-variable sets, computed bottom-up and keyed by identity.
+
+The free variables of a node depend only on the node itself: for each child
+``c`` under binders ``b…``, the contribution is ``fv(c) − {b…}``.  That
+makes the sets position-independent and therefore cacheable per node.  One
+call to :func:`free_vars` fills the cache for the *entire* subterm DAG with
+a single iterative post-order pass (no recursion, so 10k-deep application
+spines are fine); thereafter every lookup — in particular the per-call scan
+``subst`` used to pay — is a dict probe returning a shared frozenset.
+
+The cache (``Language.fv_cache``) is weak on its keys: entries die with
+their terms and never pin memory.  Hash-consing (:mod:`repro.kernel.intern`)
+feeds the same cache eagerly at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.nodespec import Language
+
+__all__ = ["free_vars"]
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+def free_vars(lang: Language, term: Any) -> frozenset[str]:
+    """The free variable names of ``term``, as a cached shared frozenset."""
+    cache = lang.fv_cache
+    cached = cache.get(term)
+    if cached is not None:
+        return cached
+
+    var_cls = lang.var_cls
+    get = cache.get
+    put = cache.put
+    # Iterative post-order: a frame is (term, expanded?).  Children are
+    # pushed on first visit; the node's set is assembled on the second,
+    # when every child is guaranteed to be cached.
+    stack: list[tuple[Any, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            if get(node) is not None:
+                continue
+            if isinstance(node, var_cls):
+                put(node, frozenset((node.name,)))
+                continue
+            spec = lang.spec(node)
+            if not spec.children:
+                put(node, _EMPTY)
+                continue
+            stack.append((node, True))
+            for child in spec.children:
+                sub = getattr(node, child.attr)
+                if get(sub) is None:
+                    stack.append((sub, False))
+        else:
+            spec = lang.specs[type(node)]
+            parts: list[frozenset[str]] = []
+            for child in spec.children:
+                sub = get(getattr(node, child.attr))
+                if child.binders and sub:
+                    bound = {getattr(node, b) for b in child.binders}
+                    if not bound.isdisjoint(sub):
+                        sub = sub.difference(bound)
+                if sub:
+                    parts.append(sub)
+            if not parts:
+                result = _EMPTY
+            elif len(parts) == 1:
+                result = parts[0]
+            else:
+                result = parts[0].union(*parts[1:])
+            put(node, result)
+
+    return cache.get(term)

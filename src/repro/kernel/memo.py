@@ -1,0 +1,168 @@
+"""Memoized normalization: a WHNF/normal-form cache with context fingerprints.
+
+``whnf`` and ``normalize`` are pure functions of (a) the term, (b) the
+*definitions* visible in the context (δ-reduction is the only way a context
+influences reduction), and (c) nothing else — assumptions ``x : A`` only
+matter insofar as they shadow a definition.  The cache therefore keys on
+
+    (id(term), kind, context_token(ctx))
+
+where :func:`context_token` distills a context down to a small integer that
+two contexts share exactly when they expose the same definition objects for
+the same names.  Each entry records the reduction steps the original
+computation spent, and every hit replays that cost into the caller's
+:class:`~repro.kernel.budget.Budget` via ``charge`` — so step counts
+(``normalize_counting``) and fuel exhaustion are bit-for-bit identical to
+an uncached run, merely cheaper.
+
+Soundness of the identity keys: every entry pins the term it keys on, and
+every fingerprint in the token table pins the definition terms whose ids it
+mentions, so no keyed id can be recycled while its entry is live.  Token
+numbers are never reused across ``reset_caches`` (the counter survives the
+clear) so a stale token cached on a long-lived context can never alias a
+fresh one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.kernel.cache import register_cache
+
+__all__ = ["NORMALIZATION_CACHE", "NormalizationCache", "context_token"]
+
+_TOKEN_ATTR = "_kernel_ctx_token"
+_DEFS_ATTR = "_kernel_defs"
+_PARENT_ATTR = "_kernel_parent"
+
+#: fingerprint -> (token, pinned definition terms)
+_token_table: dict[tuple, tuple[int, tuple]] = {}
+#: id(visible-defs dict) -> (token, pinned dict) — O(1) fast path for the
+#: common case where an extension shares its parent's defs map unchanged.
+_defs_tokens: dict[int, tuple[int, dict]] = {}
+_token_counter = itertools.count(1)
+
+
+class _TokenTable:
+    """Registry adapter: clearing drops fingerprints but keeps the counter."""
+
+    name = "kernel.ctx_tokens"
+
+    def clear(self) -> None:
+        _token_table.clear()
+        _defs_tokens.clear()
+
+    def __len__(self) -> int:
+        return len(_token_table)
+
+
+register_cache(_TokenTable())
+
+
+def _visible_defs(ctx: Any) -> dict[str, Any]:
+    """The shadowing-resolved ``name -> definition`` map of ``ctx``.
+
+    Derived incrementally: contexts built by ``extend``/``define`` carry a
+    parent link, so a chain of extensions walks up to the nearest ancestor
+    with a cached map and replays the missing entries — O(1) amortized per
+    context, and extensions that do not touch definitions *share* their
+    parent's dict object.  Contexts constructed directly (e.g. ``prefix``)
+    fall back to a full scan.  The maps are never mutated once cached.
+    """
+    cached = getattr(ctx, _DEFS_ATTR, None)
+    if cached is not None:
+        return cached
+    # Walk up to the nearest ancestor with a cached map, recording the
+    # (child, binding-added) steps needed to replay back down.
+    steps: list[tuple[Any, Any]] = []
+    current = ctx
+    while getattr(current, _DEFS_ATTR, None) is None:
+        link = getattr(current, _PARENT_ATTR, None)
+        if link is None:
+            defs: dict[str, Any] = {}
+            for binding in current.entries:
+                if binding.definition is not None:
+                    defs[binding.name] = binding.definition
+                elif binding.name in defs:
+                    del defs[binding.name]  # assumption shadows a definition
+            object.__setattr__(current, _DEFS_ATTR, defs)
+            break
+        steps.append((current, link[1]))
+        current = link[0]
+    defs = getattr(current, _DEFS_ATTR)
+    for child, binding in reversed(steps):
+        if binding.definition is not None:
+            defs = {**defs, binding.name: binding.definition}
+        elif binding.name in defs:
+            defs = {k: v for k, v in defs.items() if k != binding.name}
+        # else: the child shares its parent's dict object unchanged.
+        object.__setattr__(child, _DEFS_ATTR, defs)
+    return defs
+
+
+def context_token(ctx: Any) -> int:
+    """A small integer identifying ``ctx``'s visible definitions.
+
+    Two contexts get the same token iff, after shadowing, they map the same
+    names to the same definition *objects*.  The token is cached on the
+    context instance (contexts are immutable), so repeated calls are O(1);
+    first calls on extension chains are O(1) amortized via
+    :func:`_visible_defs`.
+    """
+    token = getattr(ctx, _TOKEN_ATTR, None)
+    if token is not None:
+        return token
+    visible = _visible_defs(ctx)
+    hit = _defs_tokens.get(id(visible))
+    if hit is not None:
+        token = hit[0]
+    else:
+        fingerprint = tuple(sorted((name, id(term)) for name, term in visible.items()))
+        entry = _token_table.get(fingerprint)
+        if entry is None:
+            entry = (next(_token_counter), tuple(visible.values()))
+            _token_table[fingerprint] = entry
+        token = entry[0]
+        _defs_tokens[id(visible)] = (token, visible)  # pin the dict: id stays valid
+    object.__setattr__(ctx, _TOKEN_ATTR, token)
+    return token
+
+
+class NormalizationCache:
+    """``(id(term), kind, token) -> (term, result, steps)``.
+
+    ``kind`` distinguishes e.g. ``"cc.whnf"`` from ``"cc.nf"``.  The stored
+    term pins the keyed id.  The cache is bounded: when it grows past
+    ``max_entries`` it is simply emptied — normalization results are cheap
+    to recompute relative to the bookkeeping of a smarter eviction policy.
+    """
+
+    __slots__ = ("name", "max_entries", "_entries")
+
+    def __init__(self, name: str = "kernel.normalization", max_entries: int = 262_144) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self._entries: dict[tuple[int, str, int], tuple[Any, Any, int]] = {}
+
+    def lookup(self, kind: str, term: Any, token: int) -> tuple[Any, int] | None:
+        """The cached (result, steps) for ``term`` under ``token``, or None."""
+        entry = self._entries.get((id(term), kind, token))
+        if entry is None:
+            return None
+        return entry[1], entry[2]
+
+    def store(self, kind: str, term: Any, token: int, result: Any, steps: int) -> None:
+        """Record ``result`` (reached in ``steps`` reduction steps)."""
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[(id(term), kind, token)] = (term, result, steps)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+NORMALIZATION_CACHE = register_cache(NormalizationCache())

@@ -1,0 +1,125 @@
+"""Declarative binding-structure descriptors for AST node classes.
+
+A :class:`Language` records, for each node class of a calculus, a
+:class:`NodeSpec`: which dataclass fields are binder *names*, which are
+subterms (*children*), which are plain data (e.g. ``BoolLit.value``), and —
+the load-bearing part — which binders scope over which children.  Every
+generic engine in the kernel (free variables, substitution, α-equivalence,
+traversal, hash-consing) is driven by these specs, so adding a node to a
+calculus means adding one ``Language.node`` call, not five traversal cases.
+
+Scoping is *telescopic*: a node's binders are ordered, and each child is in
+scope of some prefix of them.  Both calculi satisfy this (e.g. CC-CC's
+``CodeLam(env_name, env_type, arg_name, arg_type, body)`` has ``env_type``
+under no binder, ``arg_type`` under ``env_name``, and ``body`` under both),
+and registration enforces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.kernel.cache import TermCache, register_cache
+
+__all__ = ["ChildSpec", "Language", "NodeSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChildSpec:
+    """A term-valued field and the binder fields (a prefix) it sits under."""
+
+    attr: str
+    binders: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """The binding structure of one AST node class."""
+
+    cls: type
+    binder_attrs: tuple[str, ...]
+    data_attrs: tuple[str, ...]
+    children: tuple[ChildSpec, ...]
+    field_order: tuple[str, ...]
+
+
+class Language:
+    """A calculus, as seen by the kernel: its node specs and its caches.
+
+    Each language owns the identity-keyed caches the generic engines use
+    (free variables, interned representatives) and the hash-consing table
+    of :mod:`repro.kernel.intern`.  The two concrete instances live at
+    ``repro.cc.ast.LANGUAGE`` and ``repro.cccc.ast.LANGUAGE``.
+    """
+
+    __slots__ = ("name", "term_base", "var_cls", "specs", "fv_cache", "intern_cache", "hashcons")
+
+    def __init__(self, name: str, term_base: type, var_cls: type) -> None:
+        self.name = name
+        self.term_base = term_base
+        self.var_cls = var_cls
+        self.specs: dict[type, NodeSpec] = {}
+        self.fv_cache = register_cache(TermCache(f"{name}.fv"))
+        self.intern_cache = register_cache(TermCache(f"{name}.intern"))
+        #: (cls, *field keys) -> interned node; owned by repro.kernel.intern.
+        self.hashcons: dict[tuple, Any] = {}
+        register_cache(_DictCache(f"{name}.hashcons", self.hashcons))
+
+    def node(
+        self,
+        cls: type,
+        *,
+        binders: tuple[str, ...] = (),
+        data: tuple[str, ...] = (),
+        scopes: dict[str, int] | None = None,
+    ) -> NodeSpec:
+        """Register ``cls`` with binder fields ``binders`` and payload ``data``.
+
+        Every other dataclass field is a child; ``scopes`` maps a child
+        field to the number of leading binders in scope for it (default 0).
+        """
+        field_order = tuple(f.name for f in dataclasses.fields(cls))
+        scopes = scopes or {}
+        children = tuple(
+            ChildSpec(name, binders[: scopes.get(name, 0)])
+            for name in field_order
+            if name not in binders and name not in data
+        )
+        depth = 0
+        for child in children:
+            if len(child.binders) < depth:
+                raise ValueError(
+                    f"{cls.__name__}: child binder depths must be nondecreasing "
+                    "in field order (telescopic scoping)"
+                )
+            depth = len(child.binders)
+        if depth > len(binders):
+            raise ValueError(f"{cls.__name__}: scope depth exceeds declared binders")
+        spec = NodeSpec(cls, tuple(binders), tuple(data), children, field_order)
+        self.specs[cls] = spec
+        return spec
+
+    def spec(self, term: Any) -> NodeSpec:
+        """The spec for ``term``'s class; TypeError for foreign objects."""
+        spec = self.specs.get(type(term))
+        if spec is None:
+            raise TypeError(f"not a {self.name.upper()} term: {term!r}")
+        return spec
+
+
+class _DictCache:
+    """Adapter giving a plain dict the registry's clear/len/name protocol."""
+
+    __slots__ = ("name", "_data")
+
+    def __init__(self, name: str, data: dict) -> None:
+        self.name = name
+        self._data = data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)

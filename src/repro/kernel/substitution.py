@@ -1,0 +1,117 @@
+"""Generic capture-avoiding parallel substitution, driven by node specs.
+
+One engine serves both calculi.  The semantics match the original
+per-calculus implementations: mappings apply simultaneously, shadowed names
+are dropped at binders, and a binder is renamed (with the global fresh
+supply) exactly when it would capture a free variable of some replacement.
+
+Two sharing/efficiency improvements over the originals, both enabled by the
+cached free-variable sets of :mod:`repro.kernel.fv`:
+
+* the entry-point scan ``{k: v for k in mapping if k in free_vars(term)}``
+  is now an O(1)-amortized cache lookup instead of a full term walk;
+* every interior node whose subtree contains no mapped name is returned
+  *unchanged* (pointer-shared with the input), so a substitution touching
+  one branch of a large term no longer rebuilds — or needlessly renames
+  binders in — the untouched branches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.names import fresh
+from repro.kernel import fv
+from repro.kernel.nodespec import Language
+
+__all__ = ["subst"]
+
+Substitution = dict[str, Any]
+
+
+def subst(lang: Language, term: Any, mapping: Substitution) -> Any:
+    """Apply the parallel substitution ``mapping`` to ``term``.
+
+    Names not in ``mapping`` are untouched.  The result shares unmodified
+    subterms with the input wherever possible.
+    """
+    if not mapping:
+        return term
+    fvs = fv.free_vars(lang, term)
+    relevant = {k: v for k, v in mapping.items() if k in fvs}
+    if not relevant:
+        return term
+    capturable: set[str] = set()
+    for value in relevant.values():
+        capturable |= fv.free_vars(lang, value)
+    return _subst(lang, term, relevant, capturable)
+
+
+def _subst(lang: Language, term: Any, mapping: Substitution, capturable: set[str]) -> Any:
+    var_cls = lang.var_cls
+    if isinstance(term, var_cls):
+        return mapping.get(term.name, term)
+    fvs = lang.fv_cache.get(term)
+    if fvs is None:
+        fvs = fv.free_vars(lang, term)
+    for key in mapping:
+        if key in fvs:
+            break
+    else:
+        return term  # no mapped name occurs free: share the whole subtree
+
+    spec = lang.spec(term)
+    # A non-variable node with a free mapped name necessarily has children.
+    new_values: dict[str, Any] = {}
+    binder_names: dict[str, str] = {}
+    # maps[k] is the mapping in force under the first k binders.
+    maps: list[Substitution] = [mapping]
+    current = mapping
+    for position, binder in enumerate(spec.binder_attrs):
+        bound = getattr(term, binder)
+        if bound in current:
+            current = {k: v for k, v in current.items() if k != bound}
+        if current and bound in capturable:
+            renamed = fresh(bound)
+            renaming = {bound: var_cls(renamed)}
+            for child in spec.children:
+                if binder not in child.binders:
+                    continue
+                if any(
+                    getattr(term, later) == bound
+                    for later in child.binders[position + 1 :]
+                ):
+                    # A later binder of the same name shadows this one for
+                    # every occurrence in the child, so there is nothing to
+                    # rename there (and renaming would capture).
+                    continue
+                original = new_values.get(child.attr, getattr(term, child.attr))
+                new_values[child.attr] = subst(lang, original, renaming)
+            binder_names[binder] = renamed
+        else:
+            binder_names[binder] = bound
+        maps.append(current)
+
+    changed = False
+    for child in spec.children:
+        inner = maps[len(child.binders)]
+        value = new_values.get(child.attr, getattr(term, child.attr))
+        if inner:
+            value = _subst(lang, value, inner, capturable)
+        new_values[child.attr] = value
+        if value is not getattr(term, child.attr):
+            changed = True
+    if not changed and all(
+        binder_names[b] == getattr(term, b) for b in spec.binder_attrs
+    ):
+        return term
+
+    args = []
+    for name in spec.field_order:
+        if name in binder_names:
+            args.append(binder_names[name])
+        elif name in new_values:
+            args.append(new_values[name])
+        else:
+            args.append(getattr(term, name))
+    return type(term)(*args)

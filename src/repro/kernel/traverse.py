@@ -1,0 +1,40 @@
+"""Generic, recursion-free term traversals.
+
+These replace the per-calculus recursive ``subterms``/``term_size``
+implementations; explicit stacks keep them safe on pathologically deep
+terms (left-nested application spines, long ``succ`` chains) where Python's
+recursion limit would otherwise trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.kernel.nodespec import Language
+
+__all__ = ["subterms", "term_size"]
+
+
+def subterms(lang: Language, term: Any) -> Iterator[Any]:
+    """Pre-order iterator over ``term`` and all of its subterms."""
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        yield node
+        spec = lang.spec(node)
+        if spec.children:
+            for child in reversed(spec.children):
+                stack.append(getattr(node, child.attr))
+
+
+def term_size(lang: Language, term: Any) -> int:
+    """Number of AST nodes in ``term``."""
+    count = 0
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        count += 1
+        spec = lang.spec(node)
+        for child in spec.children:
+            stack.append(getattr(node, child.attr))
+    return count

@@ -1,0 +1,323 @@
+"""Tests for the shared term kernel (:mod:`repro.kernel`).
+
+Covers the tentpole invariants:
+
+* hash-consing / interning — ``intern(a) is intern(b)`` exactly for
+  α-equivalent builds, in both calculi;
+* cached free variables — agreement with a reference recursive
+  implementation over the whole test corpus, plus O(1) reuse;
+* memoized normalization — identical results and *identical step/fuel
+  accounting* between cold and warm runs;
+* cache invalidation — ``reset_fresh_counter`` clears every kernel cache;
+* deep-term regressions — ``subterms`` / ``term_size`` / ``free_vars``
+  survive ~10k-node left-nested application spines without hitting the
+  recursion limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cc, cccc
+from repro.cc import prelude
+from repro.common.names import reset_fresh_counter
+from repro.kernel.budget import Budget
+from repro.kernel.memo import NORMALIZATION_CACHE, context_token
+
+from corpus import CORPUS, corpus_ids
+
+SPINE_DEPTH = 10_000
+
+
+def _app_spine(mod, depth: int):
+    """A left-nested application spine ``x y y y …`` of ``depth`` nodes."""
+    term = mod.Var("x")
+    for _ in range(depth):
+        term = mod.App(term, mod.Var("y"))
+    return term
+
+
+# --------------------------------------------------------------------------
+# Interning / hash-consing invariants.
+# --------------------------------------------------------------------------
+
+
+class TestInterning:
+    def test_intern_is_idempotent_on_object(self):
+        term = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        assert cc.intern(term) is cc.intern(term)
+
+    def test_alpha_identical_builds_intern_to_same_object(self):
+        left = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        right = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        assert left is not right
+        assert cc.intern(left) is cc.intern(right)
+
+    def test_alpha_equivalent_builds_intern_to_same_object(self):
+        left = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        right = cc.Lam("y", cc.Nat(), cc.Var("y"))
+        assert cc.intern(left) is cc.intern(right)
+
+    def test_distinct_terms_intern_to_distinct_objects(self):
+        bound = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        free = cc.Lam("x", cc.Nat(), cc.Var("y"))
+        assert cc.intern(bound) is not cc.intern(free)
+
+    def test_intern_preserves_alpha_class(self):
+        term = cc.Lam("x", cc.Nat(), cc.Lam("y", cc.Nat(), cc.Var("x")))
+        assert cc.alpha_equal(cc.intern(term), term)
+
+    def test_intern_respects_crossed_binders(self):
+        left = cc.Lam("x", cc.Nat(), cc.Lam("y", cc.Nat(), cc.Var("x")))
+        right = cc.Lam("y", cc.Nat(), cc.Lam("x", cc.Nat(), cc.Var("y")))
+        wrong = cc.Lam("y", cc.Nat(), cc.Lam("x", cc.Nat(), cc.Var("x")))
+        assert cc.intern(left) is cc.intern(right)
+        assert cc.intern(left) is not cc.intern(wrong)
+
+    @pytest.mark.parametrize(("name", "ctx", "term"), CORPUS, ids=corpus_ids())
+    def test_intern_matches_alpha_equal_over_corpus(self, name, ctx, term):
+        rep = cc.intern(term)
+        assert cc.alpha_equal(rep, term)
+        assert cc.intern(rep) is rep
+
+    def test_hashcons_constructor_shares_nodes(self):
+        one = cc.hashcons(cc.App, cc.hashcons(cc.Var, "f"), cc.hashcons(cc.Var, "a"))
+        two = cc.hashcons(cc.App, cc.hashcons(cc.Var, "f"), cc.hashcons(cc.Var, "a"))
+        assert one is two
+
+    def test_cccc_intern_multi_binder_code(self):
+        left = cccc.CodeLam("e", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
+        right = cccc.CodeLam("env", cccc.Unit(), "arg", cccc.Nat(), cccc.Var("arg"))
+        wrong = cccc.CodeLam("e", cccc.Unit(), "x", cccc.Nat(), cccc.Var("e"))
+        assert cccc.intern(left) is cccc.intern(right)
+        assert cccc.intern(left) is not cccc.intern(wrong)
+        assert cccc.alpha_equal(cccc.intern(left), left)
+
+    def test_intern_keeps_free_variable_names(self):
+        term = cc.App(cc.Var("f"), cc.Lam("x", cc.Nat(), cc.Var("free")))
+        assert cc.free_vars(cc.intern(term)) == {"f", "free"}
+
+    def test_intern_with_free_canonical_named_variable(self):
+        # Destructuring a representative releases its canonical binder
+        # names as *free* variables; re-interning must not capture them
+        # (the canonical prefix escalates instead).
+        rep = cc.intern(cc.Lam("y", cc.Star(), cc.Var("y")))
+        loose = cc.Lam("z", cc.Star(), rep.body)  # body is a free canonical var
+        assert not cc.alpha_equal(loose, rep)
+        assert cc.intern(loose) is not rep
+        assert cc.alpha_equal(cc.intern(loose), loose)
+        assert cc.intern(cc.Lam("w", cc.Star(), rep.body)) is cc.intern(loose)
+
+
+# --------------------------------------------------------------------------
+# Cached free variables vs. a reference recursive implementation.
+# --------------------------------------------------------------------------
+
+
+def _reference_free_vars(lang, term, bound=frozenset()):
+    """Straightforward recursive free-variable computation over node specs."""
+    if isinstance(term, lang.var_cls):
+        return set() if term.name in bound else {term.name}
+    spec = lang.spec(term)
+    out: set[str] = set()
+    for child in spec.children:
+        names = {getattr(term, b) for b in child.binders}
+        out |= _reference_free_vars(lang, getattr(term, child.attr), bound | names)
+    return out
+
+
+class TestCachedFreeVars:
+    @pytest.mark.parametrize(("name", "ctx", "term"), CORPUS, ids=corpus_ids())
+    def test_agrees_with_reference_over_corpus(self, name, ctx, term):
+        from repro.cc.ast import LANGUAGE
+
+        assert cc.free_vars(term) == _reference_free_vars(LANGUAGE, term)
+        # And for every subterm, which exercises the bottom-up fill.
+        for sub in cc.subterms(term):
+            assert cc.cached_free_vars(sub) == _reference_free_vars(LANGUAGE, sub)
+
+    def test_agrees_on_converted_corpus_terms(self):
+        from repro.cccc.ast import LANGUAGE as TARGET
+        from repro.closconv.pipeline import compile_term
+
+        for name, ctx, term in CORPUS[:8]:
+            if len(ctx) > 0:
+                continue
+            result = compile_term(ctx, term)
+            assert cccc.free_vars(result.target) == _reference_free_vars(TARGET, result.target)
+
+    def test_cache_returns_same_frozenset_object(self):
+        term = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        assert cc.cached_free_vars(term) is cc.cached_free_vars(term)
+
+    def test_free_vars_returns_fresh_mutable_set(self):
+        term = cc.App(cc.Var("f"), cc.Var("a"))
+        first = cc.free_vars(term)
+        first.clear()  # caller mutations must not poison the cache
+        assert cc.free_vars(term) == {"f", "a"}
+
+    def test_multi_binder_scoping(self):
+        term = cccc.CodeType("e", cccc.Var("E"), "x", cccc.Var("e"), cccc.Var("x"))
+        assert cccc.free_vars(term) == {"E"}
+
+
+# --------------------------------------------------------------------------
+# Memoized normalization: results and fuel accounting.
+# --------------------------------------------------------------------------
+
+
+class TestMemoizedNormalization:
+    def test_warm_normalize_returns_identical_object(self, empty):
+        term = cc.make_app(prelude.nat_add, cc.nat_literal(6), cc.nat_literal(7))
+        cold = cc.normalize(empty, term)
+        warm = cc.normalize(empty, term)
+        assert warm is cold
+        assert cc.nat_value(warm) == 13
+
+    def test_step_counts_identical_cold_and_warm(self, empty):
+        term = cc.make_app(prelude.nat_add, cc.nat_literal(5), cc.nat_literal(5))
+        _, cold_steps = cc.normalize_counting(empty, term)
+        _, warm_steps = cc.normalize_counting(empty, term)
+        assert cold_steps == warm_steps > 0
+
+    def test_warm_hit_still_exhausts_small_budget(self, empty):
+        from repro.common.errors import NormalizationDepthExceeded
+
+        term = cc.make_app(prelude.nat_add, cc.nat_literal(20), cc.nat_literal(20))
+        cc.normalize(empty, term)  # fill the cache
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.normalize(empty, term, Budget(remaining=3))
+
+    def test_context_definitions_distinguish_entries(self):
+        term = cc.Var("n")
+        with_two = cc.Context.empty().define("n", cc.nat_literal(2), cc.Nat())
+        with_three = cc.Context.empty().define("n", cc.nat_literal(3), cc.Nat())
+        assert cc.nat_value(cc.normalize(with_two, term)) == 2
+        assert cc.nat_value(cc.normalize(with_three, term)) == 3
+
+    def test_assumption_shadows_definition_in_token(self):
+        two = cc.nat_literal(2)
+        defined = cc.Context.empty().define("n", two, cc.Nat())
+        shadowed = defined.extend("n", cc.Nat())
+        assert context_token(defined) != context_token(shadowed)
+        assert cc.normalize(shadowed, cc.Var("n")) == cc.Var("n")
+        assert cc.nat_value(cc.normalize(defined, cc.Var("n"))) == 2
+
+    def test_equal_definition_objects_share_token(self):
+        two = cc.nat_literal(2)
+        first = cc.Context.empty().define("n", two, cc.Nat())
+        second = cc.Context.empty().define("n", two, cc.Nat())
+        assert context_token(first) == context_token(second)
+
+    def test_binder_extensions_share_token(self, empty):
+        extended = empty.extend("x", cc.Nat()).extend("y", cc.Bool())
+        assert context_token(empty) == context_token(extended)
+
+    @pytest.mark.parametrize(("name", "ctx", "term"), CORPUS, ids=corpus_ids())
+    def test_normal_forms_have_no_reducts(self, name, ctx, term):
+        """Drift guard for the `_WHNF_ACTIVE` memo short-circuits.
+
+        If a reducible head class were ever missing from the short-circuit
+        tuples in `cc.reduce`/`cccc.reduce`, normalize would silently leave
+        redexes behind; enumerating the one-step relation on the normal
+        form catches that no matter where the redex hides.
+        """
+        nf = cc.normalize(ctx, term)
+        assert cc.reducts(ctx, nf) == []
+
+    def test_cccc_normal_forms_have_no_reducts(self, empty_target):
+        code = cccc.CodeLam("e", cccc.Unit(), "x", cccc.Nat(), cccc.Succ(cccc.Var("x")))
+        term = cccc.Let(
+            "p",
+            cccc.Pair(cccc.nat_literal(1), cccc.BoolLit(True),
+                      cccc.Sigma("n", cccc.Nat(), cccc.Bool())),
+            cccc.Sigma("n", cccc.Nat(), cccc.Bool()),
+            cccc.If(cccc.Snd(cccc.Var("p")),
+                    cccc.App(cccc.Clo(code, cccc.UnitVal()), cccc.Fst(cccc.Var("p"))),
+                    cccc.Zero()),
+        )
+        nf = cccc.normalize(empty_target, term)
+        assert cccc.nat_value(nf) == 2
+        assert cccc.reducts(empty_target, nf) == []
+
+    def test_deep_context_token_is_linear(self, empty):
+        """Incremental context fingerprints survive deep binder nests."""
+        ctx = empty.define("base", cc.nat_literal(1), cc.Nat())
+        for index in range(1500):  # far past the recursion limit
+            ctx = ctx.extend(f"b{index}", cc.Nat())
+        assert context_token(ctx) == context_token(ctx)
+        assert cc.nat_value(cc.normalize(ctx, cc.Var("base"))) == 1
+
+    def test_cccc_warm_normalize(self, empty_target):
+        code = cccc.CodeLam("e", cccc.Unit(), "x", cccc.Nat(), cccc.Succ(cccc.Var("x")))
+        term = cccc.App(cccc.Clo(code, cccc.UnitVal()), cccc.nat_literal(3))
+        cold = cccc.normalize(empty_target, term)
+        assert cccc.nat_value(cold) == 4
+        assert cccc.normalize(empty_target, term) is cold
+
+
+# --------------------------------------------------------------------------
+# Reset semantics.
+# --------------------------------------------------------------------------
+
+
+class TestReset:
+    def test_reset_clears_kernel_caches(self, empty):
+        from repro.cc.ast import LANGUAGE
+        from repro.kernel.cache import cache_stats
+
+        term = cc.make_app(prelude.nat_add, cc.nat_literal(4), cc.nat_literal(4))
+        cc.normalize(empty, term)
+        cc.intern(term)
+        assert len(LANGUAGE.fv_cache) > 0
+        assert len(NORMALIZATION_CACHE) > 0
+        reset_fresh_counter()
+        stats = cache_stats()
+        assert stats["cc.fv"] == 0
+        assert stats["cc.hashcons"] == 0
+        assert stats["kernel.normalization"] == 0
+
+    def test_reset_invalidates_interned_representatives(self):
+        term = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        before = cc.intern(term)
+        reset_fresh_counter()
+        after = cc.intern(term)
+        assert after is not before  # the old table is gone…
+        assert cc.alpha_equal(after, before)  # …but the α-class is unchanged
+        assert cc.intern(term) is after
+
+    def test_normalization_recomputes_after_reset(self, empty):
+        term = cc.make_app(prelude.nat_add, cc.nat_literal(2), cc.nat_literal(2))
+        _, cold = cc.normalize_counting(empty, term)
+        reset_fresh_counter()
+        _, recomputed = cc.normalize_counting(empty, term)
+        assert cold == recomputed
+
+
+# --------------------------------------------------------------------------
+# Deep-term regressions: iterative traversals on ~10k-node spines.
+# --------------------------------------------------------------------------
+
+
+class TestDeepTerms:
+    def test_cc_deep_spine_traversals(self):
+        spine = _app_spine(cc, SPINE_DEPTH)
+        assert cc.term_size(spine) == 2 * SPINE_DEPTH + 1
+        assert sum(1 for _ in cc.subterms(spine)) == 2 * SPINE_DEPTH + 1
+        assert cc.free_vars(spine) == {"x", "y"}
+
+    def test_cccc_deep_spine_traversals(self):
+        spine = _app_spine(cccc, SPINE_DEPTH)
+        assert cccc.term_size(spine) == 2 * SPINE_DEPTH + 1
+        assert sum(1 for _ in cccc.subterms(spine)) == 2 * SPINE_DEPTH + 1
+        assert cccc.free_vars(spine) == {"x", "y"}
+
+    def test_deep_succ_chain(self):
+        deep = cc.nat_literal(SPINE_DEPTH)
+        assert cc.term_size(deep) == SPINE_DEPTH + 1
+        assert cc.free_vars(deep) == set()
+
+    def test_deep_spine_intern(self):
+        left = _app_spine(cc, SPINE_DEPTH)
+        right = _app_spine(cc, SPINE_DEPTH)
+        assert cc.intern(left) is cc.intern(right)
