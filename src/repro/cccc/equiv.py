@@ -1,4 +1,4 @@
-"""Definitional equivalence for CC-CC (paper Figure 6).
+"""Definitional equivalence for CC-CC (paper Figure 6), decided incrementally.
 
 CC-CC drops function η (there are no first-class functions) and replaces
 it with the paper's η-principle for closures:
@@ -13,56 +13,49 @@ to that argument.  This is what makes two closures that differ only in how
 much of the environment was inlined (the compositionality problem of
 Section 5.1) definitionally equal.
 
-Algorithm: normalize both sides, then α-compare with the Clo-rules applied
-whenever either side is a closure with literal code.  Opening substitutes a
-normal environment into a normal body, which can create new β/π redexes,
-so opened bodies are re-normalized before the recursive comparison.
+Algorithm: the shared engine of :mod:`repro.kernel.convert` weak-head
+normalizes each side lazily with pointer/intern short-circuits at every
+recursion point; this module contributes the closure rules.  The closure η
+hook fires whenever either side is a closure with literal code — the
+``prepare`` hook weak-head-normalizes a closure's code position first, so a
+closure over a δ-defined code variable still opens.  Opened bodies are
+*not* re-normalized eagerly (the old implementation normalized them fully);
+the engine's lazy whnf reduces the projection redexes opening creates only
+as far as the comparison actually needs.  Each opening spends reduction
+budget, bounding the comparison even on adversarial inputs.
+
+Results are memoized per (left identity, right identity, context
+definitions) with exact fuel replay, mirroring the normalization cache.
 """
 
 from __future__ import annotations
 
 from repro.cccc.ast import (
+    LANGUAGE,
     App,
+    Bool,
     BoolLit,
+    Box,
     Clo,
     CodeLam,
-    CodeType,
-    Fst,
-    If,
-    Let,
-    NatElim,
+    Nat,
     Pair,
-    Pi,
-    Sigma,
-    Snd,
-    Succ,
+    Star,
     Term,
+    Unit,
+    UnitVal,
     Var,
+    Zero,
 )
 from repro.cccc.context import Context
-from repro.cccc.reduce import Budget, normalize
+from repro.cccc.reduce import Budget, whnf
 from repro.cccc.subst import subst
 from repro.common.names import fresh
+from repro.kernel.convert import ConversionRules, convert
+from repro.kernel.judgment import JUDGMENT_CACHE
+from repro.kernel.memo import context_token
 
-__all__ = ["equivalent", "norm_equal_clo"]
-
-
-def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = None) -> bool:
-    """Decide ``Γ ⊢ left ≡ right`` in CC-CC."""
-    if budget is None:
-        budget = Budget()
-    if left is right or left == right:
-        return True
-    left_nf = normalize(ctx, left, budget)
-    right_nf = normalize(ctx, right, budget)
-    return norm_equal_clo(left_nf, right_nf, budget)
-
-
-def norm_equal_clo(left: Term, right: Term, budget: Budget | None = None) -> bool:
-    """Compare two *normal forms* up to the closure η-rules."""
-    if budget is None:
-        budget = Budget()
-    return _eq(left, right, {}, {}, [0], budget)
+__all__ = ["equivalent", "equivalent_structural", "norm_equal_clo"]
 
 
 def _openable(term: Term) -> bool:
@@ -70,152 +63,98 @@ def _openable(term: Term) -> bool:
     return isinstance(term, Clo) and isinstance(term.code, CodeLam)
 
 
-def _open(term: Clo, probe: str, budget: Budget) -> Term:
-    """``b[e′/x′][probe/x]``, normalized (opening creates new redexes)."""
+def _open(term: Clo, probe: Var) -> Term:
+    """``b[e′/x′][probe/x]`` — *not* normalized; the engine reduces lazily."""
     code = term.code
     assert isinstance(code, CodeLam)
-    body = subst(code.body, {code.env_name: term.env, code.arg_name: Var(probe)})
-    return normalize(Context.empty(), body, budget)
+    return subst(code.body, {code.env_name: term.env, code.arg_name: probe})
 
 
-def _apply_probe(term: Term, probe: str, budget: Budget) -> Term:
-    """``term probe``, normalized (β-reduces if ``term`` is itself openable)."""
-    return normalize(Context.empty(), App(term, Var(probe)), budget)
+class _CCCCRules(ConversionRules):
+    """CC-CC hooks: closure η, code exposure, pair annotations ignored."""
+
+    lang = LANGUAGE
+    irrelevant = {Pair: ("annot",)}
+    whnf = staticmethod(whnf)
+
+    def prepare(self, ctx, term, budget):
+        # Closures are weak-head normal, but their code position may hide a
+        # CodeLam behind δ/projections; expose it so the η hook can open.
+        if isinstance(term, Clo):
+            code = whnf(ctx, term.code, budget)
+            if code is not term.code:
+                return Clo(code, term.env)
+        return term
+
+    def eta(self, left, right, ctx_l, ctx_r, scope, budget):
+        # [≡-Clo1] / [≡-Clo2].  When both sides are openable this
+        # degenerates to comparing both opened bodies at a shared fresh
+        # argument (the whnf of ``right probe`` β-fires the right closure),
+        # which is the declarative closure-equivalence rule of Section 3.2.
+        if _openable(left):
+            budget.spend()
+            probe = Var(fresh("cloeta"))
+            return [(_open(left, probe), App(right, probe), ctx_l, ctx_r, scope)]
+        if _openable(right):
+            budget.spend()
+            probe = Var(fresh("cloeta"))
+            return [(App(left, probe), _open(right, probe), ctx_l, ctx_r, scope)]
+        return None
 
 
-def _eq(
-    left: Term,
-    right: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-    budget: Budget,
+class _NoCloEtaRules(_CCCCRules):
+    """The ablation variant: [≡-Clo1/2] disabled, closures compare
+    structurally.  Used by :mod:`repro.closconv.ablation` to demonstrate
+    that compositionality (Lemma 5.1) *needs* the closure η-principle."""
+
+    def eta(self, left, right, ctx_l, ctx_r, scope, budget):
+        return None
+
+
+_RULES = _CCCCRules()
+_NO_CLO_ETA_RULES = _NoCloEtaRules()
+
+#: Irreducible leaves: comparisons between them are O(1) in the engine, so
+#: the memo round-trip would cost more than just deciding.
+_LEAF = (Star, Box, Unit, UnitVal, Bool, BoolLit, Nat, Zero)
+
+
+def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = None) -> bool:
+    """Decide ``Γ ⊢ left ≡ right`` in CC-CC."""
+    if budget is None:
+        budget = Budget()
+    if left is right:
+        return True
+    if isinstance(left, _LEAF) and isinstance(right, _LEAF):
+        return convert(_RULES, ctx, ctx, left, right, budget)
+    token = context_token(ctx)
+    hit = JUDGMENT_CACHE.lookup("cccc.equiv", left, right, token)
+    if hit is not None:
+        verdict, steps = hit
+        budget.charge(steps)
+        return verdict
+    before = budget.spent
+    verdict = convert(_RULES, ctx, ctx, left, right, budget)
+    JUDGMENT_CACHE.store("cccc.equiv", left, right, token, verdict, budget.spent - before)
+    return verdict
+
+
+def norm_equal_clo(left: Term, right: Term, budget: Budget | None = None) -> bool:
+    """Compare two *normal forms* up to the closure η-rules.
+
+    Compatibility wrapper over the incremental engine under the empty
+    context (normal forms have no δ-redexes left to unfold).
+    """
+    if budget is None:
+        budget = Budget()
+    empty = Context.empty()
+    return convert(_RULES, empty, empty, left, right, budget)
+
+
+def equivalent_structural(
+    ctx: Context, left: Term, right: Term, budget: Budget | None = None
 ) -> bool:
-    # Closure η first, mirroring [≡-Clo1] / [≡-Clo2].  When both sides are
-    # openable this degenerates to comparing both opened bodies at a shared
-    # fresh argument, which is the declarative closure-equivalence rule of
-    # Section 3.2.  Each opening spends reduction budget, bounding the
-    # comparison even on adversarial inputs.
-    if _openable(left):
-        budget.spend()
-        probe = fresh("cloeta")
-        assert isinstance(left, Clo)
-        return _eq(
-            _open(left, probe, budget),
-            _apply_probe(right, probe, budget),
-            env_l,
-            env_r,
-            counter,
-            budget,
-        )
-    if _openable(right):
-        budget.spend()
-        probe = fresh("cloeta")
-        assert isinstance(right, Clo)
-        return _eq(
-            _apply_probe(left, probe, budget),
-            _open(right, probe, budget),
-            env_l,
-            env_r,
-            counter,
-            budget,
-        )
-
-    match left, right:
-        case Var(a), Var(b):
-            la, lb = env_l.get(a), env_r.get(b)
-            if la is None and lb is None:
-                return a == b
-            return la is not None and la == lb
-        case BoolLit(a), BoolLit(b):
-            return a == b
-        case Pi(n1, d1, c1), Pi(n2, d2, c2):
-            if not _eq(d1, d2, env_l, env_r, counter, budget):
-                return False
-            return _eq_binder(n1, c1, n2, c2, env_l, env_r, counter, budget)
-        case CodeType(en1, et1, an1, at1, r1), CodeType(en2, et2, an2, at2, r2):
-            if not _eq(et1, et2, env_l, env_r, counter, budget):
-                return False
-            mid_l, mid_r = _bind(en1, en2, env_l, env_r, counter)
-            if not _eq(at1, at2, mid_l, mid_r, counter, budget):
-                return False
-            inner_l, inner_r = _bind(an1, an2, mid_l, mid_r, counter)
-            return _eq(r1, r2, inner_l, inner_r, counter, budget)
-        case CodeLam(en1, et1, an1, at1, b1), CodeLam(en2, et2, an2, at2, b2):
-            # No η for bare code: code is only ever eliminated through a
-            # closure, so literal code values compare structurally.
-            if not _eq(et1, et2, env_l, env_r, counter, budget):
-                return False
-            mid_l, mid_r = _bind(en1, en2, env_l, env_r, counter)
-            if not _eq(at1, at2, mid_l, mid_r, counter, budget):
-                return False
-            inner_l, inner_r = _bind(an1, an2, mid_l, mid_r, counter)
-            return _eq(b1, b2, inner_l, inner_r, counter, budget)
-        case Clo(c1, e1), Clo(c2, e2):
-            # Both closures with neutral code (otherwise the η cases above
-            # fired): compare structurally.
-            return _eq(c1, c2, env_l, env_r, counter, budget) and _eq(
-                e1, e2, env_l, env_r, counter, budget
-            )
-        case App(f1, a1), App(f2, a2):
-            return _eq(f1, f2, env_l, env_r, counter, budget) and _eq(
-                a1, a2, env_l, env_r, counter, budget
-            )
-        case Sigma(n1, f1, s1), Sigma(n2, f2, s2):
-            if not _eq(f1, f2, env_l, env_r, counter, budget):
-                return False
-            return _eq_binder(n1, s1, n2, s2, env_l, env_r, counter, budget)
-        case Pair(f1, s1, _t1), Pair(f2, s2, _t2):
-            return _eq(f1, f2, env_l, env_r, counter, budget) and _eq(
-                s1, s2, env_l, env_r, counter, budget
-            )
-        case Fst(p1), Fst(p2):
-            return _eq(p1, p2, env_l, env_r, counter, budget)
-        case Snd(p1), Snd(p2):
-            return _eq(p1, p2, env_l, env_r, counter, budget)
-        case If(c1, t1, e1), If(c2, t2, e2):
-            return (
-                _eq(c1, c2, env_l, env_r, counter, budget)
-                and _eq(t1, t2, env_l, env_r, counter, budget)
-                and _eq(e1, e2, env_l, env_r, counter, budget)
-            )
-        case Succ(p1), Succ(p2):
-            return _eq(p1, p2, env_l, env_r, counter, budget)
-        case NatElim(m1, z1, s1, t1), NatElim(m2, z2, s2, t2):
-            return (
-                _eq(m1, m2, env_l, env_r, counter, budget)
-                and _eq(z1, z2, env_l, env_r, counter, budget)
-                and _eq(s1, s2, env_l, env_r, counter, budget)
-                and _eq(t1, t2, env_l, env_r, counter, budget)
-            )
-        case Let(), _:
-            raise AssertionError("normal forms contain no let")
-        case _:
-            return type(left) is type(right) and not getattr(left, "__slots__", ())
-
-
-def _bind(
-    name_l: str, name_r: str, env_l: dict[str, int], env_r: dict[str, int], counter: list[int]
-) -> tuple[dict[str, int], dict[str, int]]:
-    index = counter[0]
-    counter[0] += 1
-    new_l = dict(env_l)
-    new_r = dict(env_r)
-    new_l[name_l] = index
-    new_r[name_r] = index
-    return new_l, new_r
-
-
-def _eq_binder(
-    name_l: str,
-    body_l: Term,
-    name_r: str,
-    body_r: Term,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-    budget: Budget,
-) -> bool:
-    """Compare two binder bodies at a shared de Bruijn level."""
-    inner_l, inner_r = _bind(name_l, name_r, env_l, env_r, counter)
-    return _eq(body_l, body_r, inner_l, inner_r, counter, budget)
+    """CC-CC ≡ with [≡-Clo1/2] disabled (the ablation comparator)."""
+    if budget is None:
+        budget = Budget()
+    return convert(_NO_CLO_ETA_RULES, ctx, ctx, left, right, budget)

@@ -26,9 +26,8 @@ from __future__ import annotations
 from repro import cc, cccc
 from repro.cc.context import Context as CCContext
 from repro.cc import typecheck as cc_typecheck
-from repro.cccc.equiv import _eq as _cccc_eq  # reuse the structural comparator
+from repro.cccc.equiv import equivalent_structural
 from repro.cccc.ntuple import bind_env, env_sigma, env_tuple
-from repro.cccc.reduce import Budget
 from repro.closconv.translate import translate
 from repro.common.errors import TranslationError, TypeCheckError
 from repro.common.names import fresh
@@ -149,49 +148,13 @@ def shallow_fv_type_preservation(ctx: CCContext, term: cc.Term) -> bool:
 def equivalent_without_clo_eta(
     ctx: cccc.Context, left: cccc.Term, right: cccc.Term
 ) -> bool:
-    """CC-CC ≡ with [≡-Clo1/2] disabled: closures compare structurally."""
-    budget = Budget()
-    left_nf = cccc.normalize(ctx, left, budget)
-    right_nf = cccc.normalize(ctx, right, budget)
-    return _structural(left_nf, right_nf, budget)
+    """CC-CC ≡ with [≡-Clo1/2] disabled: closures compare structurally.
 
-
-def _structural(left: cccc.Term, right: cccc.Term, budget: Budget) -> bool:
-    """Structural comparison: intercept closures *before* the η-capable
-    comparator sees them, then delegate field comparison back to it."""
-    if isinstance(left, cccc.Clo) or isinstance(right, cccc.Clo):
-        if not (isinstance(left, cccc.Clo) and isinstance(right, cccc.Clo)):
-            return False
-        return _structural(left.code, right.code, budget) and _structural(
-            left.env, right.env, budget
-        )
-    if isinstance(left, cccc.CodeLam) and isinstance(right, cccc.CodeLam):
-        return cccc.alpha_equal(left, right)
-    if type(left) is not type(right):
-        return False
-    # Neither side can trigger the closure rules at the root now; compare
-    # children pairwise with the same interception.
-    from repro.cccc.ast import children
-
-    left_children = children(left)
-    right_children = children(right)
-    if isinstance(left, cccc.Var):
-        return left == right
-    if isinstance(left, cccc.BoolLit):
-        return left == right
-    if len(left_children) != len(right_children):
-        return False
-    if not left_children:
-        return True
-    # Binders: fall back to α-comparison for type formers (sound for the
-    # ablation study's purposes — we only need *less* equality, never more).
-    has_binder = any(names for names, _ in left_children)
-    if has_binder:
-        return cccc.alpha_equal(left, right)
-    return all(
-        _structural(l_sub, r_sub, budget)
-        for (_, l_sub), (_, r_sub) in zip(left_children, right_children)
-    )
+    Runs the shared incremental conversion engine with the closure η hook
+    switched off, so β/δ/π-reduction still happens but a closure is only
+    ever equal to a structurally matching closure.
+    """
+    return equivalent_structural(ctx, left, right)
 
 
 def compositionality_without_clo_eta(

@@ -19,6 +19,7 @@ from repro.cc.subst import subst as cc_subst
 from repro.cccc.context import Context as TargetContext
 from repro.closconv.translate import translate, translate_context
 from repro.common.errors import TypeCheckError
+from repro.kernel.budget import Budget
 
 __all__ = ["CompilationResult", "TypePreservationViolation", "compile_term", "delta_expand"]
 
@@ -81,7 +82,11 @@ def compile_term(
     """
     if inline_definitions:
         term = delta_expand(ctx, term)
-    source_type = cc.infer(ctx, term)
+    # One budget per kernel phase: the source check and the verification
+    # each observe their own fuel, and judgment-cache hits replay into
+    # these budgets so repeated compilations account identically.
+    source_budget = Budget()
+    source_type = cc.infer(ctx, term, source_budget)
 
     target = translate(ctx, term)
     target_type = translate(ctx, source_type)
@@ -89,13 +94,14 @@ def compile_term(
 
     checked_type: cccc.Term | None = None
     if verify:
+        target_budget = Budget()
         try:
-            checked_type = cccc.infer(target_context, target)
+            checked_type = cccc.infer(target_context, target, target_budget)
         except TypeCheckError as error:
             raise TypePreservationViolation(
                 f"compiled term failed to type check in CC-CC: {error}"
             ) from error
-        if not cccc.equivalent(target_context, checked_type, target_type):
+        if not cccc.equivalent(target_context, checked_type, target_type, target_budget):
             raise TypePreservationViolation(
                 "compiled term has the wrong type:\n"
                 f"  inferred  {cccc.pretty(checked_type)}\n"

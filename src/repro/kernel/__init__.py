@@ -20,7 +20,13 @@ makes the hot paths fast:
   the per-call ``free_vars`` scan inside ``subst`` into an O(1) lookup;
 * **memoized normalization** (:mod:`repro.kernel.memo`) — a WHNF/normalize
   cache keyed on term identity plus a context fingerprint, replaying the
-  recorded fuel consumption on every hit so budget semantics are preserved.
+  recorded fuel consumption on every hit so budget semantics are preserved;
+* **incremental conversion** (:mod:`repro.kernel.convert`) — a whnf-driven
+  equivalence engine with pointer/intern short-circuits and per-calculus η
+  hooks, replacing normalize-then-compare on the [Conv] hot path;
+* **judgment memoization** (:mod:`repro.kernel.judgment`) — typing tokens
+  fingerprinting the full visible-binding map, plus a fuel-replaying cache
+  for ``infer``/``check``/``infer_universe``/``equivalent``.
 
 All caches register themselves with :func:`reset_caches`;
 :func:`repro.common.names.reset_fresh_counter` calls it so tests that reset
@@ -30,8 +36,10 @@ the fresh-name supply also start from cold caches.
 from repro.kernel.alpha import alpha_equal
 from repro.kernel.budget import DEFAULT_FUEL, Budget
 from repro.kernel.cache import TermCache, cache_stats, register_cache, reset_caches
+from repro.kernel.convert import ConversionRules, convert
 from repro.kernel.fv import free_vars
 from repro.kernel.intern import build, intern
+from repro.kernel.judgment import JUDGMENT_CACHE, JudgmentCache, typing_token
 from repro.kernel.memo import NORMALIZATION_CACHE, NormalizationCache, context_token
 from repro.kernel.nodespec import ChildSpec, Language, NodeSpec
 from repro.kernel.substitution import subst
@@ -41,6 +49,9 @@ __all__ = [
     "DEFAULT_FUEL",
     "Budget",
     "ChildSpec",
+    "ConversionRules",
+    "JUDGMENT_CACHE",
+    "JudgmentCache",
     "Language",
     "NORMALIZATION_CACHE",
     "NodeSpec",
@@ -50,6 +61,7 @@ __all__ = [
     "build",
     "cache_stats",
     "context_token",
+    "convert",
     "free_vars",
     "intern",
     "register_cache",
@@ -57,4 +69,5 @@ __all__ = [
     "subst",
     "subterms",
     "term_size",
+    "typing_token",
 ]

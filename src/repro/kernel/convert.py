@@ -1,0 +1,219 @@
+"""Incremental, whnf-driven conversion checking shared by both calculi.
+
+The [Conv] rule makes definitional equivalence the hot path of both type
+checkers.  The naive decision procedure — fully normalize both sides, then
+α-compare — does the worst-case-exponential work of strong normalization
+even when the answer is obvious: two terms that diverge at their head
+constructors, or that share a large subterm by pointer, pay the full price
+anyway.  This engine decides the same relation *incrementally*:
+
+* each side is reduced only to **weak-head normal form**, lazily, one
+  node at a time — subterms are reduced only if the comparison actually
+  reaches them;
+* heads are compared first, so terms that diverge near the root **fail
+  fast** without ever normalizing their subtrees;
+* at every recursion point the engine short-circuits on **pointer
+  equality** and on **interned pointer equality** (``intern(a) is
+  intern(b)``, probed through the α-canonical intern memo of
+  :mod:`repro.kernel.intern`), so shared or previously-interned subterms
+  cost O(1) regardless of size.  The probe never *forces* a
+  canonicalization mid-walk — forcing would re-walk the subtree at every
+  spine level and turn a linear comparison quadratic; terms that were
+  interned by any earlier consumer simply get the fast path for free;
+* η-rules (function η in CC, the closure η-principle [≡-Clo1/2] in
+  CC-CC) are applied during the spine walk via per-calculus hooks, not by
+  a separate pass over normal forms.
+
+The walk itself is **iterative** (an explicit stack of pending
+comparisons): conversion is a pure conjunction — no rule ever backtracks —
+so a work-list with early ``False`` exit decides it without Python-level
+recursion, and 10k-node-deep terms compare fine (the per-calculus ``whnf``
+is recursive only along *reduction* spines, not along the structural
+descent this engine performs).
+
+Binder handling uses **scope chains** instead of per-frame environment
+dict copies: crossing a binder conses one ``(left name, right name,
+parent)`` node.  A variable pair is equal when the innermost chain node
+mentioning either name mentions both (same binder level) or when neither
+name is mentioned and the free names coincide.  The pointer short-circuits
+are guarded by the same chain: identical subterms (or identical interned
+representatives) are only skipped when every free variable of the subterm
+resolves to the *same* binder level on both sides — the condition under
+which comparing a term to itself is vacuous.
+
+Contexts are threaded per side and only ever consulted by ``whnf`` for
+δ-reduction, so crossing a binder extends a side's context **only when the
+binder shadows a visible definition** (an assumption entry whose only job
+is to make the name neutral).  Everything else about the context — types
+of assumptions in particular — is invisible to conversion, which is what
+keeps the relation untyped, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel import fv
+from repro.kernel.budget import Budget
+from repro.kernel.nodespec import Language
+
+__all__ = ["ConversionRules", "convert"]
+
+#: A scope chain node: (left binder name, right binder name, parent | None).
+Scope = "tuple[str, str, Any] | None"
+
+#: A pending comparison: (left, right, left context, right context, scope).
+Task = tuple
+
+
+class ConversionRules:
+    """Per-calculus hooks for the generic engine.
+
+    Concrete subclasses live next to each calculus's ``equiv`` module; the
+    engine itself never imports an AST.
+    """
+
+    #: The calculus, for node specs, the var class, and the intern memo.
+    lang: Language
+
+    #: ``node class -> child attrs`` the comparison ignores (computationally
+    #: irrelevant annotations: λ domains in CC, pair annotations in both).
+    irrelevant: dict[type, tuple[str, ...]] = {}
+
+    def whnf(self, ctx: Any, term: Any, budget: Budget) -> Any:
+        """Weak-head-normalize ``term`` under ``ctx``."""
+        raise NotImplementedError
+
+    def prepare(self, ctx: Any, term: Any, budget: Budget) -> Any:
+        """Post-whnf head adjustment (default: none).
+
+        CC-CC uses this to weak-head-normalize the *code* position of a
+        closure, so the η hook sees literal code even when the closure was
+        built over a δ-defined variable.
+        """
+        return term
+
+    def eta(
+        self, left: Any, right: Any, ctx_l: Any, ctx_r: Any, scope: Any, budget: Budget
+    ) -> list[Task] | None:
+        """η-step for two weak-head normal forms, or None when none applies.
+
+        When an η-rule relates the heads, return the replacement comparison
+        tasks (usually one); the engine pushes them and moves on.  The hook
+        must only fire when *exactly* the η-capable shape is present —
+        returning ``None`` hands the pair to the structural comparator.
+        """
+        return None
+
+
+def convert(
+    rules: ConversionRules,
+    ctx_left: Any,
+    ctx_right: Any,
+    left: Any,
+    right: Any,
+    budget: Budget,
+) -> bool:
+    """Decide ``ctx ⊢ left ≡ right`` incrementally under ``rules``.
+
+    ``ctx_left``/``ctx_right`` start out as the same context; they diverge
+    only through shadowing extensions as the walk crosses binders whose
+    names differ between the sides.
+    """
+    lang = rules.lang
+    var_cls = lang.var_cls
+    intern_memo = lang.intern_cache
+    irrelevant = rules.irrelevant
+    stack: list[Task] = [(left, right, ctx_left, ctx_right, None)]
+    while stack:
+        l, r, cl, cr, scope = stack.pop()
+        if l is r and _free_agree(lang, l, scope):
+            continue
+        lw = rules.prepare(cl, rules.whnf(cl, l, budget), budget)
+        rw = rules.prepare(cr, rules.whnf(cr, r, budget), budget)
+        if lw is rw and _free_agree(lang, lw, scope):
+            continue
+        rep = intern_memo.get(lw)
+        if rep is not None and rep is intern_memo.get(rw) and _free_agree(lang, lw, scope):
+            continue
+        tasks = rules.eta(lw, rw, cl, cr, scope, budget)
+        if tasks is not None:
+            stack.extend(tasks)
+            continue
+        if isinstance(lw, var_cls) or isinstance(rw, var_cls):
+            if type(lw) is not type(rw) or not _bound_same(lw.name, rw.name, scope):
+                return False
+            continue
+        if type(lw) is not type(rw):
+            return False  # divergent heads: no subterm was ever visited
+        spec = lang.spec(lw)
+        if any(getattr(lw, attr) != getattr(rw, attr) for attr in spec.data_attrs):
+            return False
+        children = spec.children
+        if not children:
+            continue
+        skipped = irrelevant.get(type(lw), ())
+        depth = 0
+        for child in children:
+            while depth < len(child.binders):
+                binder = spec.binder_attrs[depth]
+                name_l = getattr(lw, binder)
+                name_r = getattr(rw, binder)
+                scope = (name_l, name_r, scope)
+                cl = _shadow(cl, name_l)
+                cr = _shadow(cr, name_r)
+                depth += 1
+            if child.attr in skipped:
+                continue
+            stack.append((getattr(lw, child.attr), getattr(rw, child.attr), cl, cr, scope))
+    return True
+
+
+def _bound_same(name_l: str, name_r: str, scope: Any) -> bool:
+    """Do the two names resolve to the same binder level (or both free)?"""
+    node = scope
+    while node is not None:
+        nl, nr, node = node
+        if nl == name_l or nr == name_r:
+            # Innermost binding of either name decides: equal only when it
+            # binds both at once (shadowing makes outer nodes irrelevant).
+            return nl == name_l and nr == name_r
+    return name_l == name_r
+
+
+def _free_agree(lang: Language, term: Any, scope: Any) -> bool:
+    """May ``term``-vs-itself be skipped under ``scope``?
+
+    True when every free variable of ``term`` resolves identically on the
+    left and right sides of the chain — bound at the same level, or free on
+    both.  With an empty chain this is vacuous, which is the common case at
+    the top of a comparison.
+    """
+    if scope is None:
+        return True
+    names = fv.free_vars(lang, term)
+    if not names:
+        return True
+    for name in names:
+        node = scope
+        while node is not None:
+            nl, nr, node = node
+            if nl == name or nr == name:
+                if nl != name or nr != name:
+                    return False
+                break
+    return True
+
+
+def _shadow(ctx: Any, name: str) -> Any:
+    """Mask any visible definition of ``name`` before descending under it.
+
+    Bound variables are neutral; if the surrounding context δ-defines the
+    same name, an assumption entry must shadow it or ``whnf`` would unfold
+    a bound occurrence.  When no definition is visible the context is
+    returned unchanged — the extension would be unobservable.
+    """
+    binding = ctx.lookup(name)
+    if binding is None or binding.definition is None:
+        return ctx
+    return ctx.extend(name, binding.type_)

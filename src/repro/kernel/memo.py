@@ -15,118 +15,158 @@ computation spent, and every hit replays that cost into the caller's
 (``normalize_counting``) and fuel exhaustion are bit-for-bit identical to
 an uncached run, merely cheaper.
 
+The fingerprinting machinery is generic (:class:`ContextTokenizer`): a
+token is derived from a shadowing-resolved ``name -> value`` map computed
+incrementally along the parent links contexts carry, parameterized by how
+one binding transforms the map.  This module instantiates it for the
+definitions-only view reduction observes; :mod:`repro.kernel.judgment`
+instantiates it for the full-binding view typing observes.
+
 Soundness of the identity keys: every entry pins the term it keys on, and
-every fingerprint in the token table pins the definition terms whose ids it
+every fingerprint in a token table pins the value objects whose ids it
 mentions, so no keyed id can be recycled while its entry is live.  Token
-numbers are never reused across ``reset_caches`` (the counter survives the
-clear) so a stale token cached on a long-lived context can never alias a
-fresh one.
+numbers are never reused across ``reset_caches`` (each tokenizer's counter
+survives the clear) so a stale token cached on a long-lived context can
+never alias a fresh one.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from typing import Any, Callable
 
 from repro.kernel.cache import register_cache
 
-__all__ = ["NORMALIZATION_CACHE", "NormalizationCache", "context_token"]
+__all__ = ["NORMALIZATION_CACHE", "ContextTokenizer", "NormalizationCache", "context_token"]
 
-_TOKEN_ATTR = "_kernel_ctx_token"
-_DEFS_ATTR = "_kernel_defs"
 _PARENT_ATTR = "_kernel_parent"
 
-#: fingerprint -> (token, pinned definition terms)
-_token_table: dict[tuple, tuple[int, tuple]] = {}
-#: id(visible-defs dict) -> (token, pinned dict) — O(1) fast path for the
-#: common case where an extension shares its parent's defs map unchanged.
-_defs_tokens: dict[int, tuple[int, dict]] = {}
-_token_counter = itertools.count(1)
 
+class ContextTokenizer:
+    """Incremental context fingerprints over parent-linked contexts.
 
-class _TokenTable:
-    """Registry adapter: clearing drops fingerprints but keeps the counter."""
+    A tokenizer owns a view of contexts as shadowing-resolved ``name ->
+    value`` maps: ``derive_root`` computes the map of a context by full
+    scan (the fallback for contexts built directly), ``derive_step``
+    transforms a parent's map for one appended binding — returning the
+    *same* dict object when the binding is invisible to the view, which
+    lets extension chains share maps.  Maps are cached on the context
+    instances (``map_attr``) and never mutated; tokens likewise
+    (``token_attr``).  Two contexts receive the same token iff their maps
+    pair the same names with the same value *objects*.
 
-    name = "kernel.ctx_tokens"
+    Registered with the reset registry: clearing drops the fingerprint
+    tables but keeps the counter, so tokens are never reused.
+    """
+
+    __slots__ = ("name", "_token_attr", "_map_attr", "_derive_root", "_derive_step",
+                 "_table", "_map_tokens", "_counter")
+
+    def __init__(
+        self,
+        name: str,
+        token_attr: str,
+        map_attr: str,
+        derive_root: Callable[[Any], dict],
+        derive_step: Callable[[dict, Any], dict],
+    ) -> None:
+        self.name = name
+        self._token_attr = token_attr
+        self._map_attr = map_attr
+        self._derive_root = derive_root
+        self._derive_step = derive_step
+        #: fingerprint -> (token, pinned value objects)
+        self._table: dict[tuple, tuple[int, tuple]] = {}
+        #: id(map) -> (token, pinned map) — O(1) path for shared map objects.
+        self._map_tokens: dict[int, tuple[int, dict]] = {}
+        self._counter = itertools.count(1)
+        register_cache(self)
 
     def clear(self) -> None:
-        _token_table.clear()
-        _defs_tokens.clear()
+        self._table.clear()
+        self._map_tokens.clear()
 
     def __len__(self) -> int:
-        return len(_token_table)
+        return len(self._table)
+
+    def visible(self, ctx: Any) -> dict[str, Any]:
+        """The view map of ``ctx``, derived incrementally.
+
+        Walks up to the nearest ancestor with a cached map and replays the
+        missing (child, binding) steps back down — O(1) amortized per
+        context for ``extend``/``define`` chains, full scan otherwise.
+        """
+        map_attr = self._map_attr
+        cached = getattr(ctx, map_attr, None)
+        if cached is not None:
+            return cached
+        steps: list[tuple[Any, Any]] = []
+        current = ctx
+        while getattr(current, map_attr, None) is None:
+            link = getattr(current, _PARENT_ATTR, None)
+            if link is None:
+                object.__setattr__(current, map_attr, self._derive_root(current))
+                break
+            steps.append((current, link[1]))
+            current = link[0]
+        visible = getattr(current, map_attr)
+        for child, binding in reversed(steps):
+            visible = self._derive_step(visible, binding)
+            object.__setattr__(child, map_attr, visible)
+        return visible
+
+    def token(self, ctx: Any) -> int:
+        """The small integer identifying ``ctx``'s view; cached on ``ctx``."""
+        token = getattr(ctx, self._token_attr, None)
+        if token is not None:
+            return token
+        visible = self.visible(ctx)
+        hit = self._map_tokens.get(id(visible))
+        if hit is not None:
+            token = hit[0]
+        else:
+            fingerprint = tuple(sorted((name, id(value)) for name, value in visible.items()))
+            entry = self._table.get(fingerprint)
+            if entry is None:
+                entry = (next(self._counter), tuple(visible.values()))
+                self._table[fingerprint] = entry
+            token = entry[0]
+            self._map_tokens[id(visible)] = (token, visible)  # pin: id stays valid
+        object.__setattr__(ctx, self._token_attr, token)
+        return token
 
 
-register_cache(_TokenTable())
-
-
-def _visible_defs(ctx: Any) -> dict[str, Any]:
-    """The shadowing-resolved ``name -> definition`` map of ``ctx``.
-
-    Derived incrementally: contexts built by ``extend``/``define`` carry a
-    parent link, so a chain of extensions walks up to the nearest ancestor
-    with a cached map and replays the missing entries — O(1) amortized per
-    context, and extensions that do not touch definitions *share* their
-    parent's dict object.  Contexts constructed directly (e.g. ``prefix``)
-    fall back to a full scan.  The maps are never mutated once cached.
-    """
-    cached = getattr(ctx, _DEFS_ATTR, None)
-    if cached is not None:
-        return cached
-    # Walk up to the nearest ancestor with a cached map, recording the
-    # (child, binding-added) steps needed to replay back down.
-    steps: list[tuple[Any, Any]] = []
-    current = ctx
-    while getattr(current, _DEFS_ATTR, None) is None:
-        link = getattr(current, _PARENT_ATTR, None)
-        if link is None:
-            defs: dict[str, Any] = {}
-            for binding in current.entries:
-                if binding.definition is not None:
-                    defs[binding.name] = binding.definition
-                elif binding.name in defs:
-                    del defs[binding.name]  # assumption shadows a definition
-            object.__setattr__(current, _DEFS_ATTR, defs)
-            break
-        steps.append((current, link[1]))
-        current = link[0]
-    defs = getattr(current, _DEFS_ATTR)
-    for child, binding in reversed(steps):
+def _defs_root(ctx: Any) -> dict[str, Any]:
+    defs: dict[str, Any] = {}
+    for binding in ctx.entries:
         if binding.definition is not None:
-            defs = {**defs, binding.name: binding.definition}
+            defs[binding.name] = binding.definition
         elif binding.name in defs:
-            defs = {k: v for k, v in defs.items() if k != binding.name}
-        # else: the child shares its parent's dict object unchanged.
-        object.__setattr__(child, _DEFS_ATTR, defs)
+            del defs[binding.name]  # assumption shadows a definition
     return defs
+
+
+def _defs_step(defs: dict[str, Any], binding: Any) -> dict[str, Any]:
+    if binding.definition is not None:
+        return {**defs, binding.name: binding.definition}
+    if binding.name in defs:
+        return {key: value for key, value in defs.items() if key != binding.name}
+    return defs  # invisible to reduction: share the parent's dict object
+
+
+_DEFS_TOKENS = ContextTokenizer(
+    "kernel.ctx_tokens", "_kernel_ctx_token", "_kernel_defs", _defs_root, _defs_step
+)
 
 
 def context_token(ctx: Any) -> int:
     """A small integer identifying ``ctx``'s visible definitions.
 
     Two contexts get the same token iff, after shadowing, they map the same
-    names to the same definition *objects*.  The token is cached on the
-    context instance (contexts are immutable), so repeated calls are O(1);
-    first calls on extension chains are O(1) amortized via
-    :func:`_visible_defs`.
+    names to the same definition *objects* — the context slice δ-reduction
+    (and therefore normalization and equivalence) can observe.
     """
-    token = getattr(ctx, _TOKEN_ATTR, None)
-    if token is not None:
-        return token
-    visible = _visible_defs(ctx)
-    hit = _defs_tokens.get(id(visible))
-    if hit is not None:
-        token = hit[0]
-    else:
-        fingerprint = tuple(sorted((name, id(term)) for name, term in visible.items()))
-        entry = _token_table.get(fingerprint)
-        if entry is None:
-            entry = (next(_token_counter), tuple(visible.values()))
-            _token_table[fingerprint] = entry
-        token = entry[0]
-        _defs_tokens[id(visible)] = (token, visible)  # pin the dict: id stays valid
-    object.__setattr__(ctx, _TOKEN_ATTR, token)
-    return token
+    return _DEFS_TOKENS.token(ctx)
 
 
 class NormalizationCache:

@@ -20,6 +20,7 @@ from repro.cc.context import Context as CCContext
 from repro.closconv.pipeline import TypePreservationViolation, compile_term
 from repro.closconv.translate import translate, translate_context
 from repro.common.errors import TypeCheckError
+from repro.kernel.budget import Budget
 from repro.linking.link import (
     ClosingSubstitution,
     check_substitution,
@@ -72,7 +73,7 @@ def check_compositionality(
     extended = prefix.extend(name, name_type)
     left = translate(prefix, cc.subst1(body, name, value))
     right = cccc.subst1(translate(extended, body), name, translate(prefix, value))
-    return cccc.equivalent(translate_context(prefix), left, right)
+    return cccc.equivalent(translate_context(prefix), left, right, Budget())
 
 
 def check_preservation_of_reduction(ctx: CCContext, term: cc.Term) -> bool:
@@ -83,9 +84,10 @@ def check_preservation_of_reduction(ctx: CCContext, term: cc.Term) -> bool:
     """
     target_ctx = translate_context(ctx)
     source_image = translate(ctx, term)
+    budget = Budget()  # one fuel pool across the whole reduct fan-out
     for reduct in cc.reducts(ctx, term):
         reduct_image = translate(ctx, reduct)
-        if not cccc.equivalent(target_ctx, source_image, reduct_image):
+        if not cccc.equivalent(target_ctx, source_image, reduct_image, budget):
             return False
     return True
 
@@ -95,10 +97,11 @@ def check_coherence(ctx: CCContext, left: cc.Term, right: cc.Term) -> bool:
 
     Vacuously true when the inputs are not equivalent in CC.
     """
-    if not cc.equivalent(ctx, left, right):
+    budget = Budget()
+    if not cc.equivalent(ctx, left, right, budget):
         return True
     target_ctx = translate_context(ctx)
-    return cccc.equivalent(target_ctx, translate(ctx, left), translate(ctx, right))
+    return cccc.equivalent(target_ctx, translate(ctx, left), translate(ctx, right), budget)
 
 
 def check_type_preservation(ctx: CCContext, term: cc.Term) -> bool:
@@ -116,13 +119,14 @@ def check_type_preservation(ctx: CCContext, term: cc.Term) -> bool:
 
 def check_subject_reduction(ctx: CCContext, term: cc.Term) -> bool:
     """CC kernel sanity: every one-step reduct keeps an equivalent type."""
-    type_ = cc.infer(ctx, term)
+    budget = Budget()
+    type_ = cc.infer(ctx, term, budget)
     for reduct in cc.reducts(ctx, term):
         try:
-            reduct_type = cc.infer(ctx, reduct)
+            reduct_type = cc.infer(ctx, reduct, budget)
         except TypeCheckError:
             return False
-        if not cc.equivalent(ctx, reduct_type, type_):
+        if not cc.equivalent(ctx, reduct_type, type_, budget):
             return False
     return True
 
@@ -202,29 +206,32 @@ def check_model_reduction_preservation(ctx: cccc.Context, term: cccc.Term) -> bo
     """
     cc_ctx = decompile_context(ctx)
     image = decompile(term)
+    budget = Budget()
     for reduct in cccc.reducts(ctx, term):
-        if not cc.equivalent(cc_ctx, image, decompile(reduct)):
+        if not cc.equivalent(cc_ctx, image, decompile(reduct), budget):
             return False
     return True
 
 
 def check_model_coherence(ctx: cccc.Context, left: cccc.Term, right: cccc.Term) -> bool:
     """Lemma 4.5: ``e1 ≡ e2`` in CC-CC implies ``e1° ≡ e2°`` in CC."""
-    if not cccc.equivalent(ctx, left, right):
+    budget = Budget()
+    if not cccc.equivalent(ctx, left, right, budget):
         return True
     cc_ctx = decompile_context(ctx)
-    return cc.equivalent(cc_ctx, decompile(left), decompile(right))
+    return cc.equivalent(cc_ctx, decompile(left), decompile(right), budget)
 
 
 def check_model_type_preservation(ctx: cccc.Context, term: cccc.Term) -> bool:
     """Lemma 4.6: ``Γ ⊢ e : A`` in CC-CC implies ``Γ° ⊢ e° : A°`` in CC."""
-    type_ = cccc.infer(ctx, term)
+    budget = Budget()
+    type_ = cccc.infer(ctx, term, budget)
     cc_ctx = decompile_context(ctx)
     try:
-        image_type = cc.infer(cc_ctx, decompile(term))
+        image_type = cc.infer(cc_ctx, decompile(term), budget)
     except TypeCheckError:
         return False
-    return cc.equivalent(cc_ctx, image_type, decompile(type_))
+    return cc.equivalent(cc_ctx, image_type, decompile(type_), budget)
 
 
 def check_consistency_of_term(term: cccc.Term) -> bool:
@@ -291,7 +298,7 @@ def check_roundtrip(ctx: CCContext, term: cc.Term) -> bool:
     the original in CC.
     """
     image = decompile(translate(ctx, term))
-    return cc.equivalent(ctx, term, image)
+    return cc.equivalent(ctx, term, image, Budget())
 
 
 def check_equivalence_reflection(ctx: CCContext, left: cc.Term, right: cc.Term) -> bool:
@@ -303,7 +310,8 @@ def check_equivalence_reflection(ctx: CCContext, left: cc.Term, right: cc.Term) 
     (the conjecture), so the sources are equivalent.  Vacuously true when
     the images are inequivalent.
     """
+    budget = Budget()
     target_ctx = translate_context(ctx)
-    if not cccc.equivalent(target_ctx, translate(ctx, left), translate(ctx, right)):
+    if not cccc.equivalent(target_ctx, translate(ctx, left), translate(ctx, right), budget):
         return True
-    return cc.equivalent(ctx, left, right)
+    return cc.equivalent(ctx, left, right, budget)

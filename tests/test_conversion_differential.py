@@ -1,0 +1,233 @@
+"""Differential tests: memoized judgments agree with cold-cache runs.
+
+The judgment cache (`repro.kernel.judgment`) and the equivalence memo must
+be *invisible*: a warm run has to return the same verdicts and types, spend
+the same reduction fuel (via exact replay), exhaust fuel at the same point,
+and raise the same `TypeCheckError`s as a cold run.  These tests quantify
+that over the generator workloads of `gen/` for both calculi, plus the η
+edge cases the incremental engine handles specially.
+
+Error messages may embed globally fresh names (binder renamings,
+`natelim` step types), and a warm run draws fewer fresh names than a cold
+one, so messages are compared with fresh-name counters normalized out.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import cc, cccc
+from repro.cc import prelude
+from repro.closconv.translate import translate, translate_context
+from repro.common.errors import NormalizationDepthExceeded, TypeCheckError
+from repro.common.names import reset_fresh_counter
+from repro.gen import GenConfig, TermGenerator
+from repro.kernel.budget import Budget
+
+SEEDS = range(600, 612)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    reset_fresh_counter()
+    yield
+
+
+def _normalize_message(error: Exception) -> str:
+    """Error text with fresh-name counters canonicalized (``x$7`` → ``x$N``)."""
+    return re.sub(r"\$\d+", "$N", str(error))
+
+
+def _generated(seed: int):
+    triple = TermGenerator(seed, GenConfig(redex_probability=0.5)).well_typed_term()
+    if triple is None:
+        pytest.skip(f"seed {seed} produced no well-typed term")
+    return triple
+
+
+class TestInferDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cc_infer_cold_vs_warm(self, seed):
+        ctx, term, _ = _generated(seed)
+        reset_fresh_counter()
+        cold = Budget()
+        cold_type = cc.infer(ctx, term, cold)
+        warm = Budget()
+        warm_type = cc.infer(ctx, term, warm)
+        assert warm_type is cold_type  # the memoized object comes back
+        assert warm.spent == cold.spent
+        assert warm.remaining == cold.remaining
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cccc_infer_cold_vs_warm(self, seed):
+        ctx, term, _ = _generated(seed)
+        target_ctx = translate_context(ctx)
+        target = translate(ctx, term)
+        reset_fresh_counter()
+        cold = Budget()
+        cold_type = cccc.infer(target_ctx, target, cold)
+        warm = Budget()
+        warm_type = cccc.infer(target_ctx, target, warm)
+        assert warm_type is cold_type
+        assert warm.spent == cold.spent
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_check_against_inferred_type(self, seed):
+        ctx, term, type_ = _generated(seed)
+        reset_fresh_counter()
+        cold = Budget()
+        cc.check(ctx, term, type_, cold)
+        warm = Budget()
+        cc.check(ctx, term, type_, warm)
+        assert warm.spent == cold.spent
+
+
+class TestEquivalentDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_term_vs_normal_form(self, seed):
+        ctx, term, _ = _generated(seed)
+        normal = cc.normalize(ctx, term)
+        reset_fresh_counter()
+        cold = Budget()
+        cold_verdict = cc.equivalent(ctx, term, normal, cold)
+        warm = Budget()
+        warm_verdict = cc.equivalent(ctx, term, normal, warm)
+        assert cold_verdict is True
+        assert warm_verdict is True
+        assert warm.spent == cold.spent
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_translated_images(self, seed):
+        ctx, term, _ = _generated(seed)
+        target_ctx = translate_context(ctx)
+        left = translate(ctx, term)
+        right = translate(ctx, cc.normalize(ctx, term))
+        reset_fresh_counter()
+        cold = Budget()
+        cold_verdict = cccc.equivalent(target_ctx, left, right, cold)
+        warm = Budget()
+        warm_verdict = cccc.equivalent(target_ctx, left, right, warm)
+        assert warm_verdict == cold_verdict
+        assert warm.spent == cold.spent
+
+    def test_negative_verdict_cached_with_steps(self, empty):
+        left = cc.make_app(prelude.nat_add, cc.nat_literal(6), cc.nat_literal(6))
+        right = cc.nat_literal(13)
+        reset_fresh_counter()
+        cold = Budget()
+        assert not cc.equivalent(empty, left, right, cold)
+        warm = Budget()
+        assert not cc.equivalent(empty, left, right, warm)
+        assert warm.spent == cold.spent > 0
+
+    def test_eta_cold_vs_warm_both_orders(self, empty):
+        ctx = empty.extend("f", cc.arrow(cc.Nat(), cc.Nat()))
+        expanded = cc.Lam("x", cc.Nat(), cc.App(cc.Var("f"), cc.Var("x")))
+        for left, right in [(expanded, cc.Var("f")), (cc.Var("f"), expanded)]:
+            reset_fresh_counter()
+            cold = Budget()
+            assert cc.equivalent(ctx, left, right, cold)
+            warm = Budget()
+            assert cc.equivalent(ctx, left, right, warm)
+            assert warm.spent == cold.spent
+
+    def test_closure_eta_cold_vs_warm(self, empty_target):
+        ctx = empty_target.extend("f", cccc.arrow(cccc.Nat(), cccc.Nat()))
+        code = cccc.CodeLam(
+            "env", cccc.Unit(), "a", cccc.Nat(), cccc.App(cccc.Var("f"), cccc.Var("a"))
+        )
+        clo = cccc.Clo(code, cccc.UnitVal())
+        for left, right in [(clo, cccc.Var("f")), (cccc.Var("f"), clo)]:
+            reset_fresh_counter()
+            cold = Budget()
+            assert cccc.equivalent(ctx, left, right, cold)
+            warm = Budget()
+            assert cccc.equivalent(ctx, left, right, warm)
+            assert warm.spent == cold.spent
+
+
+_ILL_TYPED = [
+    cc.App(cc.Zero(), cc.Zero()),
+    cc.Fst(cc.nat_literal(1)),
+    cc.If(cc.Zero(), cc.Zero(), cc.Zero()),
+    cc.App(cc.Lam("x", cc.Nat(), cc.Var("x")), cc.Bool()),
+    cc.Succ(cc.BoolLit(True)),
+    cc.NatElim(cc.Zero(), cc.Zero(), cc.Zero(), cc.Zero()),
+    cc.Pair(cc.Zero(), cc.Zero(), cc.Nat()),
+    cc.Var("missing"),
+]
+
+
+class TestErrorDifferential:
+    @pytest.mark.parametrize("index", range(len(_ILL_TYPED)))
+    def test_cc_errors_identical_cold_vs_warm(self, empty, index):
+        term = _ILL_TYPED[index]
+        reset_fresh_counter()
+        with pytest.raises(TypeCheckError) as cold:
+            cc.infer(empty, term, Budget())
+        with pytest.raises(TypeCheckError) as warm:
+            cc.infer(empty, term, Budget())
+        assert type(warm.value) is type(cold.value)
+        assert _normalize_message(warm.value) == _normalize_message(cold.value)
+
+    def test_cccc_errors_identical_cold_vs_warm(self, empty_target):
+        term = cccc.App(cccc.Zero(), cccc.Zero())
+        reset_fresh_counter()
+        with pytest.raises(TypeCheckError) as cold:
+            cccc.infer(empty_target, term, Budget())
+        with pytest.raises(TypeCheckError) as warm:
+            cccc.infer(empty_target, term, Budget())
+        assert _normalize_message(warm.value) == _normalize_message(cold.value)
+
+    def test_open_code_error_stable(self, empty_target):
+        open_code = cccc.CodeLam(
+            "env", cccc.Unit(), "a", cccc.Nat(), cccc.Var("stray")
+        )
+        reset_fresh_counter()
+        with pytest.raises(TypeCheckError) as cold:
+            cccc.infer(empty_target, open_code, Budget())
+        with pytest.raises(TypeCheckError) as warm:
+            cccc.infer(empty_target, open_code, Budget())
+        assert _normalize_message(warm.value) == _normalize_message(cold.value)
+
+
+class TestFuelDifferential:
+    def test_typecheck_exhaustion_identical(self, empty):
+        # A term whose typing requires more reduction than the budget has:
+        # cold and warm runs must die at the same spent count.
+        motive = cc.Lam("n", cc.Nat(), cc.Nat())
+        heavy = cc.NatElim(
+            motive,
+            cc.Zero(),
+            cc.Lam("n", cc.Nat(), cc.Lam("ih", cc.App(motive, cc.Var("n")), cc.Var("ih"))),
+            cc.nat_literal(64),
+        )
+        term = cc.App(cc.Lam("r", cc.Nat(), cc.Var("r")), heavy)
+        reset_fresh_counter()
+        full = Budget()
+        cc.infer(empty, term, full)
+        assert full.spent > 4
+        limit = 3
+        cold = Budget(remaining=limit)
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.infer(empty, term, cold)
+        warm = Budget(remaining=limit)
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.infer(empty, term, warm)
+        assert cold.spent == warm.spent == limit
+        assert cold.remaining == warm.remaining == 0
+
+    @pytest.mark.parametrize("limit", [1, 7, 29])
+    def test_equivalent_exhaustion_identical(self, empty, limit):
+        left = cc.make_app(prelude.nat_add, cc.nat_literal(24), cc.nat_literal(24))
+        right = cc.make_app(prelude.nat_add, cc.nat_literal(25), cc.nat_literal(23))
+        reset_fresh_counter()
+        cold = Budget(remaining=limit)
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.equivalent(empty, left, right, cold)
+        warm = Budget(remaining=limit)
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.equivalent(empty, left, right, warm)
+        assert cold.spent == warm.spent == limit
