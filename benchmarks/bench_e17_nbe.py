@@ -1,0 +1,257 @@
+"""E17 — normalization by evaluation vs. substitution-based reduction.
+
+Series: the cold-path workloads the NbE engine (``repro.kernel.nbe``) is
+built for, in both calculi —
+
+* **deep β-redex chains** — ``k`` nested Church-addition towers, each β of
+  which makes the substitution engine copy and re-walk the body it just
+  built; the environment machine binds a thunk instead.
+* **Church arithmetic** — impredicative-polymorphism workloads
+  (``church_sum``) whose numerals duplicate their iterator argument.
+* **closure-converted images** — the same workloads after the ⁺
+  translation, where every β is a *two*-substitution closure application
+  (environment, then argument), doubling the substitution engine's bill.
+* **10k-deep pending-β / ζ chains** — decidable only by the iterative NbE
+  engine; the recursive substitution normalizer exceeds the Python stack.
+
+``test_nbe_speedup_gate`` is the acceptance gate for this layer: NbE must
+be **≥ 5×** faster than the substitution engine on every gated workload,
+measured from cold caches, both calculi.  The module also emits
+``BENCH_nbe.json`` next to this file — a machine-readable perf-trajectory
+artifact (see ``benchmarks/trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro import cc, cccc
+from repro.cc import prelude
+from repro.cc.reduce import normalize_subst as cc_normalize_subst
+from repro.cccc.reduce import normalize_subst as cccc_normalize_subst
+from repro.closconv.translate import translate
+from repro.common.names import reset_fresh_counter
+from repro.kernel.budget import Budget
+from workloads import church_sum
+
+_EMPTY = cc.Context.empty()
+_TARGET_EMPTY = cccc.Context.empty()
+_ARTIFACT = pathlib.Path(__file__).with_name("BENCH_nbe.json")
+_GATE = 5.0
+_DEEP = 10_000
+
+#: The substitution oracle recurses one Python frame per node of the
+#: *result*; give it room so the comparison measures cost, not stack size
+#: (stack safety is a separate, NbE-only record below).
+_ORACLE_RECURSION_LIMIT = 50_000
+
+
+def _timed_cold(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeats`` cold-cache calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        reset_fresh_counter()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- workloads --------------------------------------------------------------
+
+
+def _to_nat(term: cc.Term) -> cc.Term:
+    return cc.make_app(
+        term, cc.Nat(), cc.Lam("k", cc.Nat(), cc.Succ(cc.Var("k"))), cc.Zero()
+    )
+
+
+def _church_beta_chain(length: int, numeral: int) -> cc.Term:
+    """``c_m + (c_m + (… + c_m))`` — ``length`` nested β-redex towers."""
+    term = prelude.church_nat(numeral)
+    for _ in range(length):
+        term = cc.make_app(prelude.church_add, term, prelude.church_nat(numeral))
+    return _to_nat(term)
+
+
+def _pending_beta_chain(depth: int) -> cc.Term:
+    """``depth`` β-redexes pending along one head spine."""
+    term: cc.Term = cc.Lam("x", cc.Nat(), cc.Var("x"))
+    for _ in range(depth):
+        term = cc.App(cc.Lam("f", cc.arrow(cc.Nat(), cc.Nat()), cc.Var("f")), term)
+    return term
+
+
+def _zeta_chain(depth: int) -> cc.Term:
+    term: cc.Term = cc.Var(f"x{depth - 1}")
+    for index in range(depth - 1, -1, -1):
+        bound = cc.Zero() if index == 0 else cc.Var(f"x{index - 1}")
+        term = cc.Let(f"x{index}", bound, cc.Nat(), term)
+    return term
+
+
+def _gated_workloads() -> list[dict]:
+    """Time every gated workload under both engines (cold caches)."""
+    reset_fresh_counter()
+    cases = [
+        ("cc/deep_beta_chain_32x20", "cc", _church_beta_chain(32, 20), 660),
+        ("cc/church_sum_8", "cc", church_sum(8), 16),
+    ]
+    reset_fresh_counter()
+    target_chain = translate(_EMPTY, _church_beta_chain(8, 20))
+    reset_fresh_counter()
+    target_sum = translate(_EMPTY, church_sum(6))
+    cases += [
+        ("cccc/deep_beta_chain_8x20", "cccc", target_chain, 180),
+        ("cccc/church_sum_6", "cccc", target_sum, 12),
+    ]
+
+    records = []
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, _ORACLE_RECURSION_LIMIT))
+    try:
+        for name, calculus, term, expected in cases:
+            if calculus == "cc":
+                nbe = lambda t=term: cc.normalize(_EMPTY, t)
+                oracle = lambda t=term: cc_normalize_subst(_EMPTY, t)
+                value = cc.nat_value
+            else:
+                nbe = lambda t=term: cccc.normalize(_TARGET_EMPTY, t)
+                oracle = lambda t=term: cccc_normalize_subst(_TARGET_EMPTY, t)
+                value = cccc.nat_value
+            reset_fresh_counter()
+            assert value(nbe()) == expected
+            reset_fresh_counter()
+            assert value(oracle()) == expected
+            nbe_seconds = _timed_cold(nbe)
+            oracle_seconds = _timed_cold(oracle)
+            records.append(
+                {
+                    "workload": name,
+                    "gated": True,
+                    "expected_value": expected,
+                    "subst_s": oracle_seconds,
+                    "nbe_s": nbe_seconds,
+                    "speedup": oracle_seconds / nbe_seconds if nbe_seconds else float("inf"),
+                }
+            )
+    finally:
+        sys.setrecursionlimit(limit)
+    return records
+
+
+def _nbe_only_workloads() -> list[dict]:
+    """Depth records only the iterative engine can set at all."""
+    records = []
+    pending = _pending_beta_chain(_DEEP)
+    reset_fresh_counter()
+    assert isinstance(cc.whnf(_EMPTY, pending, Budget()), cc.Lam)
+    records.append(
+        {
+            "workload": f"cc/pending_beta_whnf_{_DEEP}",
+            "gated": False,
+            "subst_s": None,
+            "nbe_s": _timed_cold(lambda: cc.whnf(_EMPTY, pending, Budget())),
+            "speedup": None,
+            "note": "baseline (recursive substitution whnf) exceeds the Python stack here",
+        }
+    )
+    zeta = _zeta_chain(_DEEP)
+    reset_fresh_counter()
+    assert cc.normalize(_EMPTY, zeta) == cc.Zero()
+    records.append(
+        {
+            "workload": f"cc/zeta_chain_nf_{_DEEP}",
+            "gated": False,
+            "subst_s": None,
+            "nbe_s": _timed_cold(lambda: cc.normalize(_EMPTY, zeta)),
+            "speedup": None,
+            "note": "baseline (recursive substitution normalize) exceeds the Python stack here",
+        }
+    )
+    # Warm repeat: the second call is a single memo probe with fuel replay.
+    heavy = church_sum(8)
+    reset_fresh_counter()
+    cc.normalize(_EMPTY, heavy)
+    start = time.perf_counter()
+    cc.normalize(_EMPTY, heavy)
+    records.append(
+        {
+            "workload": "cc/church_sum_8_warm_repeat",
+            "gated": False,
+            "subst_s": None,
+            "nbe_s": time.perf_counter() - start,
+            "speedup": None,
+            "note": "second call hits the normalization memo",
+        }
+    )
+    return records
+
+
+def test_nbe_speedup_gate():
+    """Acceptance: NbE ≥ 5× over substitution on every gated workload, and
+    the perf-trajectory artifact is (re)written."""
+    records = _gated_workloads() + _nbe_only_workloads()
+    _ARTIFACT.write_text(
+        json.dumps(
+            {
+                "bench": "e17_nbe",
+                "schema": 1,
+                "gate_speedup": _GATE,
+                "python": sys.version.split()[0],
+                "workloads": records,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    failures = [
+        (record["workload"], record["speedup"])
+        for record in records
+        if record["gated"] and record["speedup"] < _GATE
+    ]
+    assert not failures, (
+        f"NbE not {_GATE}x faster than the substitution engine on: "
+        + ", ".join(f"{name} ({speedup:.1f}x)" for name, speedup in failures)
+    )
+
+
+def test_nbe_agrees_with_oracle_on_gated_workloads():
+    """The timed workloads are also correctness checks (α-equality)."""
+    term = _church_beta_chain(10, 12)
+    reset_fresh_counter()
+    nbe = cc.normalize(_EMPTY, term)
+    reset_fresh_counter()
+    oracle = cc_normalize_subst(_EMPTY, term)
+    assert cc.alpha_equal(nbe, oracle)
+
+
+@pytest.mark.parametrize("n", [6, 7, 8])
+def test_nbe_church(benchmark, n):
+    """Micro series: NbE cold normalization of Church arithmetic."""
+    term = church_sum(n)
+    benchmark.group = "E17 church_sum (NbE)"
+
+    def run():
+        reset_fresh_counter()
+        return cc.normalize(_EMPTY, term)
+
+    assert cc.nat_value(benchmark(run)) == 2 * n
+
+
+@pytest.mark.parametrize("n", [6, 7, 8])
+def test_subst_church(benchmark, n):
+    """Micro series: substitution-engine cold normalization of the same."""
+    term = church_sum(n)
+    benchmark.group = "E17 church_sum (substitution)"
+
+    def run():
+        reset_fresh_counter()
+        return cc_normalize_subst(_EMPTY, term)
+
+    assert cc.nat_value(benchmark(run)) == 2 * n

@@ -1,0 +1,75 @@
+"""Merge every ``BENCH_*.json`` artifact into one ``BENCH_trajectory.json``.
+
+Each gating benchmark emits a machine-readable artifact next to this file
+(``BENCH_conversion.json`` from E16, ``BENCH_nbe.json`` from E17, …).  This
+script folds them into a single perf-trajectory document so CI can publish
+one artifact per run and successive PRs can diff performance history
+without scraping benchmark stdout::
+
+    python benchmarks/trajectory.py            # writes BENCH_trajectory.json
+    python benchmarks/trajectory.py --print    # also pretty-print to stdout
+
+The merged schema is ``{"schema": 1, "python": …, "benches": {name:
+payload}}`` where each payload is the unmodified per-bench document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = ["merge", "write_trajectory"]
+
+_HERE = pathlib.Path(__file__).parent
+_OUTPUT = _HERE / "BENCH_trajectory.json"
+
+
+def merge(directory: pathlib.Path = _HERE) -> dict:
+    """Collect every ``BENCH_*.json`` (except the trajectory itself)."""
+    benches: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == _OUTPUT.name:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"unreadable benchmark artifact {path.name}: {error}")
+        benches[payload.get("bench", path.stem)] = payload
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "benches": benches,
+    }
+
+
+def write_trajectory(directory: pathlib.Path = _HERE) -> pathlib.Path:
+    """Write the merged document next to the artifacts; returns its path."""
+    document = merge(directory)
+    output = directory / _OUTPUT.name
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--print", action="store_true", help="echo the merged document")
+    parser.add_argument(
+        "--directory",
+        type=pathlib.Path,
+        default=_HERE,
+        help="where to look for BENCH_*.json (default: this file's directory)",
+    )
+    args = parser.parse_args(argv)
+    output = write_trajectory(args.directory)
+    merged = json.loads(output.read_text())
+    names = ", ".join(sorted(merged["benches"])) or "none"
+    print(f"wrote {output} ({len(merged['benches'])} benches: {names})")
+    if args.print:
+        print(json.dumps(merged, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

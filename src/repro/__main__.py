@@ -4,6 +4,8 @@ Commands operate on a CC program given either as a file path or inline
 via ``-e/--expr``:
 
 * ``check``     — parse and type check; print the type.
+* ``normalize`` — fully normalize; ``--engine {subst,nbe}`` (default
+  ``nbe``) selects the evaluator, for A/B timing from the shell.
 * ``compile``   — closure-convert (Figure 9); verify type preservation
   (Theorem 5.6); print the CC-CC term and its type.
 * ``run``       — compile, hoist, execute on the CBV machine; print the
@@ -23,8 +25,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import cc, cccc
+from repro.cc.reduce import normalize_subst
 from repro.closconv import compile_term
 from repro.common.errors import ReproError
 from repro.machine import hoist, machine_observation, program_context, run
@@ -54,6 +58,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
     type_ = cc.infer(cc.Context.empty(), term)
     print(f"term : {cc.pretty(term)}")
     print(f"type : {cc.pretty(type_)}")
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    term = _read_program(args)
+    empty = cc.Context.empty()
+    cc.infer(empty, term)  # reject ill-typed input before reducing
+    engine = normalize_subst if args.engine == "subst" else cc.normalize
+    start = time.perf_counter()
+    normal = engine(empty, term)
+    elapsed = time.perf_counter() - start
+    print(f"term    : {cc.pretty(term)}")
+    print(f"normal  : {cc.pretty(normal)}")
+    print(f"engine  : {args.engine}")
+    print(f"elapsed : {elapsed:.6f}s")
     return 0
 
 
@@ -112,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
 
     for name, handler, description in [
         ("check", _cmd_check, "type check a CC program"),
+        ("normalize", _cmd_normalize, "normalize a CC program (NbE or substitution engine)"),
         ("compile", _cmd_compile, "closure-convert and verify (Theorem 5.6)"),
         ("run", _cmd_run, "compile, hoist, and execute on the machine"),
         ("decompile", _cmd_decompile, "round-trip through the Figure 8 model"),
@@ -124,6 +144,13 @@ def main(argv: list[str] | None = None) -> int:
                 "--no-verify",
                 action="store_true",
                 help="skip re-checking the output in CC-CC",
+            )
+        if name == "normalize":
+            sub.add_argument(
+                "--engine",
+                choices=("subst", "nbe"),
+                default="nbe",
+                help="evaluator: NbE environment machine (default) or the substitution oracle",
             )
         sub.set_defaults(handler=handler)
 

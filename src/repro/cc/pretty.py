@@ -3,6 +3,11 @@
 The output mirrors the paper's notation (``Π x:A. B``, ``λ x:A. e``,
 ``⟨e1, e2⟩``, ``⋆``, ``□``) and round-trips through the surface parser for
 the ASCII forms.  Used pervasively in error messages.
+
+The renderer is **iterative** — driven by the shared work-stack engine of
+:mod:`repro.common.render` — so ~10k-node-deep terms (which type errors
+legitimately surface) print without approaching the Python recursion
+limit (``tests/test_kernel.py::TestDeepPretty``).
 """
 
 from __future__ import annotations
@@ -28,8 +33,8 @@ from repro.cc.ast import (
     Var,
     Zero,
     cached_free_vars,
-    nat_value,
 )
+from repro.common.render import render, succ_chain, wrap as _wrap
 
 __all__ = ["pretty"]
 
@@ -42,74 +47,95 @@ _PREC_ATOM = 3  # variables, universes, parenthesized
 
 def pretty(term: Term) -> str:
     """Render ``term`` as human-readable concrete syntax."""
-    return _pp(term, _PREC_BINDER)
+    return render(term, _pieces, _PREC_BINDER)
 
 
-def _parens(text: str, needed: bool) -> str:
-    return f"({text})" if needed else text
-
-
-def _pp(term: Term, prec: int) -> str:
+def _pieces(term: Term, prec: int) -> list:
+    """The fragments of ``term`` at ``prec``: strings and (subterm, prec)."""
     match term:
         case Var(name):
-            return name
+            return [name]
         case Star():
-            return "⋆"
+            return ["⋆"]
         case Box():
-            return "□"
+            return ["□"]
         case Bool():
-            return "Bool"
+            return ["Bool"]
         case BoolLit(value):
-            return "true" if value else "false"
+            return ["true" if value else "false"]
         case Nat():
-            return "Nat"
+            return ["Nat"]
         case Zero():
-            return "0"
+            return ["0"]
         case Succ():
-            value = nat_value(term)
-            if value is not None:
-                return str(value)
-            return _parens(f"succ {_pp(term.pred, _PREC_ATOM)}", prec > _PREC_APP)
+            depth, core = succ_chain(term, Succ)
+            if isinstance(core, Zero):
+                return [str(depth)]
+            pieces = ["succ (" * (depth - 1), "succ ", (core, _PREC_ATOM), ")" * (depth - 1)]
+            return _wrap(pieces, prec > _PREC_APP)
         case Pi(name, domain, codomain):
             if name == "_" or name not in cached_free_vars(codomain):
-                text = f"{_pp(domain, _PREC_APP)} -> {_pp(codomain, _PREC_ARROW)}"
-                return _parens(text, prec > _PREC_ARROW)
-            text = f"Π ({name} : {_pp(domain, _PREC_BINDER)}). {_pp(codomain, _PREC_BINDER)}"
-            return _parens(text, prec > _PREC_BINDER)
+                pieces = [(domain, _PREC_APP), " -> ", (codomain, _PREC_ARROW)]
+                return _wrap(pieces, prec > _PREC_ARROW)
+            pieces = [
+                f"Π ({name} : ",
+                (domain, _PREC_BINDER),
+                "). ",
+                (codomain, _PREC_BINDER),
+            ]
+            return _wrap(pieces, prec > _PREC_BINDER)
         case Lam(name, domain, body):
-            text = f"λ ({name} : {_pp(domain, _PREC_BINDER)}). {_pp(body, _PREC_BINDER)}"
-            return _parens(text, prec > _PREC_BINDER)
+            pieces = [f"λ ({name} : ", (domain, _PREC_BINDER), "). ", (body, _PREC_BINDER)]
+            return _wrap(pieces, prec > _PREC_BINDER)
         case App(fn, arg):
-            text = f"{_pp(fn, _PREC_APP)} {_pp(arg, _PREC_ATOM)}"
-            return _parens(text, prec > _PREC_APP)
+            return _wrap([(fn, _PREC_APP), " ", (arg, _PREC_ATOM)], prec > _PREC_APP)
         case Let(name, bound, annot, body):
-            text = (
-                f"let {name} = {_pp(bound, _PREC_BINDER)}"
-                f" : {_pp(annot, _PREC_BINDER)} in {_pp(body, _PREC_BINDER)}"
-            )
-            return _parens(text, prec > _PREC_BINDER)
+            pieces = [
+                f"let {name} = ",
+                (bound, _PREC_BINDER),
+                " : ",
+                (annot, _PREC_BINDER),
+                " in ",
+                (body, _PREC_BINDER),
+            ]
+            return _wrap(pieces, prec > _PREC_BINDER)
         case Sigma(name, first, second):
-            text = f"Σ ({name} : {_pp(first, _PREC_BINDER)}). {_pp(second, _PREC_BINDER)}"
-            return _parens(text, prec > _PREC_BINDER)
+            pieces = [f"Σ ({name} : ", (first, _PREC_BINDER), "). ", (second, _PREC_BINDER)]
+            return _wrap(pieces, prec > _PREC_BINDER)
         case Pair(fst_val, snd_val, annot):
-            return (
-                f"⟨{_pp(fst_val, _PREC_BINDER)}, {_pp(snd_val, _PREC_BINDER)}⟩"
-                f" as {_pp(annot, _PREC_ATOM)}"
-            )
+            return [
+                "⟨",
+                (fst_val, _PREC_BINDER),
+                ", ",
+                (snd_val, _PREC_BINDER),
+                "⟩ as ",
+                (annot, _PREC_ATOM),
+            ]
         case Fst(pair):
-            return _parens(f"fst {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+            return _wrap(["fst ", (pair, _PREC_ATOM)], prec > _PREC_APP)
         case Snd(pair):
-            return _parens(f"snd {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+            return _wrap(["snd ", (pair, _PREC_ATOM)], prec > _PREC_APP)
         case If(cond, then_branch, else_branch):
-            text = (
-                f"if {_pp(cond, _PREC_BINDER)} then {_pp(then_branch, _PREC_BINDER)}"
-                f" else {_pp(else_branch, _PREC_BINDER)}"
-            )
-            return _parens(text, prec > _PREC_BINDER)
+            pieces = [
+                "if ",
+                (cond, _PREC_BINDER),
+                " then ",
+                (then_branch, _PREC_BINDER),
+                " else ",
+                (else_branch, _PREC_BINDER),
+            ]
+            return _wrap(pieces, prec > _PREC_BINDER)
         case NatElim(motive, base, step, target):
-            return (
-                f"natelim({_pp(motive, _PREC_BINDER)}, {_pp(base, _PREC_BINDER)},"
-                f" {_pp(step, _PREC_BINDER)}, {_pp(target, _PREC_BINDER)})"
-            )
+            return [
+                "natelim(",
+                (motive, _PREC_BINDER),
+                ", ",
+                (base, _PREC_BINDER),
+                ", ",
+                (step, _PREC_BINDER),
+                ", ",
+                (target, _PREC_BINDER),
+                ")",
+            ]
         case _:
             raise TypeError(f"not a CC term: {term!r}")

@@ -18,11 +18,25 @@ This module provides:
   expose Π/Σ/``Code`` heads);
 * :func:`normalize` — full β-normal form (CC is strongly normalizing, so
   this terminates; a fuel budget guards against pathological blowup).
+
+Two engines implement the same relation:
+
+* **NbE** (:mod:`repro.kernel.nbe`) — the default behind :func:`whnf` and
+  :func:`normalize`: an iterative environment machine with memoizing
+  thunks, so cold normalization never pays substitution's tree rewriting.
+* **Substitution** — the original engine, kept verbatim as
+  :func:`whnf_subst`/:func:`normalize_subst`.  It is the *oracle* the NbE
+  results are differentially tested against
+  (``tests/test_nbe_differential.py``), and it remains the **counting
+  path**: :func:`normalize_counting` reports its per-occurrence step
+  semantics, byte-identical to every previous release.  The two engines
+  memoize under distinct cache kinds and never share entries.
 """
 
 from __future__ import annotations
 
 from repro.cc.ast import (
+    LANGUAGE,
     App,
     Bool,
     BoolLit,
@@ -47,7 +61,8 @@ from repro.cc.ast import (
 from repro.cc.context import Context
 from repro.cc.subst import subst1
 from repro.kernel.budget import DEFAULT_FUEL, Budget
-from repro.kernel.memo import NORMALIZATION_CACHE, context_token
+from repro.kernel.memo import NORMALIZATION_CACHE, head_is_weak_normal, memoized_reduction
+from repro.kernel.nbe import NbeSpec, nbe_normalize, nbe_whnf
 
 __all__ = [
     "DEFAULT_FUEL",
@@ -55,9 +70,11 @@ __all__ = [
     "head_reducts",
     "normalize",
     "normalize_counting",
+    "normalize_subst",
     "reduces_to",
     "reducts",
     "whnf",
+    "whnf_subst",
 ]
 
 #: Node classes a whnf step can act on; anything else is already weak-head
@@ -68,8 +85,39 @@ __all__ = [
 _WHNF_ACTIVE = (Var, Let, App, Fst, Snd, If, NatElim)
 
 
+#: Leaf classes whose normal form is always themselves (no children, no δ):
+#: caching these would only churn the memo table.
+_NF_TRIVIAL = (Star, Box, Bool, BoolLit, Nat, Zero)
+
+#: The NbE wiring for CC: β applies a literal λ.
+_NBE = NbeSpec(
+    lang=LANGUAGE,
+    var_cls=Var,
+    let_cls=Let,
+    app_cls=App,
+    fst_cls=Fst,
+    snd_cls=Snd,
+    pair_cls=Pair,
+    if_cls=If,
+    boollit_cls=BoolLit,
+    natelim_cls=NatElim,
+    zero_cls=Zero,
+    succ_cls=Succ,
+    trivial=_NF_TRIVIAL,
+    lam_cls=Lam,
+)
+
+
+def _whnf_head_normal(ctx: Context, term: Term) -> bool:
+    return head_is_weak_normal(ctx, term, Var, _WHNF_ACTIVE)
+
+
+def _nbe_whnf_compute(ctx: Context, term: Term, budget: Budget) -> Term:
+    return nbe_whnf(_NBE, ctx, term, budget)
+
+
 def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
-    """Reduce ``term`` to weak-head normal form under ``ctx``.
+    """Reduce ``term`` to weak-head normal form under ``ctx`` (NbE engine).
 
     Only the head position is reduced; arguments, pair components, binder
     bodies, etc. are left untouched.  Results are memoized per (term
@@ -78,24 +126,22 @@ def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
     """
     if budget is None:
         budget = Budget()
-    if isinstance(term, Var):
-        # Fast path for the overwhelmingly common case: a neutral variable
-        # needs one context probe, not a memo round-trip.
-        binding = ctx.lookup(term.name)
-        if binding is None or binding.definition is None:
-            return term
-    elif not isinstance(term, _WHNF_ACTIVE):
+    if _whnf_head_normal(ctx, term):
         return term
-    token = context_token(ctx)
-    hit = NORMALIZATION_CACHE.lookup("cc.whnf", term, token)
-    if hit is not None:
-        result, steps = hit
-        budget.charge(steps)
-        return result
-    before = budget.spent
-    result = _whnf(ctx, term, budget)
-    NORMALIZATION_CACHE.store("cc.whnf", term, token, result, budget.spent - before)
-    return result
+    return memoized_reduction(ctx, term, budget, "cc.whnf", _nbe_whnf_compute)
+
+
+def whnf_subst(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """:func:`whnf` on the substitution engine (the differential oracle).
+
+    Memoized under its own cache kind so the two engines never exchange
+    results or recorded fuel.
+    """
+    if budget is None:
+        budget = Budget()
+    if _whnf_head_normal(ctx, term):
+        return term
+    return memoized_reduction(ctx, term, budget, "cc.whnf.subst", _whnf)
 
 
 def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
@@ -113,35 +159,35 @@ def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
                 term = subst1(body, name, bound)
                 continue
             case App(fn, arg):
-                fn_whnf = whnf(ctx, fn, budget)
+                fn_whnf = whnf_subst(ctx, fn, budget)
                 if isinstance(fn_whnf, Lam):
                     budget.spend()
                     term = subst1(fn_whnf.body, fn_whnf.name, arg)
                     continue
                 return term if fn_whnf is fn else App(fn_whnf, arg)
             case Fst(pair):
-                pair_whnf = whnf(ctx, pair, budget)
+                pair_whnf = whnf_subst(ctx, pair, budget)
                 if isinstance(pair_whnf, Pair):
                     budget.spend()
                     term = pair_whnf.fst_val
                     continue
                 return term if pair_whnf is pair else Fst(pair_whnf)
             case Snd(pair):
-                pair_whnf = whnf(ctx, pair, budget)
+                pair_whnf = whnf_subst(ctx, pair, budget)
                 if isinstance(pair_whnf, Pair):
                     budget.spend()
                     term = pair_whnf.snd_val
                     continue
                 return term if pair_whnf is pair else Snd(pair_whnf)
             case If(cond, then_branch, else_branch):
-                cond_whnf = whnf(ctx, cond, budget)
+                cond_whnf = whnf_subst(ctx, cond, budget)
                 if isinstance(cond_whnf, BoolLit):
                     budget.spend()
                     term = then_branch if cond_whnf.value else else_branch
                     continue
                 return term if cond_whnf is cond else If(cond_whnf, then_branch, else_branch)
             case NatElim(motive, base, step, target):
-                target_whnf = whnf(ctx, target, budget)
+                target_whnf = whnf_subst(ctx, target, budget)
                 if isinstance(target_whnf, Zero):
                     budget.spend()
                     term = base
@@ -158,19 +204,16 @@ def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
                 return term
 
 
-#: Leaf classes whose normal form is always themselves (no children, no δ):
-#: caching these would only churn the memo table.
-_NF_TRIVIAL = (Star, Box, Bool, BoolLit, Nat, Zero)
-
-
 def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
-    """Fully normalize ``term`` under ``ctx``.
+    """Fully normalize ``term`` under ``ctx`` (NbE engine).
 
     The result contains no δ/ζ/β/π/ι redexes (``let`` disappears entirely:
     normal forms are ``let``-free).  Bound variables shadow any definitions
-    of the same name in ``ctx``, which the recursion tracks by extending the
-    context at each binder.  Like :func:`whnf`, results are memoized per
-    (term identity, context definitions) with fuel replay on hits.
+    of the same name in ``ctx``; binder names are preserved unless re-using
+    one would capture, in which case a fresh name is drawn (exactly when
+    the substitution engine would α-rename).  Environment-independent
+    subcomputations are memoized per (term identity, context definitions)
+    with fuel replay on hits.
     """
     if budget is None:
         budget = Budget()
@@ -180,56 +223,65 @@ def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
         binding = ctx.lookup(term.name)
         if binding is None or binding.definition is None:
             return term
-    token = context_token(ctx)
-    hit = NORMALIZATION_CACHE.lookup("cc.nf", term, token)
-    if hit is not None:
-        result, steps = hit
-        budget.charge(steps)
-        return result
-    before = budget.spent
-    result = _normalize(ctx, term, budget)
-    NORMALIZATION_CACHE.store("cc.nf", term, token, result, budget.spent - before)
-    return result
+    return nbe_normalize(_NBE, ctx, term, budget, NORMALIZATION_CACHE, "cc.nf")
+
+
+def normalize_subst(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """:func:`normalize` on the substitution engine (the counting oracle).
+
+    Kept verbatim from the pre-NbE kernel: step accounting (one unit per
+    contraction *per occurrence*, replayed on memo hits) is byte-identical
+    to previous releases, which is what :func:`normalize_counting` reports.
+    """
+    if budget is None:
+        budget = Budget()
+    if isinstance(term, _NF_TRIVIAL):
+        return term
+    if isinstance(term, Var):
+        binding = ctx.lookup(term.name)
+        if binding is None or binding.definition is None:
+            return term
+    return memoized_reduction(ctx, term, budget, "cc.nf.subst", _normalize)
 
 
 def _normalize(ctx: Context, term: Term, budget: Budget) -> Term:
-    term = whnf(ctx, term, budget)
+    term = whnf_subst(ctx, term, budget)
     match term:
         case Pi(name, domain, codomain):
             inner = ctx.extend(name, domain)
-            return Pi(name, normalize(ctx, domain, budget), normalize(inner, codomain, budget))
+            return Pi(name, normalize_subst(ctx, domain, budget), normalize_subst(inner, codomain, budget))
         case Lam(name, domain, body):
             inner = ctx.extend(name, domain)
-            return Lam(name, normalize(ctx, domain, budget), normalize(inner, body, budget))
+            return Lam(name, normalize_subst(ctx, domain, budget), normalize_subst(inner, body, budget))
         case Sigma(name, first, second):
             inner = ctx.extend(name, first)
-            return Sigma(name, normalize(ctx, first, budget), normalize(inner, second, budget))
+            return Sigma(name, normalize_subst(ctx, first, budget), normalize_subst(inner, second, budget))
         case App(fn, arg):
-            return App(normalize(ctx, fn, budget), normalize(ctx, arg, budget))
+            return App(normalize_subst(ctx, fn, budget), normalize_subst(ctx, arg, budget))
         case Pair(fst_val, snd_val, annot):
             return Pair(
-                normalize(ctx, fst_val, budget),
-                normalize(ctx, snd_val, budget),
-                normalize(ctx, annot, budget),
+                normalize_subst(ctx, fst_val, budget),
+                normalize_subst(ctx, snd_val, budget),
+                normalize_subst(ctx, annot, budget),
             )
         case Fst(pair):
-            return Fst(normalize(ctx, pair, budget))
+            return Fst(normalize_subst(ctx, pair, budget))
         case Snd(pair):
-            return Snd(normalize(ctx, pair, budget))
+            return Snd(normalize_subst(ctx, pair, budget))
         case If(cond, then_branch, else_branch):
             return If(
-                normalize(ctx, cond, budget),
-                normalize(ctx, then_branch, budget),
-                normalize(ctx, else_branch, budget),
+                normalize_subst(ctx, cond, budget),
+                normalize_subst(ctx, then_branch, budget),
+                normalize_subst(ctx, else_branch, budget),
             )
         case Succ(pred):
-            return Succ(normalize(ctx, pred, budget))
+            return Succ(normalize_subst(ctx, pred, budget))
         case NatElim(motive, base, step, target):
             return NatElim(
-                normalize(ctx, motive, budget),
-                normalize(ctx, base, budget),
-                normalize(ctx, step, budget),
-                normalize(ctx, target, budget),
+                normalize_subst(ctx, motive, budget),
+                normalize_subst(ctx, base, budget),
+                normalize_subst(ctx, step, budget),
+                normalize_subst(ctx, target, budget),
             )
         case _:
             return term
@@ -242,7 +294,7 @@ def normalize_counting(ctx: Context, term: Term, fuel: int = DEFAULT_FUEL) -> tu
     comparing evaluation before and after compilation (Corollary 5.8).
     """
     budget = Budget(remaining=fuel)
-    result = normalize(ctx, term, budget)
+    result = normalize_subst(ctx, term, budget)
     return result, budget.spent
 
 

@@ -7,11 +7,20 @@ rule changes: code cannot be applied directly, only through a closure::
 
 Closures themselves are values; their code position only matters when the
 closure is applied.
+
+Like :mod:`repro.cc.reduce`, two engines decide the same relation: the NbE
+environment machine of :mod:`repro.kernel.nbe` behind the public
+:func:`whnf`/:func:`normalize` (closure β binds environment and argument in
+parallel, as ``_beta`` does), and the substitution engine kept verbatim as
+:func:`whnf_subst`/:func:`normalize_subst` — the differential oracle and
+the counting path of :func:`normalize_counting`.  The engines memoize under
+distinct cache kinds and never share entries.
 """
 
 from __future__ import annotations
 
 from repro.cccc.ast import (
+    LANGUAGE,
     App,
     Bool,
     BoolLit,
@@ -40,7 +49,8 @@ from repro.cccc.ast import (
 from repro.cccc.context import Context
 from repro.cccc.subst import subst, subst1
 from repro.kernel.budget import DEFAULT_FUEL, Budget
-from repro.kernel.memo import NORMALIZATION_CACHE, context_token
+from repro.kernel.memo import NORMALIZATION_CACHE, head_is_weak_normal, memoized_reduction
+from repro.kernel.nbe import NbeSpec, nbe_normalize, nbe_whnf
 
 __all__ = [
     "DEFAULT_FUEL",
@@ -48,8 +58,10 @@ __all__ = [
     "head_reducts",
     "normalize",
     "normalize_counting",
+    "normalize_subst",
     "reducts",
     "whnf",
+    "whnf_subst",
 ]
 
 
@@ -73,33 +85,58 @@ def _beta(clo: Clo, code: CodeLam, arg: Term) -> Term:
 #: (tests/test_kernel.py guards this with a no-reducts-in-normal-forms check).
 _WHNF_ACTIVE = (Var, Let, App, Fst, Snd, If, NatElim)
 
+#: Leaf classes whose normal form is always themselves (no children, no δ).
+_NF_TRIVIAL = (Star, Box, Unit, UnitVal, Bool, BoolLit, Nat, Zero)
+
+#: The NbE wiring for CC-CC: β applies a closure whose code position
+#: weak-head-exposes a literal ``CodeLam``.
+_NBE = NbeSpec(
+    lang=LANGUAGE,
+    var_cls=Var,
+    let_cls=Let,
+    app_cls=App,
+    fst_cls=Fst,
+    snd_cls=Snd,
+    pair_cls=Pair,
+    if_cls=If,
+    boollit_cls=BoolLit,
+    natelim_cls=NatElim,
+    zero_cls=Zero,
+    succ_cls=Succ,
+    trivial=_NF_TRIVIAL,
+    clo_cls=Clo,
+    codelam_cls=CodeLam,
+)
+
+
+def _whnf_head_normal(ctx: Context, term: Term) -> bool:
+    return head_is_weak_normal(ctx, term, Var, _WHNF_ACTIVE)
+
+
+def _nbe_whnf_compute(ctx: Context, term: Term, budget: Budget) -> Term:
+    return nbe_whnf(_NBE, ctx, term, budget)
+
 
 def whnf(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
-    """Reduce ``term`` to weak-head normal form under ``ctx``.
+    """Reduce ``term`` to weak-head normal form under ``ctx`` (NbE engine).
 
     Results are memoized per (term identity, context definitions); hits
     replay the originally recorded fuel cost into ``budget``.
     """
     if budget is None:
         budget = Budget()
-    if isinstance(term, Var):
-        # Fast path for the overwhelmingly common case: a neutral variable
-        # needs one context probe, not a memo round-trip.
-        binding = ctx.lookup(term.name)
-        if binding is None or binding.definition is None:
-            return term
-    elif not isinstance(term, _WHNF_ACTIVE):
+    if _whnf_head_normal(ctx, term):
         return term
-    token = context_token(ctx)
-    hit = NORMALIZATION_CACHE.lookup("cccc.whnf", term, token)
-    if hit is not None:
-        result, steps = hit
-        budget.charge(steps)
-        return result
-    before = budget.spent
-    result = _whnf(ctx, term, budget)
-    NORMALIZATION_CACHE.store("cccc.whnf", term, token, result, budget.spent - before)
-    return result
+    return memoized_reduction(ctx, term, budget, "cccc.whnf", _nbe_whnf_compute)
+
+
+def whnf_subst(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """:func:`whnf` on the substitution engine (the differential oracle)."""
+    if budget is None:
+        budget = Budget()
+    if _whnf_head_normal(ctx, term):
+        return term
+    return memoized_reduction(ctx, term, budget, "cccc.whnf.subst", _whnf)
 
 
 def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
@@ -117,9 +154,9 @@ def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
                 term = subst1(body, name, bound)
                 continue
             case App(fn, arg):
-                fn_whnf = whnf(ctx, fn, budget)
+                fn_whnf = whnf_subst(ctx, fn, budget)
                 if isinstance(fn_whnf, Clo):
-                    code_whnf = whnf(ctx, fn_whnf.code, budget)
+                    code_whnf = whnf_subst(ctx, fn_whnf.code, budget)
                     if isinstance(code_whnf, CodeLam):
                         budget.spend()
                         term = _beta(fn_whnf, code_whnf, arg)
@@ -128,28 +165,28 @@ def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
                         fn_whnf = Clo(code_whnf, fn_whnf.env)
                 return term if fn_whnf is fn else App(fn_whnf, arg)
             case Fst(pair):
-                pair_whnf = whnf(ctx, pair, budget)
+                pair_whnf = whnf_subst(ctx, pair, budget)
                 if isinstance(pair_whnf, Pair):
                     budget.spend()
                     term = pair_whnf.fst_val
                     continue
                 return term if pair_whnf is pair else Fst(pair_whnf)
             case Snd(pair):
-                pair_whnf = whnf(ctx, pair, budget)
+                pair_whnf = whnf_subst(ctx, pair, budget)
                 if isinstance(pair_whnf, Pair):
                     budget.spend()
                     term = pair_whnf.snd_val
                     continue
                 return term if pair_whnf is pair else Snd(pair_whnf)
             case If(cond, then_branch, else_branch):
-                cond_whnf = whnf(ctx, cond, budget)
+                cond_whnf = whnf_subst(ctx, cond, budget)
                 if isinstance(cond_whnf, BoolLit):
                     budget.spend()
                     term = then_branch if cond_whnf.value else else_branch
                     continue
                 return term if cond_whnf is cond else If(cond_whnf, then_branch, else_branch)
             case NatElim(motive, base, step, target):
-                target_whnf = whnf(ctx, target, budget)
+                target_whnf = whnf_subst(ctx, target, budget)
                 if isinstance(target_whnf, Zero):
                     budget.spend()
                     term = base
@@ -166,15 +203,11 @@ def _whnf(ctx: Context, term: Term, budget: Budget) -> Term:
                 return term
 
 
-#: Leaf classes whose normal form is always themselves (no children, no δ).
-_NF_TRIVIAL = (Star, Box, Unit, UnitVal, Bool, BoolLit, Nat, Zero)
-
-
 def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
-    """Fully normalize ``term`` under ``ctx``.
+    """Fully normalize ``term`` under ``ctx`` (NbE engine).
 
-    Like :func:`whnf`, results are memoized per (term identity, context
-    definitions) with fuel replay on hits.
+    Environment-independent subcomputations are memoized per (term
+    identity, context definitions) with fuel replay on hits.
     """
     if budget is None:
         budget = Budget()
@@ -184,75 +217,79 @@ def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
         binding = ctx.lookup(term.name)
         if binding is None or binding.definition is None:
             return term
-    token = context_token(ctx)
-    hit = NORMALIZATION_CACHE.lookup("cccc.nf", term, token)
-    if hit is not None:
-        result, steps = hit
-        budget.charge(steps)
-        return result
-    before = budget.spent
-    result = _normalize(ctx, term, budget)
-    NORMALIZATION_CACHE.store("cccc.nf", term, token, result, budget.spent - before)
-    return result
+    return nbe_normalize(_NBE, ctx, term, budget, NORMALIZATION_CACHE, "cccc.nf")
+
+
+def normalize_subst(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
+    """:func:`normalize` on the substitution engine (the counting oracle)."""
+    if budget is None:
+        budget = Budget()
+    if isinstance(term, _NF_TRIVIAL):
+        return term
+    if isinstance(term, Var):
+        binding = ctx.lookup(term.name)
+        if binding is None or binding.definition is None:
+            return term
+    return memoized_reduction(ctx, term, budget, "cccc.nf.subst", _normalize)
 
 
 def _normalize(ctx: Context, term: Term, budget: Budget) -> Term:
-    term = whnf(ctx, term, budget)
+    term = whnf_subst(ctx, term, budget)
     match term:
         case Pi(name, domain, codomain):
             inner = ctx.extend(name, domain)
-            return Pi(name, normalize(ctx, domain, budget), normalize(inner, codomain, budget))
+            return Pi(name, normalize_subst(ctx, domain, budget), normalize_subst(inner, codomain, budget))
         case CodeType(env_name, env_type, arg_name, arg_type, result):
             env_ctx = ctx.extend(env_name, env_type)
             arg_ctx = env_ctx.extend(arg_name, arg_type)
             return CodeType(
                 env_name,
-                normalize(ctx, env_type, budget),
+                normalize_subst(ctx, env_type, budget),
                 arg_name,
-                normalize(env_ctx, arg_type, budget),
-                normalize(arg_ctx, result, budget),
+                normalize_subst(env_ctx, arg_type, budget),
+                normalize_subst(arg_ctx, result, budget),
             )
         case CodeLam(env_name, env_type, arg_name, arg_type, body):
             env_ctx = ctx.extend(env_name, env_type)
             arg_ctx = env_ctx.extend(arg_name, arg_type)
             return CodeLam(
                 env_name,
-                normalize(ctx, env_type, budget),
+                normalize_subst(ctx, env_type, budget),
                 arg_name,
-                normalize(env_ctx, arg_type, budget),
-                normalize(arg_ctx, body, budget),
+                normalize_subst(env_ctx, arg_type, budget),
+                normalize_subst(arg_ctx, body, budget),
             )
         case Clo(code, env):
-            return Clo(normalize(ctx, code, budget), normalize(ctx, env, budget))
+            return Clo(normalize_subst(ctx, code, budget), normalize_subst(ctx, env, budget))
         case App(fn, arg):
-            return App(normalize(ctx, fn, budget), normalize(ctx, arg, budget))
+            return App(normalize_subst(ctx, fn, budget), normalize_subst(ctx, arg, budget))
         case Sigma(name, first, second):
             inner = ctx.extend(name, first)
-            return Sigma(name, normalize(ctx, first, budget), normalize(inner, second, budget))
+            return Sigma(name, normalize_subst(ctx, first, budget), normalize_subst(inner, second, budget))
         case Pair(fst_val, snd_val, annot):
             return Pair(
-                normalize(ctx, fst_val, budget),
-                normalize(ctx, snd_val, budget),
-                normalize(ctx, annot, budget),
+                normalize_subst(ctx, fst_val, budget),
+                normalize_subst(ctx, snd_val, budget),
+                normalize_subst(ctx, annot, budget),
             )
         case Fst(pair):
-            return Fst(normalize(ctx, pair, budget))
+            return Fst(normalize_subst(ctx, pair, budget))
         case Snd(pair):
-            return Snd(normalize(ctx, pair, budget))
+            return Snd(normalize_subst(ctx, pair, budget))
         case If(cond, then_branch, else_branch):
             return If(
-                normalize(ctx, cond, budget),
-                normalize(ctx, then_branch, budget),
-                normalize(ctx, else_branch, budget),
+                normalize_subst(ctx, cond, budget),
+                normalize_subst(ctx, then_branch, budget),
+                normalize_subst(ctx, else_branch, budget),
             )
         case Succ(pred):
-            return Succ(normalize(ctx, pred, budget))
+            return Succ(normalize_subst(ctx, pred, budget))
         case NatElim(motive, base, step, target):
             return NatElim(
-                normalize(ctx, motive, budget),
-                normalize(ctx, base, budget),
-                normalize(ctx, step, budget),
-                normalize(ctx, target, budget),
+                normalize_subst(ctx, motive, budget),
+                normalize_subst(ctx, base, budget),
+                normalize_subst(ctx, step, budget),
+                normalize_subst(ctx, target, budget),
             )
         case _:
             return term
@@ -261,7 +298,7 @@ def _normalize(ctx: Context, term: Term, budget: Budget) -> Term:
 def normalize_counting(ctx: Context, term: Term, fuel: int = DEFAULT_FUEL) -> tuple[Term, int]:
     """Normalize and report the number of reduction steps taken."""
     budget = Budget(remaining=fuel)
-    result = normalize(ctx, term, budget)
+    result = normalize_subst(ctx, term, budget)
     return result, budget.spent
 
 

@@ -1,0 +1,48 @@
+"""The shared iterative pretty-printing driver.
+
+All three printers (``cc.pretty``, ``cccc.pretty``, ``surface.printer``)
+render with the same discipline: a per-calculus ``pieces(term, prec)``
+function decomposes one node into a flat list of string fragments and
+``(subterm, precedence)`` items, and this driver streams them with an
+explicit work stack — so ~10k-node-deep terms (which type errors
+legitimately surface) print without approaching the Python recursion
+limit.  Keeping the driver here means a fix to fragment ordering or
+streaming lands in every printer at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["render", "succ_chain", "wrap"]
+
+
+def render(term: Any, pieces: Callable[[Any, int], list], prec: int) -> str:
+    """Drive ``pieces`` over ``term`` iteratively and join the fragments."""
+    out: list[str] = []
+    stack: list = [(term, prec)]
+    while stack:
+        item = stack.pop()
+        if type(item) is str:
+            out.append(item)
+            continue
+        stack.extend(reversed(pieces(item[0], item[1])))
+    return "".join(out)
+
+
+def wrap(pieces: list, needed: bool) -> list:
+    """Parenthesize a fragment list when the context's precedence demands."""
+    return ["(", *pieces, ")"] if needed else pieces
+
+
+def succ_chain(term: Any, succ_cls: type) -> tuple[int, Any]:
+    """Consume a whole successor chain at once: ``(depth, core)``.
+
+    One scan decides numeral-vs-stuck, keeping deep chains linear to print
+    (per-node ``nat_value`` probes would be quadratic).
+    """
+    depth = 0
+    while isinstance(term, succ_cls):
+        depth += 1
+        term = term.pred
+    return depth, term

@@ -22,7 +22,17 @@ anyway.  This engine decides the same relation *incrementally*:
   interned by any earlier consumer simply get the fast path for free;
 * η-rules (function η in CC, the closure η-principle [≡-Clo1/2] in
   CC-CC) are applied during the spine walk via per-calculus hooks, not by
-  a separate pass over normal forms.
+  a separate pass over normal forms;
+* the ``whnf`` hook each calculus supplies is backed by the **NbE
+  environment machine** (:mod:`repro.kernel.nbe`): each side is evaluated
+  to a semantic weak value (closures and memoizing thunks instead of
+  eager substitution), then quoted back to a weak-head-normal term via
+  *pruned delayed substitution* — arguments left untouched by reduction
+  residualize as pointer-shared originals.  β-heavy heads therefore cost
+  the machine's call-by-need discipline instead of per-step tree
+  rewriting; comparing machine values spine-to-spine without any
+  quotation is a noted next step (ROADMAP "NbE-native conversion
+  values").
 
 The walk itself is **iterative** (an explicit stack of pending
 comparisons): conversion is a pure conjunction — no rule ever backtracks —

@@ -15,6 +15,12 @@ computation spent, and every hit replays that cost into the caller's
 (``normalize_counting``) and fuel exhaustion are bit-for-bit identical to
 an uncached run, merely cheaper.
 
+``kind`` carries the *engine* as well as the judgment: the NbE machine
+(:mod:`repro.kernel.nbe`) stores under ``"cc.whnf"``/``"cc.nf"`` while the
+substitution oracle stores under ``"cc.whnf.subst"``/``"cc.nf.subst"`` (and
+likewise for CC-CC), so the two engines never exchange results or recorded
+fuel — each replays exactly the cost model it computes under.
+
 The fingerprinting machinery is generic (:class:`ContextTokenizer`): a
 token is derived from a shadowing-resolved ``name -> value`` map computed
 incrementally along the parent links contexts carry, parameterized by how
@@ -37,7 +43,14 @@ from typing import Any, Callable
 
 from repro.kernel.cache import register_cache
 
-__all__ = ["NORMALIZATION_CACHE", "ContextTokenizer", "NormalizationCache", "context_token"]
+__all__ = [
+    "NORMALIZATION_CACHE",
+    "ContextTokenizer",
+    "NormalizationCache",
+    "context_token",
+    "head_is_weak_normal",
+    "memoized_reduction",
+]
 
 _PARENT_ATTR = "_kernel_parent"
 
@@ -206,3 +219,34 @@ class NormalizationCache:
 
 
 NORMALIZATION_CACHE = register_cache(NormalizationCache())
+
+
+def memoized_reduction(ctx: Any, term: Any, budget: Any, kind: str, compute: Callable) -> Any:
+    """Run ``compute(ctx, term, budget)`` through the normalization memo.
+
+    The one definition of the memo discipline — token, fuel-replaying
+    lookup, store — shared by both calculi's reduction wrappers (NbE and
+    substitution-oracle alike), so no engine can desynchronize on it.
+    """
+    token = context_token(ctx)
+    hit = NORMALIZATION_CACHE.lookup(kind, term, token)
+    if hit is not None:
+        result, steps = hit
+        budget.charge(steps)
+        return result
+    before = budget.spent
+    result = compute(ctx, term, budget)
+    NORMALIZATION_CACHE.store(kind, term, token, result, budget.spent - before)
+    return result
+
+
+def head_is_weak_normal(ctx: Any, term: Any, var_cls: type, active: tuple) -> bool:
+    """Is ``term`` already weak-head normal (no memo round-trip needed)?
+
+    Fast path for the overwhelmingly common cases: a neutral variable
+    needs one context probe, and non-``active`` heads cannot reduce.
+    """
+    if isinstance(term, var_cls):
+        binding = ctx.lookup(term.name)
+        return binding is None or binding.definition is None
+    return not isinstance(term, active)

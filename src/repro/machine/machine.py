@@ -16,6 +16,8 @@ arguments, but never eliminated.
 
 from __future__ import annotations
 
+import sys
+import threading
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -45,7 +47,14 @@ class MachineError(ReproError):
 
 @dataclass
 class MachineStats:
-    """Cost counters for one program run."""
+    """Cost counters for one program run.
+
+    ``env_allocs``/``max_env_size`` mirror the NbE engine's environment
+    discipline (one environment per activation or ``let``), so machine
+    benchmarks and :mod:`repro.kernel.nbe` normalization can be compared on
+    the same axes: closures allocated, environments allocated, and how wide
+    those environments grow.
+    """
 
     steps: int = 0
     closure_allocs: int = 0  # ⟨⟨code, env⟩⟩ objects built
@@ -53,6 +62,8 @@ class MachineStats:
     projections: int = 0  # fst/snd dereferences
     code_lookups: int = 0  # static code-table fetches
     max_frame_size: int = 0  # largest activation record (should stay ≤ 2 + table)
+    env_allocs: int = 0  # environment dicts built (activation records + lets)
+    max_env_size: int = 0  # widest environment ever built
 
 
 # -- runtime values ----------------------------------------------------------
@@ -135,99 +146,167 @@ class _Machine:
         return code
 
     def eval(self, term: cccc.Term, env: dict[str, Value]) -> Value:
-        self.stats.steps += 1
-        self.stats.max_frame_size = max(self.stats.max_frame_size, len(env))
-        match term:
-            case cccc.Var(name):
-                if name in env:
-                    return env[name]
-                if name in self.program.code_table:
-                    return MCode(name)
-                raise MachineError(f"unbound variable at runtime: {name!r}")
-            case cccc.Clo(code, env_expr):
-                code_value = self.eval(code, env)
-                if not isinstance(code_value, MCode):
-                    raise MachineError("closure over a non-code value")
-                env_value = self.eval(env_expr, env)
-                self.stats.closure_allocs += 1
-                return MClo(code_value, env_value)
-            case cccc.App(fn, arg):
-                fn_value = self.eval(fn, env)
-                arg_value = self.eval(arg, env)
-                return self.apply(fn_value, arg_value)
-            case cccc.Let(name, bound, _annot, body):
-                bound_value = self.eval(bound, env)
-                inner = dict(env)
-                inner[name] = bound_value
-                return self.eval(body, inner)
-            case cccc.Pair(fst_val, snd_val, _annot):
-                self.stats.tuple_allocs += 1
-                return MPair(self.eval(fst_val, env), self.eval(snd_val, env))
-            case cccc.Fst(pair):
-                self.stats.projections += 1
-                value = self.eval(pair, env)
-                if not isinstance(value, MPair):
-                    raise MachineError("fst of a non-pair")
-                return value.first
-            case cccc.Snd(pair):
-                self.stats.projections += 1
-                value = self.eval(pair, env)
-                if not isinstance(value, MPair):
-                    raise MachineError("snd of a non-pair")
-                return value.second
-            case cccc.UnitVal():
-                return MUnit()
-            case cccc.BoolLit(value):
-                return MBool(value)
-            case cccc.If(cond, then_branch, else_branch):
-                cond_value = self.eval(cond, env)
-                if not isinstance(cond_value, MBool):
-                    raise MachineError("if on a non-boolean")
-                return self.eval(then_branch if cond_value.value else else_branch, env)
-            case cccc.Zero():
-                return MNat(0)
-            case cccc.Succ(pred):
-                value = self.eval(pred, env)
-                if not isinstance(value, MNat):
-                    raise MachineError("succ of a non-number")
-                return MNat(value.value + 1)
-            case cccc.NatElim(_motive, base, step, target):
-                target_value = self.eval(target, env)
-                if not isinstance(target_value, MNat):
-                    raise MachineError("natelim of a non-number")
-                accumulator = self.eval(base, env)
-                step_value = self.eval(step, env)
-                for index in range(target_value.value):
-                    partial = self.apply(step_value, MNat(index))
-                    accumulator = self.apply(partial, accumulator)
-                return accumulator
-            case cccc.CodeLam():
-                raise MachineError("un-hoisted code literal reached the machine")
-            case _ if isinstance(term, _TYPE_NODES):
-                return MType(type(term).__name__)
-            case _:
-                raise MachineError(f"cannot evaluate {term!r}")
+        # Tail positions (let/if bodies, β-entry) iterate instead of
+        # recursing, so call depth tracks term depth, not reduction length;
+        # genuinely deep *terms* are covered by the stack guard in `run`.
+        while True:
+            self.stats.steps += 1
+            self.stats.max_frame_size = max(self.stats.max_frame_size, len(env))
+            match term:
+                case cccc.Var(name):
+                    if name in env:
+                        return env[name]
+                    if name in self.program.code_table:
+                        return MCode(name)
+                    raise MachineError(f"unbound variable at runtime: {name!r}")
+                case cccc.Clo(code, env_expr):
+                    code_value = self.eval(code, env)
+                    if not isinstance(code_value, MCode):
+                        raise MachineError("closure over a non-code value")
+                    env_value = self.eval(env_expr, env)
+                    self.stats.closure_allocs += 1
+                    return MClo(code_value, env_value)
+                case cccc.App(fn, arg):
+                    fn_value = self.eval(fn, env)
+                    arg_value = self.eval(arg, env)
+                    if not isinstance(fn_value, MClo):
+                        raise MachineError(f"application of non-closure {fn_value!r}")
+                    self.stats.steps += 1
+                    code = self.lookup_code(fn_value.code.label)
+                    env = self._frame(code, fn_value.env, arg_value)
+                    term = code.body
+                    continue
+                case cccc.Let(name, bound, _annot, body):
+                    bound_value = self.eval(bound, env)
+                    inner = dict(env)
+                    inner[name] = bound_value
+                    self.stats.env_allocs += 1
+                    self.stats.max_env_size = max(self.stats.max_env_size, len(inner))
+                    term, env = body, inner
+                    continue
+                case cccc.Pair(fst_val, snd_val, _annot):
+                    self.stats.tuple_allocs += 1
+                    return MPair(self.eval(fst_val, env), self.eval(snd_val, env))
+                case cccc.Fst(pair):
+                    self.stats.projections += 1
+                    value = self.eval(pair, env)
+                    if not isinstance(value, MPair):
+                        raise MachineError("fst of a non-pair")
+                    return value.first
+                case cccc.Snd(pair):
+                    self.stats.projections += 1
+                    value = self.eval(pair, env)
+                    if not isinstance(value, MPair):
+                        raise MachineError("snd of a non-pair")
+                    return value.second
+                case cccc.UnitVal():
+                    return MUnit()
+                case cccc.BoolLit(value):
+                    return MBool(value)
+                case cccc.If(cond, then_branch, else_branch):
+                    cond_value = self.eval(cond, env)
+                    if not isinstance(cond_value, MBool):
+                        raise MachineError("if on a non-boolean")
+                    term = then_branch if cond_value.value else else_branch
+                    continue
+                case cccc.Zero():
+                    return MNat(0)
+                case cccc.Succ(pred):
+                    value = self.eval(pred, env)
+                    if not isinstance(value, MNat):
+                        raise MachineError("succ of a non-number")
+                    return MNat(value.value + 1)
+                case cccc.NatElim(_motive, base, step, target):
+                    target_value = self.eval(target, env)
+                    if not isinstance(target_value, MNat):
+                        raise MachineError("natelim of a non-number")
+                    accumulator = self.eval(base, env)
+                    step_value = self.eval(step, env)
+                    for index in range(target_value.value):
+                        partial = self.apply(step_value, MNat(index))
+                        accumulator = self.apply(partial, accumulator)
+                    return accumulator
+                case cccc.CodeLam():
+                    raise MachineError("un-hoisted code literal reached the machine")
+                case _ if isinstance(term, _TYPE_NODES):
+                    return MType(type(term).__name__)
+                case _:
+                    raise MachineError(f"cannot evaluate {term!r}")
+
+    def _frame(self, code: cccc.CodeLam, env_value: Value, arg_value: Value) -> dict[str, Value]:
+        # The paper's closedness guarantee, realized: the activation
+        # record is exactly {environment, argument}.
+        frame: dict[str, Value] = {
+            code.env_name: env_value,
+            code.arg_name: arg_value,
+        }
+        self.stats.env_allocs += 1
+        self.stats.max_env_size = max(self.stats.max_env_size, len(frame))
+        return frame
 
     def apply(self, fn_value: Value, arg_value: Value) -> Value:
         self.stats.steps += 1
         if not isinstance(fn_value, MClo):
             raise MachineError(f"application of non-closure {fn_value!r}")
         code = self.lookup_code(fn_value.code.label)
-        # The paper's closedness guarantee, realized: the activation
-        # record is exactly {environment, argument}.
-        frame: dict[str, Value] = {
-            code.env_name: fn_value.env,
-            code.arg_name: arg_value,
-        }
-        return self.eval(code.body, frame)
+        return self.eval(code.body, self._frame(code, fn_value.env, arg_value))
+
+
+#: Programs larger than this run inside a dedicated worker thread with a
+#: deep C stack and a raised recursion limit: ``eval``'s remaining
+#: recursion (argument positions) is bounded by *term* depth, which for
+#: ~10k-node-deep programs exceeds the default interpreter limits.  Size
+#: must count the code table too — hoisting moves every deep body out of
+#: ``main`` and into it.
+_DEEP_TERM_THRESHOLD = 2_000
+_DEEP_STACK_BYTES = 256 * 1024 * 1024
+
+
+def _run_guarded(machine: _Machine, term: cccc.Term, size: int) -> Value:
+    """Evaluate in a thread with a deep stack (bump-guarded recursion)."""
+    result: list = []
+    failure: list = []
+
+    def worker() -> None:
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 4 * size + 10_000))
+        try:
+            result.append(machine.eval(term, {}))
+        except BaseException as error:  # noqa: BLE001 — re-raised in the caller
+            failure.append(error)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    old_size = threading.stack_size(_DEEP_STACK_BYTES)
+    try:
+        thread = threading.Thread(target=worker, name="repro-machine-deep")
+        thread.start()
+        thread.join()
+    finally:
+        threading.stack_size(old_size)
+    if failure:
+        raise failure[0]
+    return result[0]
 
 
 def run(program: Program, stats: MachineStats | None = None) -> tuple[Value, MachineStats]:
-    """Execute a hoisted program to a value, returning (value, counters)."""
+    """Execute a hoisted program to a value, returning (value, counters).
+
+    Deep programs (main plus code-table bodies past
+    ``_DEEP_TERM_THRESHOLD`` nodes) are evaluated under a dedicated
+    deep-stack thread so that evaluation depth is bounded by memory, not
+    the interpreter's default recursion limit.
+    """
     if stats is None:
         stats = MachineStats()
     machine = _Machine(program, stats)
-    value = machine.eval(program.main, {})
+    size = cccc.term_size(program.main) + sum(
+        cccc.term_size(code) for code in program.code_table.values()
+    )
+    if size > _DEEP_TERM_THRESHOLD:
+        value = _run_guarded(machine, program.main, size)
+    else:
+        value = machine.eval(program.main, {})
     return value, stats
 
 

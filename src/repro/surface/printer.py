@@ -5,12 +5,19 @@ variable names are lexable identifiers; machine-generated names (which
 contain ``$``) are sanitized first.  The round-trip property is tested in
 ``tests/test_surface_printer.py`` and used by the CLI to emit readable
 output.
+
+Both passes are **iterative**: the renderer streams string fragments via
+the shared work-stack engine of :mod:`repro.common.render`, and the binder
+sanitizer is a spec-driven post-order rebuild, so ~10k-node-deep terms
+print without approaching the Python recursion limit.
 """
 
 from __future__ import annotations
 
 from repro import cc
+from repro.cc.ast import LANGUAGE
 from repro.common.names import base_name, is_machine_name
+from repro.common.render import render, succ_chain, wrap as _wrap
 
 __all__ = ["sanitize_names", "to_surface"]
 
@@ -22,7 +29,7 @@ _PREC_ATOM = 3
 
 def to_surface(term: cc.Term) -> str:
     """Render ``term`` as parseable surface syntax."""
-    return _pp(sanitize_names(term), _PREC_TERM)
+    return render(sanitize_names(term), _pieces, _PREC_TERM)
 
 
 def sanitize_names(term: cc.Term) -> cc.Term:
@@ -42,59 +49,59 @@ def _sanitize(name: str) -> str:
 
 
 def _sanitize_binders(term: cc.Term) -> cc.Term:
-    """Rename machine-named binders via capture-avoiding substitution."""
-    match term:
-        case cc.Pi(name, domain, codomain) | cc.Lam(name, domain, codomain) | cc.Sigma(
-            name, domain, codomain
-        ):
-            node = type(term)
-            clean_domain = _sanitize_binders(domain)
-            clean_body = _sanitize_binders(codomain)
-            if is_machine_name(name):
-                fresh_name = _unused(_sanitize(name), clean_body)
-                clean_body = cc.subst1(clean_body, name, cc.Var(fresh_name))
-                name = fresh_name
-            return node(name, clean_domain, clean_body)
-        case cc.Let(name, bound, annot, body):
-            clean_bound = _sanitize_binders(bound)
-            clean_annot = _sanitize_binders(annot)
-            clean_body = _sanitize_binders(body)
-            if is_machine_name(name):
-                fresh_name = _unused(_sanitize(name), clean_body)
-                clean_body = cc.subst1(clean_body, name, cc.Var(fresh_name))
-                name = fresh_name
-            return cc.Let(name, clean_bound, clean_annot, clean_body)
-        case _:
-            rebuilt_children = [
-                (names, _sanitize_binders(sub)) for names, sub in _children(term)
-            ]
-            return _rebuild(term, [sub for _, sub in rebuilt_children])
+    """Rename machine-named binders via capture-avoiding substitution.
 
-
-def _children(term: cc.Term):
-    from repro.cc.ast import children
-
-    return children(term)
-
-
-def _rebuild(term: cc.Term, new_children: list[cc.Term]) -> cc.Term:
-    match term:
-        case cc.App():
-            return cc.App(*new_children)
-        case cc.Pair():
-            return cc.Pair(*new_children)
-        case cc.Fst():
-            return cc.Fst(*new_children)
-        case cc.Snd():
-            return cc.Snd(*new_children)
-        case cc.If():
-            return cc.If(*new_children)
-        case cc.Succ():
-            return cc.Succ(*new_children)
-        case cc.NatElim():
-            return cc.NatElim(*new_children)
-        case _:
-            return term
+    Iterative post-order rebuild driven by the kernel node specs; subtrees
+    without machine names are shared with the input unchanged.
+    """
+    out: list = [None]
+    # Tasks: ("visit", term, dest, idx) | ("build", node, spec, parts, dest, idx)
+    tasks: list = [("visit", term, out, 0)]
+    while tasks:
+        task = tasks.pop()
+        if task[0] == "visit":
+            _, node, dest, idx = task
+            spec = LANGUAGE.spec(node)
+            if not spec.children:
+                dest[idx] = node
+                continue
+            parts: list = [None] * len(spec.children)
+            tasks.append(("build", node, spec, parts, dest, idx))
+            for position, child in enumerate(spec.children):
+                tasks.append(("visit", getattr(node, child.attr), parts, position))
+        else:
+            _, node, spec, parts, dest, idx = task
+            rebuilt = dict(zip((child.attr for child in spec.children), parts))
+            names = {attr: getattr(node, attr) for attr in spec.binder_attrs}
+            for attr, name in names.items():
+                if not is_machine_name(name):
+                    continue
+                scoped = [
+                    child.attr for child in spec.children if attr in child.binders
+                ]
+                fresh_name = _unused(
+                    _sanitize(name), *(rebuilt[child_attr] for child_attr in scoped)
+                )
+                for child_attr in scoped:
+                    rebuilt[child_attr] = cc.subst1(
+                        rebuilt[child_attr], name, cc.Var(fresh_name)
+                    )
+                names[attr] = fresh_name
+            if all(value is getattr(node, attr) for attr, value in rebuilt.items()) and all(
+                name is getattr(node, attr) for attr, name in names.items()
+            ):
+                dest[idx] = node
+                continue
+            args = []
+            for attr in spec.field_order:
+                if attr in names:
+                    args.append(names[attr])
+                elif attr in rebuilt:
+                    args.append(rebuilt[attr])
+                else:
+                    args.append(getattr(node, attr))
+            dest[idx] = type(node)(*args)
+    return out[0]
 
 
 def _all_names(term: cc.Term) -> set[str]:
@@ -109,11 +116,13 @@ def _all_names(term: cc.Term) -> set[str]:
     return names
 
 
-def _unused(base: str, body: cc.Term) -> str:
+def _unused(base: str, *bodies: cc.Term) -> str:
     # Avoid *any* occurring name, not just free ones: colliding with a bound
     # name would make the capture-avoiding substitution rename that binder
     # with a fresh (machine, unlexable) name, defeating the sanitizer.
-    used = _all_names(body)
+    used: set[str] = set()
+    for body in bodies:
+        used |= _all_names(body)
     candidate = base
     counter = 0
     while candidate in used:
@@ -122,71 +131,97 @@ def _unused(base: str, body: cc.Term) -> str:
     return candidate
 
 
-def _pp(term: cc.Term, prec: int) -> str:
+def _pieces(term: cc.Term, prec: int) -> list:
+    """The fragments of ``term`` at ``prec``: strings and (subterm, prec)."""
     match term:
         case cc.Var(name):
-            return name
+            return [name]
         case cc.Star():
-            return "Type"
+            return ["Type"]
         case cc.Box():
-            return "Kind"
+            return ["Kind"]
         case cc.Bool():
-            return "Bool"
+            return ["Bool"]
         case cc.BoolLit(value):
-            return "true" if value else "false"
+            return ["true" if value else "false"]
         case cc.Nat():
-            return "Nat"
+            return ["Nat"]
         case cc.Zero():
-            return "0"
+            return ["0"]
         case cc.Succ():
-            value = cc.nat_value(term)
-            if value is not None:
-                return str(value)
-            return _parens(f"succ {_pp(term.pred, _PREC_ATOM)}", prec > _PREC_APP)
+            depth, core = succ_chain(term, cc.Succ)
+            if isinstance(core, cc.Zero):
+                return [str(depth)]
+            pieces = ["succ (" * (depth - 1), "succ ", (core, _PREC_ATOM), ")" * (depth - 1)]
+            return _wrap(pieces, prec > _PREC_APP)
         case cc.Pi(name, domain, codomain):
-            if name == "_" or name not in cc.free_vars(codomain):
-                text = f"{_pp(domain, _PREC_APP)} -> {_pp(codomain, _PREC_ARROW)}"
-                return _parens(text, prec > _PREC_ARROW)
-            text = f"forall ({name} : {_pp(domain, _PREC_TERM)}), {_pp(codomain, _PREC_TERM)}"
-            return _parens(text, prec > _PREC_TERM)
+            if name == "_" or name not in cc.cached_free_vars(codomain):
+                pieces = [(domain, _PREC_APP), " -> ", (codomain, _PREC_ARROW)]
+                return _wrap(pieces, prec > _PREC_ARROW)
+            pieces = [
+                f"forall ({name} : ",
+                (domain, _PREC_TERM),
+                "), ",
+                (codomain, _PREC_TERM),
+            ]
+            return _wrap(pieces, prec > _PREC_TERM)
         case cc.Lam(name, domain, body):
-            text = f"\\ ({name} : {_pp(domain, _PREC_TERM)}). {_pp(body, _PREC_TERM)}"
-            return _parens(text, prec > _PREC_TERM)
+            pieces = [f"\\ ({name} : ", (domain, _PREC_TERM), "). ", (body, _PREC_TERM)]
+            return _wrap(pieces, prec > _PREC_TERM)
         case cc.App(fn, arg):
-            text = f"{_pp(fn, _PREC_APP)} {_pp(arg, _PREC_ATOM)}"
-            return _parens(text, prec > _PREC_APP)
+            return _wrap([(fn, _PREC_APP), " ", (arg, _PREC_ATOM)], prec > _PREC_APP)
         case cc.Let(name, bound, annot, body):
-            text = (
-                f"let {name} = {_pp(bound, _PREC_TERM)}"
-                f" : {_pp(annot, _PREC_APP)} in {_pp(body, _PREC_TERM)}"
-            )
-            return _parens(text, prec > _PREC_TERM)
+            pieces = [
+                f"let {name} = ",
+                (bound, _PREC_TERM),
+                " : ",
+                (annot, _PREC_APP),
+                " in ",
+                (body, _PREC_TERM),
+            ]
+            return _wrap(pieces, prec > _PREC_TERM)
         case cc.Sigma(name, first, second):
-            text = f"exists ({name} : {_pp(first, _PREC_TERM)}), {_pp(second, _PREC_TERM)}"
-            return _parens(text, prec > _PREC_TERM)
+            pieces = [
+                f"exists ({name} : ",
+                (first, _PREC_TERM),
+                "), ",
+                (second, _PREC_TERM),
+            ]
+            return _wrap(pieces, prec > _PREC_TERM)
         case cc.Pair(fst_val, snd_val, annot):
-            return (
-                f"<{_pp(fst_val, _PREC_TERM)}, {_pp(snd_val, _PREC_TERM)}>"
-                f" as {_pp(annot, _PREC_ATOM)}"
-            )
+            return [
+                "<",
+                (fst_val, _PREC_TERM),
+                ", ",
+                (snd_val, _PREC_TERM),
+                "> as ",
+                (annot, _PREC_ATOM),
+            ]
         case cc.Fst(pair):
-            return _parens(f"fst {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+            return _wrap(["fst ", (pair, _PREC_ATOM)], prec > _PREC_APP)
         case cc.Snd(pair):
-            return _parens(f"snd {_pp(pair, _PREC_ATOM)}", prec > _PREC_APP)
+            return _wrap(["snd ", (pair, _PREC_ATOM)], prec > _PREC_APP)
         case cc.If(cond, then_branch, else_branch):
-            text = (
-                f"if {_pp(cond, _PREC_TERM)} then {_pp(then_branch, _PREC_TERM)}"
-                f" else {_pp(else_branch, _PREC_TERM)}"
-            )
-            return _parens(text, prec > _PREC_TERM)
+            pieces = [
+                "if ",
+                (cond, _PREC_TERM),
+                " then ",
+                (then_branch, _PREC_TERM),
+                " else ",
+                (else_branch, _PREC_TERM),
+            ]
+            return _wrap(pieces, prec > _PREC_TERM)
         case cc.NatElim(motive, base, step, target):
-            return (
-                f"natelim({_pp(motive, _PREC_TERM)}, {_pp(base, _PREC_TERM)},"
-                f" {_pp(step, _PREC_TERM)}, {_pp(target, _PREC_TERM)})"
-            )
+            return [
+                "natelim(",
+                (motive, _PREC_TERM),
+                ", ",
+                (base, _PREC_TERM),
+                ", ",
+                (step, _PREC_TERM),
+                ", ",
+                (target, _PREC_TERM),
+                ")",
+            ]
         case _:
             raise TypeError(f"not a CC term: {term!r}")
-
-
-def _parens(text: str, needed: bool) -> str:
-    return f"({text})" if needed else text

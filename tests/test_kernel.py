@@ -321,3 +321,74 @@ class TestDeepTerms:
         left = _app_spine(cc, SPINE_DEPTH)
         right = _app_spine(cc, SPINE_DEPTH)
         assert cc.intern(left) is cc.intern(right)
+
+
+class TestDeepPretty:
+    """The pretty printers are iterative: ~10k-deep terms render fine.
+
+    Error messages embed pretty-printed terms, so a deep ill-typed program
+    must not turn a `TypeCheckError` into a `RecursionError`.
+    """
+
+    def test_cc_deep_spine_pretty(self):
+        spine = _app_spine(cc, SPINE_DEPTH)
+        text = cc.pretty(spine)
+        assert text.startswith("x y") and text.endswith(" y")
+
+    def test_cc_deep_numeral_pretty(self):
+        assert cc.pretty(cc.nat_literal(SPINE_DEPTH)) == str(SPINE_DEPTH)
+
+    def test_cc_deep_stuck_succ_pretty(self):
+        term = cc.Var("k")
+        for _ in range(SPINE_DEPTH):
+            term = cc.Succ(term)
+        text = cc.pretty(term)
+        assert text.startswith("succ (succ (") and text.endswith("k" + ")" * (SPINE_DEPTH - 1))
+
+    def test_cc_deep_lam_nest_pretty(self):
+        body = cc.Var("x0")
+        for index in range(SPINE_DEPTH - 1, -1, -1):
+            body = cc.Lam(f"x{index}", cc.Nat(), body)
+        text = cc.pretty(body)
+        assert text.startswith("λ (x0 : Nat). ")
+
+    def test_cccc_deep_pair_tower_pretty(self):
+        annot = cccc.Sigma("t", cccc.Nat(), cccc.Nat())
+        tower = cccc.Zero()
+        for _ in range(SPINE_DEPTH):
+            tower = cccc.Pair(tower, cccc.Zero(), annot)
+        text = cccc.pretty(tower)
+        assert text.startswith("⟨" * SPINE_DEPTH + "0")
+
+    def test_cccc_deep_clo_nest_pretty(self):
+        term = cccc.Var("f")
+        for _ in range(SPINE_DEPTH):
+            term = cccc.Clo(term, cccc.UnitVal())
+        text = cccc.pretty(term)
+        assert text.startswith("⟨⟨" * 2)
+
+    def test_surface_printer_deep_spine(self):
+        from repro.surface.printer import to_surface
+
+        spine = _app_spine(cc, SPINE_DEPTH)
+        assert to_surface(spine).startswith("x y")
+
+    def test_surface_printer_deep_binders_round_trip_prefix(self):
+        from repro.surface.printer import to_surface
+
+        body = cc.Var("x0")
+        for index in range(SPINE_DEPTH - 1, -1, -1):
+            body = cc.Lam(f"x{index}", cc.Nat(), body)
+        assert to_surface(body).startswith("\\ (x0 : Nat). ")
+
+    def test_deep_type_error_message_prints(self, empty):
+        # An ill-typed program whose error message embeds a ~10k-node-deep
+        # subterm: the failure must stay a TypeCheckError, not become a
+        # RecursionError inside the pretty printer.
+        from repro.common.errors import TypeCheckError
+
+        deep = cc.nat_literal(SPINE_DEPTH)
+        term = cc.App(cc.Zero(), deep)
+        with pytest.raises(TypeCheckError) as excinfo:
+            cc.infer(empty, term)
+        assert str(excinfo.value)

@@ -9,6 +9,7 @@ from repro.common.errors import TranslationError
 from repro.machine import (
     MachineError,
     MachineStats,
+    MNat,
     hoist,
     machine_observation,
     program_context,
@@ -144,3 +145,39 @@ class TestMachine:
         first = stats.steps
         run(hoist(term), stats)
         assert stats.steps > first  # accumulates
+
+
+class TestDeepPrograms:
+    """The machine evaluates ~10k-node-deep programs (deep-stack guard)."""
+
+    def test_deep_main_term(self):
+        from repro.machine import Program
+
+        program = Program({}, cccc.nat_literal(10_000))
+        value, stats = run(program)
+        assert value == MNat(10_000)
+
+    def test_deep_code_table_body(self):
+        # Hoisting moves deep bodies out of main and into the code table;
+        # the guard must count them (main itself stays tiny).
+        from repro.machine import Program
+
+        code = cccc.CodeLam("env", cccc.Unit(), "a", cccc.Unit(), cccc.nat_literal(6_000))
+        program = Program(
+            {"code$0": code},
+            cccc.App(cccc.Clo(cccc.Var("code$0"), cccc.UnitVal()), cccc.UnitVal()),
+        )
+        value, stats = run(program)
+        assert value == MNat(6_000)
+        assert stats.env_allocs == 1
+        assert stats.max_env_size == 2  # exactly {environment, argument}
+
+    def test_deep_let_chain(self):
+        from repro.machine import Program
+
+        body: cccc.Term = cccc.Zero()
+        for index in range(5_000):
+            body = cccc.Let(f"x{index}", cccc.Zero(), cccc.Nat(), body)
+        value, stats = run(Program({}, body))
+        assert value == MNat(0)
+        assert stats.env_allocs == 5_000

@@ -1,0 +1,244 @@
+"""Differential tests: the NbE engine agrees with the substitution oracle.
+
+``cc.whnf``/``cc.normalize`` (and the CC-CC twins) are now backed by the
+environment machine of ``repro.kernel.nbe``; the substitution engine
+survives as ``whnf_subst``/``normalize_subst``.  These tests quantify the
+agreement over the corpus and the ``gen/`` workloads for both calculi:
+
+* α-equal results for ``whnf`` and ``normalize`` (for ``whnf`` the *fuel*
+  must match too: both engines charge one unit per head contraction, in
+  the same order);
+* identical ``equivalent`` verdicts against the pre-NbE baseline
+  (normalize-with-the-oracle, then α-compare up to η);
+* identical error behaviour on fuel exhaustion;
+* the 10k-deep corpus, where only the iterative NbE engine can answer at
+  all (the recursive substitution normalizer exceeds the Python stack).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from corpus import CORPUS, corpus_ids
+from repro import cc, cccc
+from repro.cc import prelude
+from repro.cc.equiv import norm_equal_eta
+from repro.cc.reduce import normalize_subst as cc_normalize_subst
+from repro.cc.reduce import whnf_subst as cc_whnf_subst
+from repro.cccc.reduce import normalize_subst as cccc_normalize_subst
+from repro.cccc.reduce import whnf_subst as cccc_whnf_subst
+from repro.closconv.translate import translate, translate_context
+from repro.common.errors import NormalizationDepthExceeded
+from repro.common.names import reset_fresh_counter
+from repro.gen import GenConfig, TermGenerator
+from repro.kernel.budget import Budget
+
+SEEDS = range(600, 614)
+DEEP = 10_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    reset_fresh_counter()
+    yield
+
+
+def _generated(seed: int):
+    triple = TermGenerator(seed, GenConfig(redex_probability=0.5)).well_typed_term()
+    if triple is None:
+        pytest.skip(f"seed {seed} produced no well-typed term")
+    return triple
+
+
+class TestCCAgainstOracle:
+    @pytest.mark.parametrize("name, ctx, term", CORPUS, ids=corpus_ids())
+    def test_corpus_whnf_agrees_with_fuel(self, name, ctx, term):
+        reset_fresh_counter()
+        nbe_budget = Budget()
+        nbe = cc.whnf(ctx, term, nbe_budget)
+        reset_fresh_counter()
+        oracle_budget = Budget()
+        oracle = cc_whnf_subst(ctx, term, oracle_budget)
+        assert cc.alpha_equal(nbe, oracle)
+        assert nbe_budget.spent == oracle_budget.spent
+
+    @pytest.mark.parametrize("name, ctx, term", CORPUS, ids=corpus_ids())
+    def test_corpus_normalize_agrees(self, name, ctx, term):
+        reset_fresh_counter()
+        nbe = cc.normalize(ctx, term)
+        reset_fresh_counter()
+        oracle = cc_normalize_subst(ctx, term)
+        assert cc.alpha_equal(nbe, oracle)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_whnf_agrees_with_fuel(self, seed):
+        ctx, term, _ = _generated(seed)
+        reset_fresh_counter()
+        nbe_budget = Budget()
+        nbe = cc.whnf(ctx, term, nbe_budget)
+        reset_fresh_counter()
+        oracle_budget = Budget()
+        oracle = cc_whnf_subst(ctx, term, oracle_budget)
+        assert cc.alpha_equal(nbe, oracle)
+        assert nbe_budget.spent == oracle_budget.spent
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_normalize_agrees(self, seed):
+        ctx, term, _ = _generated(seed)
+        reset_fresh_counter()
+        nbe = cc.normalize(ctx, term)
+        reset_fresh_counter()
+        oracle = cc_normalize_subst(ctx, term)
+        assert cc.alpha_equal(nbe, oracle)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_verdicts_match_baseline(self, seed):
+        # The NbE-backed incremental `equivalent` agrees with the pre-NbE
+        # baseline decision procedure (oracle-normalize then α-η-compare).
+        ctx, term, _ = _generated(seed)
+        normal = cc_normalize_subst(ctx, term)
+        baseline = norm_equal_eta(cc_normalize_subst(ctx, term), normal)
+        assert cc.equivalent(ctx, term, normal) is baseline is True
+        different = cc.Succ(cc.Var("distinct$oracle"))
+        assert cc.equivalent(ctx, term, different) is norm_equal_eta(normal, different)
+
+
+class TestCCCCAgainstOracle:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_translated_whnf_agrees_with_fuel(self, seed):
+        ctx, term, _ = _generated(seed)
+        target_ctx = translate_context(ctx)
+        target = translate(ctx, term)
+        reset_fresh_counter()
+        nbe_budget = Budget()
+        nbe = cccc.whnf(target_ctx, target, nbe_budget)
+        reset_fresh_counter()
+        oracle_budget = Budget()
+        oracle = cccc_whnf_subst(target_ctx, target, oracle_budget)
+        assert cccc.alpha_equal(nbe, oracle)
+        assert nbe_budget.spent == oracle_budget.spent
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_translated_normalize_agrees(self, seed):
+        ctx, term, _ = _generated(seed)
+        target_ctx = translate_context(ctx)
+        target = translate(ctx, term)
+        reset_fresh_counter()
+        nbe = cccc.normalize(target_ctx, target)
+        reset_fresh_counter()
+        oracle = cccc_normalize_subst(target_ctx, target)
+        assert cccc.alpha_equal(nbe, oracle)
+
+    def test_closure_beta_parallel_binding(self, empty_target):
+        # The β-capture hazard `_beta` guards: the environment value is
+        # free in the argument binder's name.  Both engines must bind in
+        # parallel, never sequentially.
+        code = cccc.CodeLam(
+            "e", cccc.Nat(), "a", cccc.Nat(),
+            cccc.Pair(cccc.Var("e"), cccc.Var("a"), cccc.Sigma("s", cccc.Nat(), cccc.Nat())),
+        )
+        ctx = empty_target.extend("a", cccc.Nat())
+        term = cccc.App(cccc.Clo(code, cccc.Var("a")), cccc.Zero())
+        reset_fresh_counter()
+        nbe = cccc.normalize(ctx, term)
+        reset_fresh_counter()
+        oracle = cccc_normalize_subst(ctx, term)
+        assert cccc.alpha_equal(nbe, oracle)
+        assert nbe.fst_val == cccc.Var("a")  # the env's `a` stays free
+
+    def test_delta_defined_code_agrees(self, empty_target):
+        code = cccc.CodeLam("env", cccc.Unit(), "a", cccc.Nat(), cccc.Succ(cccc.Var("a")))
+        ctx = empty_target.define(
+            "c", code, cccc.CodeType("env", cccc.Unit(), "a", cccc.Nat(), cccc.Nat())
+        )
+        term = cccc.App(cccc.Clo(cccc.Var("c"), cccc.UnitVal()), cccc.nat_literal(3))
+        reset_fresh_counter()
+        nbe = cccc.normalize(ctx, term)
+        reset_fresh_counter()
+        oracle = cccc_normalize_subst(ctx, term)
+        assert nbe == oracle == cccc.nat_literal(4)
+
+
+class TestErrorAgreement:
+    def test_cc_fuel_exhaustion_both_engines(self, empty):
+        big = cc.make_app(prelude.nat_add, cc.nat_literal(30), cc.nat_literal(30))
+        reset_fresh_counter()
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.normalize(empty, big, Budget(remaining=3))
+        reset_fresh_counter()
+        with pytest.raises(NormalizationDepthExceeded):
+            cc_normalize_subst(empty, big, Budget(remaining=3))
+
+    def test_cc_whnf_exhaustion_at_same_point(self, empty):
+        # `is_zero (30 + 30)` must run the whole ι-chain before its head
+        # (an `if`) can resolve, so a small budget dies mid-chain — at the
+        # same spent count under both engines.
+        big = cc.make_app(prelude.nat_add, cc.nat_literal(30), cc.nat_literal(30))
+        term = cc.App(prelude.nat_is_zero, big)
+        reset_fresh_counter()
+        nbe_budget = Budget(remaining=7)
+        with pytest.raises(NormalizationDepthExceeded):
+            cc.whnf(empty, term, nbe_budget)
+        reset_fresh_counter()
+        oracle_budget = Budget(remaining=7)
+        with pytest.raises(NormalizationDepthExceeded):
+            cc_whnf_subst(empty, term, oracle_budget)
+        assert nbe_budget.spent == oracle_budget.spent == 7
+
+    def test_cccc_fuel_exhaustion_both_engines(self, empty_target):
+        code = cccc.CodeLam("env", cccc.Unit(), "a", cccc.Nat(), cccc.Var("a"))
+        term = cccc.nat_literal(1)
+        for _ in range(20):
+            term = cccc.App(cccc.Clo(code, cccc.UnitVal()), term)
+        reset_fresh_counter()
+        with pytest.raises(NormalizationDepthExceeded):
+            cccc.normalize(empty_target, term, Budget(remaining=3))
+        reset_fresh_counter()
+        with pytest.raises(NormalizationDepthExceeded):
+            cccc_normalize_subst(empty_target, term, Budget(remaining=3))
+
+
+class TestDeepCorpus:
+    """Terms only the iterative NbE engine can decide at all."""
+
+    def test_deep_succ_tower_normalizes(self, empty):
+        tower = cc.nat_literal(DEEP)
+        assert cc.nat_value(cc.normalize(empty, tower)) == DEEP
+
+    def test_deep_redex_chain_normalizes(self, empty):
+        # let x1 = … let x10000 = 0 in x10000: ζ-chains this deep are out
+        # of reach for the recursive substitution engine.
+        term: cc.Term = cc.Var(f"x{DEEP - 1}")
+        for index in range(DEEP - 1, -1, -1):
+            bound = cc.Zero() if index == 0 else cc.Var(f"x{index - 1}")
+            term = cc.Let(f"x{index}", bound, cc.Nat(), term)
+        assert cc.normalize(empty, term) == cc.Zero()
+
+    def test_deep_beta_chain_whnf(self, empty):
+        # 10k pending β-redexes along the head spine.
+        term: cc.Term = cc.Lam("x", cc.Nat(), cc.Var("x"))
+        for _ in range(DEEP):
+            term = cc.App(cc.Lam("f", cc.arrow(cc.Nat(), cc.Nat()), cc.Var("f")), term)
+        result = cc.whnf(empty, term, Budget())
+        assert isinstance(result, cc.Lam)
+
+    def test_deep_neutral_spine_whnf_is_identity(self, empty):
+        spine: cc.Term = cc.Var("f")
+        for _ in range(DEEP):
+            spine = cc.App(spine, cc.Var("y"))
+        assert cc.whnf(empty, spine) is spine
+
+    def test_deep_lam_nest_normalizes(self, empty):
+        body: cc.Term = cc.Var("x0")
+        for index in range(DEEP - 1, -1, -1):
+            body = cc.Lam(f"x{index}", cc.Nat(), body)
+        normal = cc.normalize(empty, body)
+        assert cc.equivalent(empty, normal, body)
+
+    def test_deep_cccc_pair_tower_normalizes(self, empty_target):
+        annot = cccc.Sigma("t", cccc.Nat(), cccc.Nat())
+        tower: cccc.Term = cccc.Zero()
+        for _ in range(DEEP):
+            tower = cccc.Pair(tower, cccc.Zero(), annot)
+        normal = cccc.normalize(empty_target, tower)
+        assert cccc.equivalent(empty_target, normal, tower)
