@@ -61,11 +61,22 @@ def main(argv: list[str] | None = None) -> int:
         default=_HERE,
         help="where to look for BENCH_*.json (default: this file's directory)",
     )
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated bench names that must be present in the merge "
+        "(e.g. 'e17_nbe,e18_sessions'); missing ones fail the run, so CI "
+        "notices a gating benchmark that silently stopped emitting",
+    )
     args = parser.parse_args(argv)
     output = write_trajectory(args.directory)
     merged = json.loads(output.read_text())
     names = ", ".join(sorted(merged["benches"])) or "none"
     print(f"wrote {output} ({len(merged['benches'])} benches: {names})")
+    required = [name.strip() for name in args.require.split(",") if name.strip()]
+    missing = [name for name in required if name not in merged["benches"]]
+    if missing:
+        raise SystemExit(f"required benchmark artifacts missing: {', '.join(missing)}")
     if args.print:
         print(json.dumps(merged, indent=2))
     return 0

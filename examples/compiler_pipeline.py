@@ -5,6 +5,12 @@ Theorem 5.6] → hoisted program (static code table) → CBV machine run with
 cost counters — alongside the *untyped* baseline pipeline (erase → untyped
 closure conversion → untyped CBV) for comparison.
 
+The typed pipeline is one :meth:`repro.api.Session.run` call per program:
+the session compiles (verifying Theorem 5.6 en route), hoists, executes,
+and returns every counter in a structured :class:`repro.api.RunResult`.
+Each program gets its *own* session, the way independent components of a
+build would — their engine caches and fresh-name counters never interact.
+
 The printout shows the paper's two selling points concretely:
 
 * after hoisting, every activation record holds exactly two bindings
@@ -15,12 +21,10 @@ The printout shows the paper's two selling points concretely:
 Run:  python examples/compiler_pipeline.py
 """
 
-from repro import cc, cccc
+from repro import api
 from repro.baseline import erase, uconvert, ueval
 from repro.baseline.untyped import EvalStats
-from repro.closconv import compile_term
-from repro.machine import hoist, machine_observation, program_context, run
-from repro.surface import parse_term
+from repro.machine import program_context
 
 PROGRAMS = {
     "add 7 8": r"""
@@ -42,7 +46,6 @@ PROGRAMS = {
 
 
 def main() -> None:
-    empty = cc.Context.empty()
     header = (
         f"{'program':<14} {'value':>6} {'code blocks':>12} {'machine steps':>14} "
         f"{'closures':>9} {'env tuples':>11} {'projections':>12} {'untyped value':>14}"
@@ -51,30 +54,30 @@ def main() -> None:
     print("-" * len(header))
 
     for name, source in PROGRAMS.items():
-        term = parse_term(source)
+        # Typed pipeline: CC → CC-CC → hoist → machine, one session per
+        # component.  `run` verifies Theorem 5.6 en route.
+        session = api.Session(name=name)
+        result = session.run(source)
+        with session.activate():
+            program_context(result.program)  # re-type-check the hoisted program
 
-        # Typed pipeline: CC → CC-CC → hoist → machine.
-        result = compile_term(empty, term)  # verifies Theorem 5.6 en route
-        program = hoist(result.target)
-        program_context(program)  # re-type-check the hoisted program
-        value, stats = run(program)
-
-        # Untyped baseline: erase → untyped conversion → untyped CBV.
+        # Untyped baseline: erase → untyped conversion → untyped CBV,
+        # reusing the term the session already parsed.
         baseline_stats = EvalStats()
-        baseline_value = ueval(uconvert(erase(term)), baseline_stats)
+        source_term = result.compile_result.compilation.source
+        baseline_value = ueval(uconvert(erase(source_term)), baseline_stats)
 
-        observation = machine_observation(value)
         print(
-            f"{name:<14} {str(observation):>6} {program.code_count:>12} {stats.steps:>14} "
-            f"{stats.closure_allocs:>9} {stats.tuple_allocs:>11} {stats.projections:>12} "
+            f"{name:<14} {str(result.observation):>6} {result.code_count:>12} "
+            f"{result.machine_steps:>14} {result.closure_allocs:>9} "
+            f"{result.tuple_allocs:>11} {result.projections:>12} "
             f"{str(baseline_value):>14}"
         )
-        assert observation == baseline_value, "typed and untyped pipelines disagree!"
+        assert result.observation == baseline_value, "typed and untyped pipelines disagree!"
 
     # Show one static code table in full.
     print("\nstatic code table for 'id Nat 42':")
-    program = hoist(compile_term(empty, parse_term(PROGRAMS["id Nat 42"])).target)
-    print(program)
+    print(api.Session().run(PROGRAMS["id Nat 42"]).program)
 
 
 if __name__ == "__main__":

@@ -1,54 +1,64 @@
 """Quickstart: parse, type check, closure-convert, and run a CC program.
 
 This walks the paper's running example — the polymorphic identity function
-(Section 3) — through the whole library:
+(Section 3) — through the whole library via the ``repro.api`` session
+layer:
 
-1. write the program in the surface syntax,
-2. type check it with the CC kernel (Figure 3),
+1. open a :class:`repro.api.Session` (an isolated engine workspace),
+2. type check the program with the CC kernel (Figure 3),
 3. closure-convert it to CC-CC (Figure 9) with type preservation verified
    by the CC-CC kernel (Theorem 5.6),
 4. evaluate both sides and compare (Corollary 5.8).
 
+Every entrypoint returns a structured result — the term, its type, the
+reduction steps spent, the engine used, cache-hit counts — which is also
+what ``python -m repro check --json`` prints.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import cc, cccc
-from repro.closconv import compile_term
-from repro.surface import parse_term
+from repro import api, cc, cccc
 
 
 def main() -> None:
-    empty = cc.Context.empty()
+    session = api.Session(name="quickstart")
 
     # 1. The polymorphic identity, applied to Nat and 42.
-    program = parse_term(r"(\ (A : Type) (x : A). x) Nat 42")
-    print("source        :", cc.pretty(program))
+    source = r"(\ (A : Type) (x : A). x) Nat 42"
 
-    # 2. CC kernel: infer its type.
-    source_type = cc.infer(empty, program)
-    print("source type   :", cc.pretty(source_type))
+    # 2. CC kernel: infer its type.  `check` parses and type checks in one
+    #    step; the result carries both the term and the type.
+    checked = session.check(source)
+    print("source        :", cc.pretty(checked.term))
+    print("source type   :", cc.pretty(checked.type_))
 
-    # 3. Compile.  `compile_term` re-checks the output in CC-CC and compares
+    # 3. Compile.  The session re-checks the output in CC-CC and compares
     #    against the translated type, so a successful return *is* one
     #    verified instance of Theorem 5.6.
-    result = compile_term(empty, program)
-    print("target        :", cccc.pretty(result.target)[:120], "…")
-    print("target type   :", cccc.pretty(result.target_type))
-    print("type preserved:", result.checked_type is not None)
+    compiled = session.compile(checked.term)
+    print("target        :", cccc.pretty(compiled.target)[:120], "…")
+    print("target type   :", cccc.pretty(compiled.target_type))
+    print("type preserved:", compiled.verified)
 
-    # 4. Run both sides.
-    source_value = cc.normalize(empty, program)
-    target_value = cccc.normalize(cccc.Context.empty(), result.target)
-    print("source value  :", cc.pretty(source_value))
+    # 4. Run both sides: normalize the source, and normalize the compiled
+    #    target with the CC-CC kernel inside the same session.
+    normal = session.normalize(checked.term)
+    with session.activate():
+        target_value = cccc.normalize(cccc.Context.empty(), compiled.target)
+    print("source value  :", cc.pretty(normal.value))
     print("target value  :", cccc.pretty(target_value))
-    assert cc.nat_value(source_value) == cccc.nat_value(target_value) == 42
+    print("steps spent   :", normal.steps, f"({normal.engine} engine)")
+    assert cc.nat_value(normal.value) == cccc.nat_value(target_value) == 42
+
+    # The structured result is JSON-ready — this is what the CLI's --json
+    # flag emits.
+    print("\nstructured result:", normal.to_dict())
 
     # The compiled inner closure really does capture the type variable A in
     # its environment — print it to see the paper's Section 3 machinery.
-    identity = parse_term(r"\ (A : Type) (x : A). x")
-    compiled = compile_term(empty, identity)
+    identity = session.compile(r"\ (A : Type) (x : A). x")
     print("\nthe compiled polymorphic identity:")
-    print(cccc.pretty(compiled.target))
+    print(cccc.pretty(identity.target))
 
 
 if __name__ == "__main__":

@@ -1,1 +1,16 @@
-"""placeholder"""
+"""Typed closure conversion for the Calculus of Constructions.
+
+Layer map (see ARCHITECTURE.md): ``surface/`` → ``cc/`` → ``closconv/`` →
+``cccc/`` → ``machine/``/``model/``, over the shared ``kernel/`` engines.
+
+The recommended entrypoint is the session API::
+
+    from repro import api
+    session = api.Session()
+    print(session.check(r"\\ (A : Type) (x : A). x").to_dict())
+
+Each :class:`~repro.api.Session` owns isolated kernel state (caches,
+fresh-name counter, engine choice); the classic module functions
+(``repro.cc.infer`` …) keep working as shims over the process-default
+session.
+"""

@@ -1,0 +1,531 @@
+"""The session API: isolated engine workspaces with typed entrypoints.
+
+A :class:`Session` is the unit of isolation the paper's separate-compilation
+story (Theorem 5.8) needs operationally: components checked and compiled
+*independently* must not observe each other's engine state.  Each session
+owns a private :class:`~repro.kernel.state.KernelState` — hash-consing
+tables, free-variable and intern caches, the whnf/normalize memo, the
+judgment cache, the context-token tables, the fresh-name counter, the
+default fuel, and the engine choice (``nbe`` vs ``subst``) — so two
+sessions can run interleaved workloads (on one thread or on several) with
+zero cross-talk and results byte-identical to solo runs.
+
+On top of the state sit typed entrypoints covering the whole pipeline::
+
+    session = api.Session()
+    checked  = session.check(r"\\ (A : Type) (x : A). x")   # CheckResult
+    normal   = session.normalize("(\\ (x : Nat). succ x) 41")
+    compiled = session.compile(checked.term)                # Theorem 5.6
+    ran      = session.run(checked.term)                    # CBV machine
+    linked   = session.link(ctx, term, {"n": "41"})         # Theorem 5.7
+
+Every entrypoint accepts surface text or an already-built ``cc.Term`` and
+returns a structured result object carrying the value, the inferred type,
+the reduction steps spent (exact, fuel-replay semantics — identical warm or
+cold), the engine used, per-call cache-hit counts, and human-readable
+diagnostics.  All results render to JSON-safe dicts via ``to_dict()`` —
+the CLI's ``--json`` flag is just that.
+
+The legacy module functions (``repro.cc.infer``, ``repro.cccc.normalize``,
+``closconv.pipeline.compile_term`` …) remain first-class: they read the
+*active* kernel state, so outside any session they are thin shims over the
+shared process-default session (:func:`default_session`), and inside
+``with session.activate():`` they operate on that session's state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro import cc, cccc
+from repro.cc.reduce import normalize_subst
+from repro.closconv.pipeline import CompilationResult, compile_term
+from repro.kernel.budget import DEFAULT_FUEL, Budget
+from repro.kernel.state import KernelState, activate, default_state, validate_engine
+from repro.linking.link import ClosingSubstitution, check_substitution, link
+from repro.machine import Program, hoist, machine_observation, run
+from repro.surface import parse_term
+
+__all__ = [
+    "CheckResult",
+    "CompileResult",
+    "LinkResult",
+    "NormalizeResult",
+    "ParseResult",
+    "RunResult",
+    "Session",
+    "default_session",
+]
+
+_SESSION_IDS = itertools.count(1)
+
+
+# --------------------------------------------------------------------------
+# Structured results.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParseResult:
+    """A parsed surface program."""
+
+    term: cc.Term
+    source: str
+    session: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"term": cc.pretty(self.term), "session": self.session}
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One run of the CC typing judgment ``Γ ⊢ e : A``."""
+
+    term: cc.Term
+    type_: cc.Term
+    steps: int
+    engine: str
+    session: str
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    diagnostics: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "term": cc.pretty(self.term),
+            "type": cc.pretty(self.type_),
+            "steps": self.steps,
+            "engine": self.engine,
+            "session": self.session,
+            "cache_hits": dict(self.cache_hits),
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+@dataclass(frozen=True)
+class NormalizeResult:
+    """A full normalization, with the input's type as a well-typedness witness."""
+
+    term: cc.Term
+    value: cc.Term
+    type_: cc.Term
+    steps: int
+    check_steps: int
+    engine: str
+    session: str
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    diagnostics: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "term": cc.pretty(self.term),
+            "normal": cc.pretty(self.value),
+            "type": cc.pretty(self.type_),
+            "steps": self.steps,
+            "check_steps": self.check_steps,
+            "engine": self.engine,
+            "session": self.session,
+            "cache_hits": dict(self.cache_hits),
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+@dataclass(frozen=True)
+class CompileResult:
+    """One closure conversion, optionally verified (Theorem 5.6).
+
+    ``compilation`` is the full :class:`~repro.closconv.pipeline.CompilationResult`
+    (source/target terms, types, and contexts); the flat fields summarize it.
+    """
+
+    compilation: CompilationResult
+    steps: int
+    check_steps: int
+    verify_steps: int
+    engine: str
+    session: str
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    diagnostics: tuple[str, ...] = ()
+
+    @property
+    def target(self) -> cccc.Term:
+        return self.compilation.target
+
+    @property
+    def target_type(self) -> cccc.Term:
+        return self.compilation.target_type
+
+    @property
+    def verified(self) -> bool:
+        return self.compilation.checked_type is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "term": cc.pretty(self.compilation.source),
+            "type": cc.pretty(self.compilation.source_type),
+            "target": cccc.pretty(self.compilation.target),
+            "target_type": cccc.pretty(self.compilation.target_type),
+            "verified": self.verified,
+            "steps": self.steps,
+            "check_steps": self.check_steps,
+            "verify_steps": self.verify_steps,
+            "engine": self.engine,
+            "session": self.session,
+            "cache_hits": dict(self.cache_hits),
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """A full pipeline execution: compile, hoist, run on the CBV machine."""
+
+    compile_result: CompileResult
+    program: Program
+    value: Any
+    observation: Any
+    machine_steps: int
+    closure_allocs: int
+    tuple_allocs: int
+    projections: int
+    session: str
+    diagnostics: tuple[str, ...] = ()
+
+    @property
+    def code_count(self) -> int:
+        return self.program.code_count
+
+    def to_dict(self) -> dict[str, Any]:
+        shown = self.observation if self.observation is not None else type(self.value).__name__
+        return {
+            "term": cc.pretty(self.compile_result.compilation.source),
+            "value": shown,
+            "code_blocks": self.code_count,
+            "machine_steps": self.machine_steps,
+            "closure_allocs": self.closure_allocs,
+            "tuple_allocs": self.tuple_allocs,
+            "projections": self.projections,
+            "steps": self.compile_result.steps,
+            "check_steps": self.compile_result.check_steps,
+            "verify_steps": self.compile_result.verify_steps,
+            "verified": self.compile_result.verified,
+            "engine": self.compile_result.engine,
+            "session": self.session,
+            "cache_hits": dict(self.compile_result.cache_hits),
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+@dataclass(frozen=True)
+class LinkResult:
+    """A verified link ``γ(e)`` of a component against its imports."""
+
+    term: cc.Term
+    type_: cc.Term
+    steps: int
+    session: str
+    cache_hits: dict[str, int] = field(default_factory=dict)
+    diagnostics: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "term": cc.pretty(self.term),
+            "type": cc.pretty(self.type_),
+            "steps": self.steps,
+            "session": self.session,
+            "cache_hits": dict(self.cache_hits),
+            "diagnostics": list(self.diagnostics),
+        }
+
+
+# --------------------------------------------------------------------------
+# The session.
+# --------------------------------------------------------------------------
+
+
+class Session:
+    """An isolated engine workspace.
+
+    All mutable kernel state used by this session's entrypoints lives in
+    its private :class:`KernelState`; nothing is shared with other sessions
+    or with the process-default state.  A single session is safe to use
+    from multiple threads in the GIL sense (its caches are dict-based), but
+    isolation — and the scaling the benchmark gates — comes from giving
+    each concurrent workload its *own* session.
+
+    Args:
+        name: label for diagnostics; autogenerated when omitted.
+        engine: normalization engine, ``"nbe"`` (default) or ``"subst"``
+            (the substitution oracle with per-occurrence step counting).
+        fuel: default reduction fuel for every entrypoint's :class:`Budget`.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        engine: str = "nbe",
+        fuel: int = DEFAULT_FUEL,
+        _state: KernelState | None = None,
+    ) -> None:
+        if _state is not None:
+            self._state = _state
+        else:
+            self._state = KernelState(
+                name or f"session-{next(_SESSION_IDS)}", engine=engine, fuel=fuel
+            )
+
+    # -- identity and state -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._state.name
+
+    @property
+    def engine(self) -> str:
+        """The normalization engine ``normalize`` uses by default."""
+        return self._state.engine
+
+    @property
+    def fuel(self) -> int:
+        return self._state.fuel
+
+    @property
+    def state(self) -> KernelState:
+        """The underlying kernel state (for ``repro.kernel`` interop)."""
+        return self._state
+
+    def activate(self):
+        """Context manager making this session the active kernel state.
+
+        Inside the block, every legacy entrypoint (``repro.cc.*``,
+        ``repro.cccc.*``, ``compile_term`` …) reads and writes this
+        session's caches and fresh-name counter.
+        """
+        return activate(self._state)
+
+    def budget(self) -> Budget:
+        """A fresh :class:`Budget` carrying this session's default fuel."""
+        return Budget(remaining=self._state.fuel)
+
+    def reset(self) -> None:
+        """Return this session to a cold, deterministic zero.
+
+        Clears every cache this session owns and restarts its fresh-name
+        counter.  Sibling sessions are untouched — their caches stay warm.
+        """
+        self._state.reset()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Entry counts per cache (see ``KernelState.stats``)."""
+        return self._state.stats()
+
+    def hit_counts(self) -> dict[str, int]:
+        """Cumulative cache-hit counters for the fuel-replaying caches."""
+        return self._state.hit_counts()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session({self.name!r}, engine={self.engine!r})"
+
+    # -- entrypoints ---------------------------------------------------------
+
+    def parse(self, source: str) -> ParseResult:
+        """Parse surface text into a CC term (no type checking)."""
+        with self.activate():
+            return ParseResult(term=parse_term(source), source=source, session=self.name)
+
+    def check(self, program: str | cc.Term, ctx: cc.Context | None = None) -> CheckResult:
+        """Type check ``program`` (text or term) under ``ctx`` (empty default)."""
+        with self.activate():
+            term = self._coerce(program)
+            context = ctx if ctx is not None else cc.Context.empty()
+            before = self._state.hit_counts()
+            budget = self.budget()
+            type_ = cc.infer(context, term, budget)
+            return CheckResult(
+                term=term,
+                type_=type_,
+                steps=budget.spent,
+                engine=self.engine,
+                session=self.name,
+                cache_hits=self._hit_delta(before),
+            )
+
+    def normalize(
+        self,
+        program: str | cc.Term,
+        ctx: cc.Context | None = None,
+        engine: str | None = None,
+    ) -> NormalizeResult:
+        """Type check, then fully normalize ``program``.
+
+        ``engine`` overrides the session default for this call: ``"nbe"``
+        (call-by-need environment machine, each contraction counted once)
+        or ``"subst"`` (the substitution oracle whose per-occurrence step
+        counts match ``normalize_counting``).
+        """
+        # Only None means "session default": an empty string from an unset
+        # config field must fail validation, not silently pick the default.
+        engine = validate_engine(engine if engine is not None else self.engine)
+        with self.activate():
+            term = self._coerce(program)
+            context = ctx if ctx is not None else cc.Context.empty()
+            before = self._state.hit_counts()
+            check_budget = self.budget()
+            type_ = cc.infer(context, term, check_budget)  # reject ill-typed input
+            normalize_budget = self.budget()
+            if engine == "nbe":
+                value = cc.normalize(context, term, normalize_budget)
+            else:
+                value = normalize_subst(context, term, normalize_budget)
+            return NormalizeResult(
+                term=term,
+                value=value,
+                type_=type_,
+                steps=normalize_budget.spent,
+                check_steps=check_budget.spent,
+                engine=engine,
+                session=self.name,
+                cache_hits=self._hit_delta(before),
+            )
+
+    def compile(
+        self,
+        program: str | cc.Term,
+        ctx: cc.Context | None = None,
+        verify: bool = True,
+        inline_definitions: bool = False,
+    ) -> CompileResult:
+        """Closure-convert ``program`` (Figure 9), verifying Theorem 5.6.
+
+        With ``verify`` (the default) the CC-CC kernel re-checks the output
+        against the translated type; a mismatch raises
+        :class:`~repro.closconv.pipeline.TypePreservationViolation`.
+        """
+        with self.activate():
+            term = self._coerce(program)
+            context = ctx if ctx is not None else cc.Context.empty()
+            before = self._state.hit_counts()
+            check_budget = self.budget()
+            verify_budget = self.budget()
+            compilation = compile_term(
+                context,
+                term,
+                verify=verify,
+                inline_definitions=inline_definitions,
+                source_budget=check_budget,
+                verify_budget=verify_budget,
+            )
+            diagnostics = (
+                ("target re-checked against the translated type (Theorem 5.6)",)
+                if verify
+                else ("verification skipped (verify=False)",)
+            )
+            return CompileResult(
+                compilation=compilation,
+                steps=check_budget.spent + verify_budget.spent,
+                check_steps=check_budget.spent,
+                verify_steps=verify_budget.spent,
+                engine=self.engine,
+                session=self.name,
+                cache_hits=self._hit_delta(before),
+                diagnostics=diagnostics,
+            )
+
+    def run(
+        self,
+        program: str | cc.Term,
+        ctx: cc.Context | None = None,
+        verify: bool = True,
+    ) -> RunResult:
+        """Compile, hoist, and execute ``program`` on the CBV machine."""
+        with self.activate():
+            compiled = self.compile(program, ctx=ctx, verify=verify)
+            hoisted = hoist(compiled.target)
+            value, stats = run(hoisted)
+            return RunResult(
+                compile_result=compiled,
+                program=hoisted,
+                value=value,
+                observation=machine_observation(value),
+                machine_steps=stats.steps,
+                closure_allocs=stats.closure_allocs,
+                tuple_allocs=stats.tuple_allocs,
+                projections=stats.projections,
+                session=self.name,
+                diagnostics=compiled.diagnostics,
+            )
+
+    def link(
+        self,
+        ctx: cc.Context,
+        program: str | cc.Term,
+        imports: Mapping[str, str | cc.Term] | ClosingSubstitution,
+    ) -> LinkResult:
+        """Link component ``program`` (interface ``ctx``) with ``imports``.
+
+        ``imports`` maps each assumption of ``ctx`` to a closed term (text
+        or term).  The substitution is checked against the telescope
+        (``Γ ⊢ γ``, raising :class:`~repro.common.errors.LinkError` on any
+        missing, open, or ill-typed import) before being applied, and the
+        linked program is re-checked in the empty context.
+        """
+        with self.activate():
+            term = self._coerce(program)
+            if isinstance(imports, ClosingSubstitution):
+                gamma = imports
+            else:
+                gamma = ClosingSubstitution(
+                    {name: self._coerce(value) for name, value in imports.items()}
+                )
+            before = self._state.hit_counts()
+            # One budget across the telescope check and the final re-check,
+            # so ``steps`` is the exact fuel the whole link spent.
+            budget = self.budget()
+            check_substitution(ctx, gamma, budget)
+            linked = link(ctx, term, gamma)
+            type_ = cc.infer(cc.Context.empty(), linked, budget)
+            return LinkResult(
+                term=linked,
+                type_=type_,
+                steps=budget.spent,
+                session=self.name,
+                cache_hits=self._hit_delta(before),
+                diagnostics=(f"linked {len(gamma.mapping)} import(s) (Γ ⊢ γ checked)",),
+            )
+
+    # -- internals -----------------------------------------------------------
+
+    def _coerce(self, program: str | cc.Term) -> cc.Term:
+        """Surface text → term; terms pass through."""
+        if isinstance(program, str):
+            return parse_term(program)
+        return program
+
+    def _hit_delta(self, before: dict[str, int]) -> dict[str, int]:
+        after = self._state.hit_counts()
+        return {name: after[name] - before.get(name, 0) for name in after}
+
+
+# --------------------------------------------------------------------------
+# The process-default session.
+# --------------------------------------------------------------------------
+
+_DEFAULT_SESSION: Session | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The session wrapping the process-default kernel state.
+
+    This is the state every legacy entrypoint runs against when no session
+    is active, so ``default_session().cache_stats()`` reports on exactly
+    the caches `repro.cc.*`` calls outside any session have been filling.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        with _DEFAULT_SESSION_LOCK:
+            if _DEFAULT_SESSION is None:
+                _DEFAULT_SESSION = Session(_state=default_state())
+    return _DEFAULT_SESSION

@@ -41,7 +41,7 @@ from repro.cc.reduce import Budget, whnf
 from repro.cc.subst import subst1
 from repro.common.names import fresh
 from repro.kernel.convert import ConversionRules, convert
-from repro.kernel.judgment import JUDGMENT_CACHE
+from repro.kernel.judgment import judgment_cache
 from repro.kernel.memo import context_token
 
 __all__ = ["equivalent", "norm_equal_eta"]
@@ -81,15 +81,16 @@ def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = No
         return True
     if isinstance(left, _LEAF) and isinstance(right, _LEAF):
         return convert(_RULES, ctx, ctx, left, right, budget)
+    cache = judgment_cache()
     token = context_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cc.equiv", left, right, token)
+    hit = cache.lookup("cc.equiv", left, right, token)
     if hit is not None:
         verdict, steps = hit
         budget.charge(steps)
         return verdict
     before = budget.spent
     verdict = convert(_RULES, ctx, ctx, left, right, budget)
-    JUDGMENT_CACHE.store("cc.equiv", left, right, token, verdict, budget.spent - before)
+    cache.store("cc.equiv", left, right, token, verdict, budget.spent - before)
     return verdict
 
 

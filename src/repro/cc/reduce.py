@@ -61,7 +61,7 @@ from repro.cc.ast import (
 from repro.cc.context import Context
 from repro.cc.subst import subst1
 from repro.kernel.budget import DEFAULT_FUEL, Budget
-from repro.kernel.memo import NORMALIZATION_CACHE, head_is_weak_normal, memoized_reduction
+from repro.kernel.memo import head_is_weak_normal, memoized_reduction, normalization_cache
 from repro.kernel.nbe import NbeSpec, nbe_normalize, nbe_whnf
 
 __all__ = [
@@ -223,7 +223,7 @@ def normalize(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
         binding = ctx.lookup(term.name)
         if binding is None or binding.definition is None:
             return term
-    return nbe_normalize(_NBE, ctx, term, budget, NORMALIZATION_CACHE, "cc.nf")
+    return nbe_normalize(_NBE, ctx, term, budget, normalization_cache(), "cc.nf")
 
 
 def normalize_subst(ctx: Context, term: Term, budget: Budget | None = None) -> Term:

@@ -53,7 +53,7 @@ from repro.cc.reduce import Budget, whnf
 from repro.cc.subst import subst1
 from repro.common.errors import TypeCheckError
 from repro.common.names import fresh
-from repro.kernel.judgment import JUDGMENT_CACHE, typing_token
+from repro.kernel.judgment import judgment_cache, typing_token
 
 __all__ = ["check", "check_context", "infer", "infer_universe", "well_typed"]
 
@@ -91,15 +91,16 @@ def infer(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
             return _BOOL
         case Zero():
             return _NAT
+    cache = judgment_cache()
     token = typing_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cc.infer", term, None, token)
+    hit = cache.lookup("cc.infer", term, None, token)
     if hit is not None:
         result, steps = hit
         budget.charge(steps)
         return result
     before = budget.spent
     result = _infer(ctx, term, budget)
-    JUDGMENT_CACHE.store("cc.infer", term, None, token, result, budget.spent - before)
+    cache.store("cc.infer", term, None, token, result, budget.spent - before)
     return result
 
 
@@ -206,8 +207,9 @@ def check(ctx: Context, term: Term, expected: Term, budget: Budget | None = None
     """Check ``Γ ⊢ term : expected`` (inference + the [Conv] rule)."""
     if budget is None:
         budget = Budget()
+    cache = judgment_cache()
     token = typing_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cc.check", term, expected, token)
+    hit = cache.lookup("cc.check", term, expected, token)
     if hit is not None:
         budget.charge(hit[1])
         return
@@ -219,15 +221,16 @@ def check(ctx: Context, term: Term, expected: Term, budget: Budget | None = None
             f"  has type      {pretty(actual)}\n"
             f"  but expected  {pretty(expected)}"
         )
-    JUDGMENT_CACHE.store("cc.check", term, expected, token, True, budget.spent - before)
+    cache.store("cc.check", term, expected, token, True, budget.spent - before)
 
 
 def infer_universe(ctx: Context, type_: Term, budget: Budget | None = None) -> Star | Box:
     """Require ``type_`` to be a type; return its universe (⋆ or □)."""
     if budget is None:
         budget = Budget()
+    cache = judgment_cache()
     token = typing_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cc.universe", type_, None, token)
+    hit = cache.lookup("cc.universe", type_, None, token)
     if hit is not None:
         sort, steps = hit
         budget.charge(steps)
@@ -238,7 +241,7 @@ def infer_universe(ctx: Context, type_: Term, budget: Budget | None = None) -> S
         raise TypeCheckError(
             f"expected a type but {pretty(type_)} has type {pretty(sort)}"
         )
-    JUDGMENT_CACHE.store("cc.universe", type_, None, token, sort, budget.spent - before)
+    cache.store("cc.universe", type_, None, token, sort, budget.spent - before)
     return sort
 
 

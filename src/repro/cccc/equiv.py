@@ -52,7 +52,7 @@ from repro.cccc.reduce import Budget, whnf
 from repro.cccc.subst import subst
 from repro.common.names import fresh
 from repro.kernel.convert import ConversionRules, convert
-from repro.kernel.judgment import JUDGMENT_CACHE
+from repro.kernel.judgment import judgment_cache
 from repro.kernel.memo import context_token
 
 __all__ = ["equivalent", "equivalent_structural", "norm_equal_clo"]
@@ -127,15 +127,16 @@ def equivalent(ctx: Context, left: Term, right: Term, budget: Budget | None = No
         return True
     if isinstance(left, _LEAF) and isinstance(right, _LEAF):
         return convert(_RULES, ctx, ctx, left, right, budget)
+    cache = judgment_cache()
     token = context_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cccc.equiv", left, right, token)
+    hit = cache.lookup("cccc.equiv", left, right, token)
     if hit is not None:
         verdict, steps = hit
         budget.charge(steps)
         return verdict
     before = budget.spent
     verdict = convert(_RULES, ctx, ctx, left, right, budget)
-    JUDGMENT_CACHE.store("cccc.equiv", left, right, token, verdict, budget.spent - before)
+    cache.store("cccc.equiv", left, right, token, verdict, budget.spent - before)
     return verdict
 
 

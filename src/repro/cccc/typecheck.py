@@ -57,7 +57,7 @@ from repro.cccc.reduce import Budget, whnf
 from repro.cccc.subst import rename, subst1
 from repro.common.errors import TypeCheckError
 from repro.common.names import fresh
-from repro.kernel.judgment import JUDGMENT_CACHE, typing_token
+from repro.kernel.judgment import judgment_cache, typing_token
 
 __all__ = ["check", "check_context", "infer", "infer_universe", "well_typed"]
 
@@ -94,15 +94,16 @@ def infer(ctx: Context, term: Term, budget: Budget | None = None) -> Term:
             return _BOOL
         case Zero():
             return _NAT
+    cache = judgment_cache()
     token = typing_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cccc.infer", term, None, token)
+    hit = cache.lookup("cccc.infer", term, None, token)
     if hit is not None:
         result, steps = hit
         budget.charge(steps)
         return result
     before = budget.spent
     result = _infer(ctx, term, budget)
-    JUDGMENT_CACHE.store("cccc.infer", term, None, token, result, budget.spent - before)
+    cache.store("cccc.infer", term, None, token, result, budget.spent - before)
     return result
 
 
@@ -245,8 +246,9 @@ def check(ctx: Context, term: Term, expected: Term, budget: Budget | None = None
     """Check ``Γ ⊢ term : expected`` (inference + [Conv])."""
     if budget is None:
         budget = Budget()
+    cache = judgment_cache()
     token = typing_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cccc.check", term, expected, token)
+    hit = cache.lookup("cccc.check", term, expected, token)
     if hit is not None:
         budget.charge(hit[1])
         return
@@ -258,15 +260,16 @@ def check(ctx: Context, term: Term, expected: Term, budget: Budget | None = None
             f"  has type      {pretty(actual)}\n"
             f"  but expected  {pretty(expected)}"
         )
-    JUDGMENT_CACHE.store("cccc.check", term, expected, token, True, budget.spent - before)
+    cache.store("cccc.check", term, expected, token, True, budget.spent - before)
 
 
 def infer_universe(ctx: Context, type_: Term, budget: Budget | None = None) -> Star | Box:
     """Require ``type_`` to be a type; return its universe (⋆ or □)."""
     if budget is None:
         budget = Budget()
+    cache = judgment_cache()
     token = typing_token(ctx)
-    hit = JUDGMENT_CACHE.lookup("cccc.universe", type_, None, token)
+    hit = cache.lookup("cccc.universe", type_, None, token)
     if hit is not None:
         sort, steps = hit
         budget.charge(steps)
@@ -275,7 +278,7 @@ def infer_universe(ctx: Context, type_: Term, budget: Budget | None = None) -> S
     sort = whnf(ctx, infer(ctx, type_, budget), budget)
     if not isinstance(sort, (Star, Box)):
         raise TypeCheckError(f"expected a type but {pretty(type_)} has type {pretty(sort)}")
-    JUDGMENT_CACHE.store("cccc.universe", type_, None, token, sort, budget.spent - before)
+    cache.store("cccc.universe", type_, None, token, sort, budget.spent - before)
     return sort
 
 

@@ -62,6 +62,8 @@ def compile_term(
     term: cc.Term,
     verify: bool = True,
     inline_definitions: bool = False,
+    source_budget: Budget | None = None,
+    verify_budget: Budget | None = None,
 ) -> CompilationResult:
     """Closure-convert ``term`` under ``ctx`` and verify type preservation.
 
@@ -75,6 +77,10 @@ def compile_term(
             variables as opaque assumptions, so a code body whose typing
             *requires* a δ-step on a captured variable needs this
             preprocessing (see DESIGN.md §3).
+        source_budget: fuel for the source type check; a fresh default
+            budget when omitted.  ``repro.api`` passes one in to report the
+            steps each phase spent.
+        verify_budget: fuel for the CC-CC verification pass, likewise.
 
     Raises:
         TypeCheckError: the input is not well-typed CC.
@@ -85,7 +91,8 @@ def compile_term(
     # One budget per kernel phase: the source check and the verification
     # each observe their own fuel, and judgment-cache hits replay into
     # these budgets so repeated compilations account identically.
-    source_budget = Budget()
+    if source_budget is None:
+        source_budget = Budget()
     source_type = cc.infer(ctx, term, source_budget)
 
     target = translate(ctx, term)
@@ -94,7 +101,7 @@ def compile_term(
 
     checked_type: cccc.Term | None = None
     if verify:
-        target_budget = Budget()
+        target_budget = verify_budget if verify_budget is not None else Budget()
         try:
             checked_type = cccc.infer(target_context, target, target_budget)
         except TypeCheckError as error:

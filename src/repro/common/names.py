@@ -1,10 +1,12 @@
-"""Globally fresh variable names.
+"""Fresh variable names, drawn from the active session's counter.
 
 Both calculi use a *named* term representation (matching the paper's
 presentation), so capture-avoiding substitution must be able to rename a
 binder to a name that cannot collide with anything the user wrote or any
-name produced earlier.  We achieve this with a global monotone counter and a
-``$`` separator, a character the surface lexer rejects in identifiers.
+name produced earlier.  We achieve this with a monotone counter owned by
+the active :class:`~repro.kernel.state.KernelState` (one per session, so
+isolated sessions draw deterministic, reproducible sequences) and a ``$``
+separator, a character the surface lexer rejects in identifiers.
 
 ``x`` freshened once becomes ``x$1``; freshened again it becomes ``x$2`` (the
 old suffix is stripped first so names do not grow without bound).
@@ -12,36 +14,35 @@ old suffix is stripped first so names do not grow without bound).
 
 from __future__ import annotations
 
-import itertools
-import threading
 from dataclasses import dataclass, field
+
+from repro.kernel.state import current_state
 
 _SEPARATOR = "$"
 
-# Thread safety: ``next()`` on an ``itertools.count`` is atomic under the
-# GIL (the iterator advances in a single C-level call with no Python-level
-# re-entry), so concurrent ``fresh`` calls can never observe or issue the
-# same number.  Rebinding the module global in ``reset_fresh_counter`` is
-# likewise a single atomic store; the lock below only serializes
-# *concurrent resets* (so two resets cannot interleave with the cache
-# clearing they trigger).  A ``fresh`` call racing a reset may draw from
+# The counter lives on the active kernel state (one per session): two
+# sessions interleaving draw exactly the numbers each would draw alone,
+# which is what makes interleaved runs byte-identical to solo runs.
+# Thread safety: ``KernelState.fresh_index`` is a ``next()`` on an
+# ``itertools.count``, atomic under the GIL (the iterator advances in a
+# single C-level call with no Python-level re-entry), so concurrent
+# ``fresh`` calls against one state can never observe or issue the same
+# number.  A ``fresh`` call racing a reset of the same state may draw from
 # either counter — acceptable, since resets exist for single-threaded
-# test determinism, not concurrent use.
-_counter = itertools.count(1)
-_reset_lock = threading.Lock()
+# determinism, not concurrent use of one session.
 
 
 def fresh(base: str = "x") -> str:
-    """Return a globally fresh name derived from ``base``.
+    """Return a name fresh for the active session, derived from ``base``.
 
     The result never collides with a surface-syntax identifier (those cannot
-    contain ``$``) nor with any previously issued fresh name.  Safe to call
-    from multiple threads.
+    contain ``$``) nor with any name previously issued by the same session.
+    Safe to call from multiple threads.
     """
     stem = base_name(base)
     if not stem:
         stem = "x"
-    return f"{stem}{_SEPARATOR}{next(_counter)}"
+    return f"{stem}{_SEPARATOR}{current_state().fresh_index()}"
 
 
 def base_name(name: str) -> str:
@@ -58,20 +59,15 @@ def is_machine_name(name: str) -> bool:
 
 
 def reset_fresh_counter() -> None:
-    """Reset the global counter.  Only for tests that need determinism.
+    """Reset the active session's counter.  Only for runs needing determinism.
 
-    Also clears every kernel cache (hash-consing tables, cached
-    free-variable sets, memoized normal forms): cached results may embed
-    fresh names issued before the reset, and keeping them would make runs
-    depend on execution history — exactly what resetting is meant to avoid.
+    Also clears every cache of the active session (hash-consing tables,
+    cached free-variable sets, memoized normal forms): cached results may
+    embed fresh names issued before the reset, and keeping them would make
+    runs depend on execution history — exactly what resetting is meant to
+    avoid.  Sibling sessions are untouched and keep their caches warm.
     """
-    # Imported lazily: the kernel depends on this module for ``fresh``.
-    from repro.kernel.cache import reset_caches
-
-    global _counter
-    with _reset_lock:
-        _counter = itertools.count(1)
-        reset_caches()
+    current_state().reset()
 
 
 @dataclass

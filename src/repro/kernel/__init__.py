@@ -28,20 +28,30 @@ makes the hot paths fast:
   fingerprinting the full visible-binding map, plus a fuel-replaying cache
   for ``infer``/``check``/``infer_universe``/``equivalent``.
 
-All caches register themselves with :func:`reset_caches`;
-:func:`repro.common.names.reset_fresh_counter` calls it so tests that reset
-the fresh-name supply also start from cold caches.
+Every piece of mutable kernel state — the caches above, the context-token
+tables, and the fresh-name counter — is owned by a
+:class:`~repro.kernel.state.KernelState` (:mod:`repro.kernel.state`), one
+per session; :func:`current_state` resolves the one in force.  The legacy
+helpers (:func:`reset_caches`, :func:`cache_stats`,
+:func:`repro.common.names.reset_fresh_counter`) act on the active state, so
+existing callers run against the process-default session unchanged.
 """
 
 from repro.kernel.alpha import alpha_equal
 from repro.kernel.budget import DEFAULT_FUEL, Budget
-from repro.kernel.cache import TermCache, cache_stats, register_cache, reset_caches
+from repro.kernel.cache import DictCache, TermCache, cache_stats, register_cache, reset_caches
 from repro.kernel.convert import ConversionRules, convert
 from repro.kernel.fv import free_vars
 from repro.kernel.intern import build, intern
-from repro.kernel.judgment import JUDGMENT_CACHE, JudgmentCache, typing_token
-from repro.kernel.memo import NORMALIZATION_CACHE, NormalizationCache, context_token
+from repro.kernel.judgment import JUDGMENT_CACHE, JudgmentCache, judgment_cache, typing_token
+from repro.kernel.memo import (
+    NORMALIZATION_CACHE,
+    NormalizationCache,
+    context_token,
+    normalization_cache,
+)
 from repro.kernel.nodespec import ChildSpec, Language, NodeSpec
+from repro.kernel.state import KernelState, activate, current_state, default_state
 from repro.kernel.substitution import subst
 from repro.kernel.traverse import subterms, term_size
 
@@ -50,20 +60,27 @@ __all__ = [
     "Budget",
     "ChildSpec",
     "ConversionRules",
+    "DictCache",
     "JUDGMENT_CACHE",
     "JudgmentCache",
+    "KernelState",
     "Language",
     "NORMALIZATION_CACHE",
     "NodeSpec",
     "NormalizationCache",
     "TermCache",
+    "activate",
     "alpha_equal",
     "build",
     "cache_stats",
     "context_token",
     "convert",
+    "current_state",
+    "default_state",
     "free_vars",
     "intern",
+    "judgment_cache",
+    "normalization_cache",
     "register_cache",
     "reset_caches",
     "subst",

@@ -1,4 +1,4 @@
-"""Identity-keyed caches over immutable terms, with a global reset registry.
+"""Identity-keyed caches over immutable terms.
 
 Terms in both calculi are immutable, so any fact derived from a term (its
 free-variable set, its interned representative, its normal form under a
@@ -9,9 +9,11 @@ CPython reuses addresses.  :class:`TermCache` therefore holds a weak
 reference to every key and evicts the entry the moment the term is
 collected, before its id can be recycled.
 
-Every cache created by the kernel registers itself here so that
-:func:`reset_caches` (invoked by ``repro.common.names.reset_fresh_counter``)
-returns the whole kernel to a cold, deterministic state.
+Cache *instances* are owned by :class:`repro.kernel.state.KernelState` —
+one full set per session, so independent workloads never share an entry.
+The module-level helpers here (:func:`reset_caches`, :func:`cache_stats`,
+:func:`register_cache`) are shims over the **active** state, preserving the
+historical global-registry API for the process-default session.
 """
 
 from __future__ import annotations
@@ -19,32 +21,101 @@ from __future__ import annotations
 import weakref
 from typing import Any, Iterable
 
-__all__ = ["TermCache", "cache_stats", "register_cache", "reset_caches"]
-
-#: Every registered cache; anything with a ``clear()`` method qualifies.
-_REGISTRY: list[Any] = []
+__all__ = [
+    "ActiveCacheProxy",
+    "DictCache",
+    "TermCache",
+    "cache_stats",
+    "register_cache",
+    "reset_caches",
+]
 
 
 def register_cache(cache: Any) -> Any:
-    """Register ``cache`` for global resets and return it (decorator-style)."""
-    _REGISTRY.append(cache)
-    return cache
+    """Register an extra cache with the *active* state and return it.
+
+    Anything with ``clear()``, ``__len__`` and a ``name`` qualifies.  The
+    kernel's own caches no longer go through here — they are constructed by
+    :class:`~repro.kernel.state.KernelState` directly; this hook remains for
+    consumers that built custom caches against the old global registry.
+
+    Binding-time semantics (a contract change from the global-registry
+    era): the cache joins whichever state is active *at registration* and
+    is cleared only by that state's resets.  A cache registered at import
+    time (process-default state) is therefore **not** cleared by
+    ``Session.reset()`` on some other session — a consumer caching
+    derived facts that embed a session's fresh names must register the
+    cache inside that session (``with session.activate(): register_cache(…)``).
+    """
+    from repro.kernel.state import current_state
+
+    return current_state().register(cache)
 
 
 def reset_caches() -> None:
-    """Clear every registered kernel cache.
+    """Clear every cache of the active kernel state.
 
     Used by tests (via ``reset_fresh_counter``) to make cached results —
     which may embed fresh names generated before the reset — unreachable,
-    so runs stay deterministic.
+    so runs stay deterministic.  Only the active session is touched;
+    sibling sessions keep their caches warm.
     """
-    for cache in _REGISTRY:
-        cache.clear()
+    from repro.kernel.state import current_state
+
+    current_state().clear_caches()
 
 
 def cache_stats() -> dict[str, int]:
-    """Entry counts per registered cache, for benchmarks and diagnostics."""
-    return {cache.name: len(cache) for cache in _REGISTRY}
+    """Entry counts per cache of the active state, for benchmarks/diagnostics."""
+    from repro.kernel.state import current_state
+
+    return current_state().stats()
+
+
+class DictCache:
+    """Adapter giving a plain dict the cache clear/len/name protocol."""
+
+    __slots__ = ("name", "_data")
+
+    def __init__(self, name: str, data: dict) -> None:
+        self.name = name
+        self._data = data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class ActiveCacheProxy:
+    """Back-compat proxy over one cache of the *active* kernel state.
+
+    ``NORMALIZATION_CACHE`` and ``JUDGMENT_CACHE`` used to bind global
+    cache objects; instances of this proxy keep those imports working
+    while resolving per-session on every access.  ``accessor`` picks the
+    cache off a :class:`~repro.kernel.state.KernelState`.  ``__getattr__``
+    forwards everything (``lookup``, ``store``, ``clear``, ``hits``,
+    ``name``, ``max_entries``, …) so the proxy stays complete as the cache
+    API grows; only dunders need spelling out (their lookup bypasses
+    ``__getattr__``), and ``__len__`` is the one callers use.
+    """
+
+    __slots__ = ("_accessor",)
+
+    def __init__(self, accessor: Any) -> None:
+        self._accessor = accessor
+
+    def _target(self) -> Any:
+        from repro.kernel.state import current_state
+
+        return self._accessor(current_state())
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._target(), item)
+
+    def __len__(self) -> int:
+        return len(self._target())
 
 
 class TermCache:

@@ -132,7 +132,7 @@ def convert(
     """
     lang = rules.lang
     var_cls = lang.var_cls
-    intern_memo = lang.intern_cache
+    intern_memo = lang.intern_cache  # the active session's memo, fixed per walk
     irrelevant = rules.irrelevant
     stack: list[Task] = [(left, right, ctx_left, ctx_right, None)]
     while stack:

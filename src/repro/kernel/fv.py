@@ -8,9 +8,11 @@ a single iterative post-order pass (no recursion, so 10k-deep application
 spines are fine); thereafter every lookup — in particular the per-call scan
 ``subst`` used to pay — is a dict probe returning a shared frozenset.
 
-The cache (``Language.fv_cache``) is weak on its keys: entries die with
-their terms and never pin memory.  Hash-consing (:mod:`repro.kernel.intern`)
-feeds the same cache eagerly at construction time.
+The cache (``Language.fv_cache``, resolved through the active session's
+:class:`~repro.kernel.state.LanguageStore`) is weak on its keys: entries die
+with their terms and never pin memory.  Hash-consing
+(:mod:`repro.kernel.intern`) feeds the same cache eagerly at construction
+time.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ _EMPTY: frozenset[str] = frozenset()
 
 def free_vars(lang: Language, term: Any) -> frozenset[str]:
     """The free variable names of ``term``, as a cached shared frozenset."""
-    cache = lang.fv_cache
+    cache = lang.fv_cache  # the active session's store, resolved once per call
     cached = cache.get(term)
     if cached is not None:
         return cached
@@ -34,44 +36,63 @@ def free_vars(lang: Language, term: Any) -> frozenset[str]:
     var_cls = lang.var_cls
     get = cache.get
     put = cache.put
-    # Iterative post-order: a frame is (term, expanded?).  Children are
-    # pushed on first visit; the node's set is assembled on the second,
-    # when every child is guaranteed to be cached.
-    stack: list[tuple[Any, bool]] = [(term, False)]
-    while stack:
-        node, expanded = stack.pop()
-        if not expanded:
-            if get(node) is not None:
-                continue
-            if isinstance(node, var_cls):
-                put(node, frozenset((node.name,)))
-                continue
-            spec = lang.spec(node)
-            if not spec.children:
-                put(node, _EMPTY)
-                continue
-            stack.append((node, True))
-            for child in spec.children:
-                sub = getattr(node, child.attr)
-                if get(sub) is None:
-                    stack.append((sub, False))
-        else:
-            spec = lang.specs[type(node)]
-            parts: list[frozenset[str]] = []
-            for child in spec.children:
-                sub = get(getattr(node, child.attr))
-                if child.binders and sub:
-                    bound = {getattr(node, b) for b in child.binders}
-                    if not bound.isdisjoint(sub):
-                        sub = sub.difference(bound)
-                if sub:
-                    parts.append(sub)
-            if not parts:
-                result = _EMPTY
-            elif len(parts) == 1:
-                result = parts[0]
+    while True:
+        # Iterative post-order: a frame is (term, expanded?).  Children are
+        # pushed on first visit; the node's set is assembled on the second,
+        # when every child is guaranteed to be cached.  (Guaranteed within
+        # one thread: a child cannot be *evicted* while its parent pins it.
+        # A sibling thread clearing this state's caches mid-walk — shared-
+        # state misuse; give concurrent workloads their own session — can
+        # still empty the table between visits, so a missing child aborts
+        # and restarts the walk rather than being mistaken for ∅ and
+        # poisoning the cache with a silently wrong set.)
+        stale = False
+        stack: list[tuple[Any, bool]] = [(term, False)]
+        while stack and not stale:
+            node, expanded = stack.pop()
+            if not expanded:
+                if get(node) is not None:
+                    continue
+                if isinstance(node, var_cls):
+                    put(node, frozenset((node.name,)))
+                    continue
+                spec = lang.spec(node)
+                if not spec.children:
+                    put(node, _EMPTY)
+                    continue
+                stack.append((node, True))
+                for child in spec.children:
+                    sub = getattr(node, child.attr)
+                    if get(sub) is None:
+                        stack.append((sub, False))
             else:
-                result = parts[0].union(*parts[1:])
-            put(node, result)
+                spec = lang.specs[type(node)]
+                parts: list[frozenset[str]] = []
+                for child in spec.children:
+                    sub = get(getattr(node, child.attr))
+                    if sub is None:
+                        stale = True  # raced a clear: restart the walk
+                        break
+                    if child.binders and sub:
+                        bound = {getattr(node, b) for b in child.binders}
+                        if not bound.isdisjoint(sub):
+                            sub = sub.difference(bound)
+                    if sub:
+                        parts.append(sub)
+                if stale:
+                    break
+                if not parts:
+                    result = _EMPTY
+                elif len(parts) == 1:
+                    result = parts[0]
+                else:
+                    result = parts[0].union(*parts[1:])
+                put(node, result)
 
-    return cache.get(term)
+        if not stale:
+            result = cache.get(term)
+            if result is not None:
+                return result
+        # Raced a sibling clear (mid-walk or before the final probe).
+        # Never return None — or worse, a wrong set — for an immutable
+        # fact; redo the walk against the now-empty cache.

@@ -29,7 +29,11 @@ of the input.  The free-variable set is α-invariant, so the chosen prefix
 is a function of the α-class and the contract survives.
 
 The hash-consing table holds its nodes strongly (that is what keeps child
-ids stable); ``reset_caches`` empties it along with the intern memo.
+ids stable); resetting the owning session empties it along with the intern
+memo.  Both live on the active :class:`~repro.kernel.state.KernelState`
+(via ``Language``'s store properties), so two sessions never share
+representatives — re-interning a term inside another session simply
+rebuilds its α-class there.
 """
 
 from __future__ import annotations
@@ -53,13 +57,22 @@ def build(lang: Language, cls: type, *args: Any) -> Any:
     reduce hits; they never produce wrong results, because the table pins
     every stored node and therefore every child id it keys on).
     """
+    return _build(lang, lang.hashcons, cls, args)
+
+
+def _build(lang: Language, table: dict, cls: type, args: tuple) -> Any:
+    """:func:`build` against an already-resolved session table.
+
+    ``_canonicalize`` resolves the active session's table once per walk
+    (the property probes the contextvar — too hot for a per-node loop) and
+    calls this directly.
+    """
     spec = lang.specs[cls]
     child_attrs = {child.attr for child in spec.children}
     key_parts: list[Any] = [cls]
     for name, value in zip(spec.field_order, args):
         key_parts.append(id(value) if name in child_attrs else value)
     key = tuple(key_parts)
-    table = lang.hashcons
     node = table.get(key)
     if node is None:
         node = cls(*args)
@@ -96,6 +109,7 @@ def _canonicalize(lang: Language, root: Any) -> Any:
     the node introduces.
     """
     var_cls = lang.var_cls
+    table = lang.hashcons  # the active session's table, resolved once per walk
     free = fv.free_vars(lang, root)
     prefix = _CANON_PREFIX
     while any(name.startswith(prefix) for name in free):
@@ -108,12 +122,12 @@ def _canonicalize(lang: Language, root: Any) -> Any:
         term, env, depth, expanded = stack.pop()
         if not expanded:
             if isinstance(term, var_cls):
-                results.append(build(lang, var_cls, env.get(term.name, term.name)))
+                results.append(_build(lang, table, var_cls, (env.get(term.name, term.name),)))
                 continue
             spec = lang.spec(term)
             if not spec.children:
                 results.append(
-                    build(lang, type(term), *(getattr(term, f) for f in spec.field_order))
+                    _build(lang, table, type(term), tuple(getattr(term, f) for f in spec.field_order))
                 )
                 continue
             stack.append((term, env, depth, True))
@@ -141,5 +155,5 @@ def _canonicalize(lang: Language, root: Any) -> Any:
                     args.append(next(child_iter))
                 else:
                     args.append(getattr(term, offset_name))
-            results.append(build(lang, type(term), *args))
+            results.append(_build(lang, table, type(term), tuple(args)))
     return results[-1]

@@ -33,10 +33,11 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.kernel.cache import register_cache
+from repro.kernel.cache import ActiveCacheProxy
 from repro.kernel.memo import ContextTokenizer
+from repro.kernel.state import current_state
 
-__all__ = ["JUDGMENT_CACHE", "JudgmentCache", "typing_token"]
+__all__ = ["JUDGMENT_CACHE", "JudgmentCache", "judgment_cache", "typing_token"]
 
 
 def _bindings_root(ctx: Any) -> dict[str, Any]:
@@ -81,11 +82,12 @@ class JudgmentCache:
     judgments are cheap to recompute relative to eviction bookkeeping.
     """
 
-    __slots__ = ("name", "max_entries", "_entries")
+    __slots__ = ("name", "max_entries", "hits", "_entries")
 
     def __init__(self, name: str = "kernel.judgments", max_entries: int = 262_144) -> None:
         self.name = name
         self.max_entries = max_entries
+        self.hits = 0
         self._entries: dict[tuple, tuple[Any, Any, Any, int]] = {}
 
     def lookup(self, kind: str, subject: Any, extra: Any, token: int) -> tuple[Any, int] | None:
@@ -93,6 +95,7 @@ class JudgmentCache:
         entry = self._entries.get((kind, id(subject), 0 if extra is None else id(extra), token))
         if entry is None:
             return None
+        self.hits += 1
         return entry[2], entry[3]
 
     def store(
@@ -111,4 +114,10 @@ class JudgmentCache:
         return len(self._entries)
 
 
-JUDGMENT_CACHE = register_cache(JudgmentCache())
+def judgment_cache() -> JudgmentCache:
+    """The active session's judgment cache."""
+    return current_state().judgments
+
+
+#: Back-compat name: the active session's judgment cache, as a proxy.
+JUDGMENT_CACHE = ActiveCacheProxy(lambda state: state.judgments)

@@ -28,12 +28,19 @@ one binding transforms the map.  This module instantiates it for the
 definitions-only view reduction observes; :mod:`repro.kernel.judgment`
 instantiates it for the full-binding view typing observes.
 
+Session scoping: the cache and the fingerprint *tables* live on the active
+:class:`~repro.kernel.state.KernelState` — one set per session, so sessions
+never exchange entries.  Each tokenizer's token **counter** stays
+process-global and monotone (it survives every clear and is shared by all
+sessions), which is what keeps identity keys sound: tokens are cached on
+context instances, and a context that outlives a reset — or that is
+observed by a second session — can never carry a token that aliases a
+different fingerprint anywhere, because no token number is ever issued
+twice.
+
 Soundness of the identity keys: every entry pins the term it keys on, and
 every fingerprint in a token table pins the value objects whose ids it
-mentions, so no keyed id can be recycled while its entry is live.  Token
-numbers are never reused across ``reset_caches`` (each tokenizer's counter
-survives the clear) so a stale token cached on a long-lived context can
-never alias a fresh one.
+mentions, so no keyed id can be recycled while its entry is live.
 """
 
 from __future__ import annotations
@@ -41,7 +48,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
-from repro.kernel.cache import register_cache
+from repro.kernel.cache import ActiveCacheProxy
+from repro.kernel.state import current_state, register_tokenizer
 
 __all__ = [
     "NORMALIZATION_CACHE",
@@ -50,6 +58,7 @@ __all__ = [
     "context_token",
     "head_is_weak_normal",
     "memoized_reduction",
+    "normalization_cache",
 ]
 
 _PARENT_ATTR = "_kernel_parent"
@@ -68,12 +77,14 @@ class ContextTokenizer:
     (``token_attr``).  Two contexts receive the same token iff their maps
     pair the same names with the same value *objects*.
 
-    Registered with the reset registry: clearing drops the fingerprint
-    tables but keeps the counter, so tokens are never reused.
+    The fingerprint tables live on the active session's
+    :class:`~repro.kernel.state.TokenTable`; the token counter is one
+    process-global monotone sequence per tokenizer, so clearing a table
+    (session reset) can never lead to a token being reused.
     """
 
     __slots__ = ("name", "_token_attr", "_map_attr", "_derive_root", "_derive_step",
-                 "_table", "_map_tokens", "_counter")
+                 "_counter")
 
     def __init__(
         self,
@@ -88,19 +99,8 @@ class ContextTokenizer:
         self._map_attr = map_attr
         self._derive_root = derive_root
         self._derive_step = derive_step
-        #: fingerprint -> (token, pinned value objects)
-        self._table: dict[tuple, tuple[int, tuple]] = {}
-        #: id(map) -> (token, pinned map) — O(1) path for shared map objects.
-        self._map_tokens: dict[int, tuple[int, dict]] = {}
         self._counter = itertools.count(1)
-        register_cache(self)
-
-    def clear(self) -> None:
-        self._table.clear()
-        self._map_tokens.clear()
-
-    def __len__(self) -> int:
-        return len(self._table)
+        register_tokenizer(self)
 
     def visible(self, ctx: Any) -> dict[str, Any]:
         """The view map of ``ctx``, derived incrementally.
@@ -108,6 +108,8 @@ class ContextTokenizer:
         Walks up to the nearest ancestor with a cached map and replays the
         missing (child, binding) steps back down — O(1) amortized per
         context for ``extend``/``define`` chains, full scan otherwise.
+        The map is a fact about the context alone (no session state), so
+        caching it on the instance is sound across sessions.
         """
         map_attr = self._map_attr
         cached = getattr(ctx, map_attr, None)
@@ -134,17 +136,18 @@ class ContextTokenizer:
         if token is not None:
             return token
         visible = self.visible(ctx)
-        hit = self._map_tokens.get(id(visible))
+        tables = current_state().token_table(self.name)
+        hit = tables.map_tokens.get(id(visible))
         if hit is not None:
             token = hit[0]
         else:
             fingerprint = tuple(sorted((name, id(value)) for name, value in visible.items()))
-            entry = self._table.get(fingerprint)
+            entry = tables.table.get(fingerprint)
             if entry is None:
                 entry = (next(self._counter), tuple(visible.values()))
-                self._table[fingerprint] = entry
+                tables.table[fingerprint] = entry
             token = entry[0]
-            self._map_tokens[id(visible)] = (token, visible)  # pin: id stays valid
+            tables.map_tokens[id(visible)] = (token, visible)  # pin: id stays valid
         object.__setattr__(ctx, self._token_attr, token)
         return token
 
@@ -189,13 +192,16 @@ class NormalizationCache:
     term pins the keyed id.  The cache is bounded: when it grows past
     ``max_entries`` it is simply emptied — normalization results are cheap
     to recompute relative to the bookkeeping of a smarter eviction policy.
+    ``hits`` counts successful lookups, for the structured result objects
+    of :mod:`repro.api`.
     """
 
-    __slots__ = ("name", "max_entries", "_entries")
+    __slots__ = ("name", "max_entries", "hits", "_entries")
 
     def __init__(self, name: str = "kernel.normalization", max_entries: int = 262_144) -> None:
         self.name = name
         self.max_entries = max_entries
+        self.hits = 0
         self._entries: dict[tuple[int, str, int], tuple[Any, Any, int]] = {}
 
     def lookup(self, kind: str, term: Any, token: int) -> tuple[Any, int] | None:
@@ -203,6 +209,7 @@ class NormalizationCache:
         entry = self._entries.get((id(term), kind, token))
         if entry is None:
             return None
+        self.hits += 1
         return entry[1], entry[2]
 
     def store(self, kind: str, term: Any, token: int, result: Any, steps: int) -> None:
@@ -218,7 +225,13 @@ class NormalizationCache:
         return len(self._entries)
 
 
-NORMALIZATION_CACHE = register_cache(NormalizationCache())
+def normalization_cache() -> NormalizationCache:
+    """The active session's normalization cache."""
+    return current_state().normalization
+
+
+#: Back-compat name: the active session's normalization cache, as a proxy.
+NORMALIZATION_CACHE = ActiveCacheProxy(lambda state: state.normalization)
 
 
 def memoized_reduction(ctx: Any, term: Any, budget: Any, kind: str, compute: Callable) -> Any:
@@ -228,15 +241,16 @@ def memoized_reduction(ctx: Any, term: Any, budget: Any, kind: str, compute: Cal
     lookup, store — shared by both calculi's reduction wrappers (NbE and
     substitution-oracle alike), so no engine can desynchronize on it.
     """
+    cache = current_state().normalization
     token = context_token(ctx)
-    hit = NORMALIZATION_CACHE.lookup(kind, term, token)
+    hit = cache.lookup(kind, term, token)
     if hit is not None:
         result, steps = hit
         budget.charge(steps)
         return result
     before = budget.spent
     result = compute(ctx, term, budget)
-    NORMALIZATION_CACHE.store(kind, term, token, result, budget.spent - before)
+    cache.store(kind, term, token, result, budget.spent - before)
     return result
 
 

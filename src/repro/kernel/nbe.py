@@ -582,6 +582,9 @@ def nbe_normalize(
     lang = spec.lang
     var_cls = spec.var_cls
     trivial = spec.trivial_set
+    # Session state resolved once per call: the active state cannot change
+    # mid-normalization, and the property probe is too hot for the loop.
+    fv_cache = lang.fv_cache
     out: list = [None]
     tasks: list = [(_T_NF, term, _EMPTY_ENV, ctx, out, 0)]
     while tasks:
@@ -614,7 +617,7 @@ def nbe_normalize(
                 # or an empty environment; computing free variables for
                 # run-local intermediate terms would dominate the cold path.
                 if env:
-                    fvs = lang.fv_cache.get(t)
+                    fvs = fv_cache.get(t)
                     if fvs is not None and not any(name in env for name in fvs):
                         env = _EMPTY_ENV
                 if not env:

@@ -21,7 +21,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any
 
-from repro.kernel.cache import TermCache, register_cache
+from repro.kernel.state import current_state, register_language
 
 __all__ = ["ChildSpec", "Language", "NodeSpec"]
 
@@ -46,26 +46,41 @@ class NodeSpec:
 
 
 class Language:
-    """A calculus, as seen by the kernel: its node specs and its caches.
+    """A calculus, as seen by the kernel: its node specs and its cache views.
 
-    Each language owns the identity-keyed caches the generic engines use
-    (free variables, interned representatives) and the hash-consing table
-    of :mod:`repro.kernel.intern`.  The two concrete instances live at
-    ``repro.cc.ast.LANGUAGE`` and ``repro.cccc.ast.LANGUAGE``.
+    The node specs are immutable, process-wide facts about the calculus and
+    live on the instance.  The identity-keyed caches the generic engines
+    use (free variables, interned representatives, the hash-consing table
+    of :mod:`repro.kernel.intern`) are *session state*: the properties
+    below resolve them through the active :class:`~repro.kernel.state.KernelState`,
+    so two sessions interning the same calculus never share a table.  The
+    two concrete instances live at ``repro.cc.ast.LANGUAGE`` and
+    ``repro.cccc.ast.LANGUAGE``.
     """
 
-    __slots__ = ("name", "term_base", "var_cls", "specs", "fv_cache", "intern_cache", "hashcons")
+    __slots__ = ("name", "term_base", "var_cls", "specs")
 
     def __init__(self, name: str, term_base: type, var_cls: type) -> None:
         self.name = name
         self.term_base = term_base
         self.var_cls = var_cls
         self.specs: dict[type, NodeSpec] = {}
-        self.fv_cache = register_cache(TermCache(f"{name}.fv"))
-        self.intern_cache = register_cache(TermCache(f"{name}.intern"))
-        #: (cls, *field keys) -> interned node; owned by repro.kernel.intern.
-        self.hashcons: dict[tuple, Any] = {}
-        register_cache(_DictCache(f"{name}.hashcons", self.hashcons))
+        register_language(self)
+
+    @property
+    def fv_cache(self) -> Any:
+        """The active session's free-variable cache for this calculus."""
+        return current_state().store(self).fv_cache
+
+    @property
+    def intern_cache(self) -> Any:
+        """The active session's ``id(term) -> representative`` intern memo."""
+        return current_state().store(self).intern_cache
+
+    @property
+    def hashcons(self) -> dict[tuple, Any]:
+        """The active session's hash-consing table for this calculus."""
+        return current_state().store(self).hashcons
 
     def node(
         self,
@@ -107,19 +122,3 @@ class Language:
         if spec is None:
             raise TypeError(f"not a {self.name.upper()} term: {term!r}")
         return spec
-
-
-class _DictCache:
-    """Adapter giving a plain dict the registry's clear/len/name protocol."""
-
-    __slots__ = ("name", "_data")
-
-    def __init__(self, name: str, data: dict) -> None:
-        self.name = name
-        self._data = data
-
-    def clear(self) -> None:
-        self._data.clear()
-
-    def __len__(self) -> int:
-        return len(self._data)

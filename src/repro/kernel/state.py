@@ -1,0 +1,289 @@
+"""Session-scoped kernel state: every mutable registry, owned by one object.
+
+Historically each kernel cache — the hash-consing tables, the cached
+free-variable sets, the intern memos, the whnf/normalize memo, the judgment
+cache, the context-token fingerprint tables, and the fresh-name counter —
+was a module-level global, and ``reset_fresh_counter()`` nuked all of them
+at once.  That made the kernel impossible to shard: there was no unit of
+isolation two independent workloads could own.
+
+:class:`KernelState` is that unit.  One instance owns *all* mutable kernel
+state, so two states can run interleaved workloads (on one thread or on
+several) with zero cross-talk and results byte-identical to solo runs:
+
+* a private fresh-name counter (:meth:`fresh_index`) — interleaving two
+  states draws the same names each would draw alone;
+* one :class:`LanguageStore` per calculus (fv cache, intern memo,
+  hash-consing table);
+* the normalization and judgment caches with their fuel-replay entries;
+* one :class:`TokenTable` per registered context tokenizer — the
+  fingerprint maps are per-state, while each tokenizer's token *counter*
+  stays process-global and monotone, so a token cached on a context object
+  by one state can never alias a different fingerprint in another state;
+* the preferred reduction engine and default fuel, which the ``repro.api``
+  session layer reads.
+
+The *active* state is carried in a :mod:`contextvars` context variable:
+:func:`current_state` returns it, falling back to a lazily-created
+process-default state.  Because each thread starts from a fresh context,
+activating a state on one thread never leaks into another — which is
+exactly the isolation the sharding roadmap item needs.  Every legacy
+entrypoint (``repro.cc.whnf``, ``repro.cccc.infer``, ``fresh`` …) reads
+``current_state()`` and therefore behaves as a thin shim over the
+process-default session when no session is active.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.kernel.cache import DictCache, TermCache
+
+__all__ = [
+    "ENGINES",
+    "KernelState",
+    "LanguageStore",
+    "TokenTable",
+    "activate",
+    "current_state",
+    "default_state",
+    "register_language",
+    "register_tokenizer",
+    "validate_engine",
+]
+
+#: The reduction engines a session can select.  The one list both
+#: ``KernelState`` and ``repro.api`` validate against, so the two entry
+#: points can never disagree on which engines exist.
+ENGINES = ("nbe", "subst")
+
+
+def validate_engine(engine: str) -> str:
+    """``engine`` if it names a known reduction engine; ValueError otherwise."""
+    if engine not in ENGINES:
+        expected = " or ".join(repr(name) for name in ENGINES)
+        raise ValueError(f"unknown engine {engine!r} (expected {expected})")
+    return engine
+
+#: Every Language ever constructed (calculi register at import time), so a
+#: fresh state can report zeroed stats for all of them before first use.
+_LANGUAGES: list[Any] = []
+
+#: Every ContextTokenizer ever constructed, for the same reason.
+_TOKENIZERS: list[Any] = []
+
+
+def register_language(lang: Any) -> Any:
+    """Record ``lang`` so every state lazily materializes a store for it."""
+    _LANGUAGES.append(lang)
+    return lang
+
+
+def register_tokenizer(tokenizer: Any) -> Any:
+    """Record ``tokenizer`` so every state materializes its token tables."""
+    _TOKENIZERS.append(tokenizer)
+    return tokenizer
+
+
+class TokenTable:
+    """Per-state fingerprint tables of one :class:`ContextTokenizer`.
+
+    ``table`` maps a context fingerprint to ``(token, pinned values)``;
+    ``map_tokens`` is the O(1) ``id(visible map) -> (token, pinned map)``
+    path.  Clearing drops both (the pins die with them) but never touches
+    the owning tokenizer's counter, so tokens are never reused — within a
+    state or across states.
+    """
+
+    __slots__ = ("name", "table", "map_tokens")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.table: dict[tuple, tuple[int, tuple]] = {}
+        self.map_tokens: dict[int, tuple[int, dict]] = {}
+
+    def clear(self) -> None:
+        self.table.clear()
+        self.map_tokens.clear()
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class LanguageStore:
+    """One calculus's identity-keyed caches, owned by a :class:`KernelState`."""
+
+    __slots__ = ("fv_cache", "intern_cache", "hashcons", "caches")
+
+    def __init__(self, lang_name: str) -> None:
+        self.fv_cache = TermCache(f"{lang_name}.fv")
+        self.intern_cache = TermCache(f"{lang_name}.intern")
+        #: (cls, *field keys) -> interned node; owned by repro.kernel.intern.
+        self.hashcons: dict[tuple, Any] = {}
+        self.caches: tuple[Any, ...] = (
+            self.fv_cache,
+            self.intern_cache,
+            DictCache(f"{lang_name}.hashcons", self.hashcons),
+        )
+
+
+class KernelState:
+    """All mutable kernel state for one isolated workload.
+
+    Everything the engines can read or write lives here; two states never
+    share an entry, a token table, or a name counter.  The one deliberate
+    exception is each tokenizer's token *counter* (process-global), which
+    only ever makes tokens unique — it carries no workload state.
+    """
+
+    def __init__(
+        self,
+        name: str = "session",
+        engine: str = "nbe",
+        fuel: int | None = None,
+    ) -> None:
+        validate_engine(engine)
+        # Imported lazily: this module sits below everything (names, memo,
+        # judgment, budget) in the import graph, so it must not import any
+        # of them at module scope.
+        from repro.kernel.budget import DEFAULT_FUEL
+        from repro.kernel.judgment import JudgmentCache
+        from repro.kernel.memo import NormalizationCache
+
+        if fuel is None:
+            fuel = DEFAULT_FUEL
+
+        self.name = name
+        self.engine = engine
+        self.fuel = fuel
+        self.normalization = NormalizationCache()
+        self.judgments = JudgmentCache()
+        self._counter = itertools.count(1)
+        self._stores: dict[str, LanguageStore] = {}
+        self._token_tables: dict[str, TokenTable] = {}
+        self._extra: list[Any] = []
+        self._reset_lock = threading.Lock()
+
+    # -- state accessed by the engines --------------------------------------
+
+    def fresh_index(self) -> int:
+        """The next fresh-name suffix.  Atomic under the GIL (one C call)."""
+        return next(self._counter)
+
+    def store(self, lang: Any) -> LanguageStore:
+        """The :class:`LanguageStore` for ``lang``, created on first use.
+
+        ``setdefault`` (atomic under the GIL) arbitrates first use from
+        concurrent threads sharing one state: both racers get the same
+        store, never a private orphan that stats/reset would miss.
+        """
+        found = self._stores.get(lang.name)
+        if found is None:
+            found = self._stores.setdefault(lang.name, LanguageStore(lang.name))
+        return found
+
+    def token_table(self, name: str) -> TokenTable:
+        """The :class:`TokenTable` for tokenizer ``name``, created on first use."""
+        found = self._token_tables.get(name)
+        if found is None:
+            found = self._token_tables.setdefault(name, TokenTable(name))
+        return found
+
+    def register(self, cache: Any) -> Any:
+        """Register an extra cache (anything with ``clear``/``name``/``len``)."""
+        self._extra.append(cache)
+        return cache
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def caches(self) -> list[Any]:
+        """Every cache this state owns (stores materialized for all calculi)."""
+        for lang in _LANGUAGES:
+            self.store(lang)
+        out: list[Any] = []
+        for store in self._stores.values():
+            out.extend(store.caches)
+        for tokenizer in _TOKENIZERS:
+            out.append(self.token_table(tokenizer.name))
+        out.append(self.normalization)
+        out.append(self.judgments)
+        out.extend(self._extra)
+        return out
+
+    def clear_caches(self) -> None:
+        """Empty every cache, keeping the fresh-name counter running."""
+        for cache in self.caches():
+            cache.clear()
+
+    def reset(self) -> None:
+        """Return this state to a cold, deterministic zero.
+
+        Restarts the fresh-name counter *and* clears every cache: cached
+        results may embed fresh names issued before the reset, and keeping
+        them would make runs depend on execution history.  Only this
+        state's caches are touched — sibling states stay warm.
+        """
+        with self._reset_lock:
+            self._counter = itertools.count(1)
+            self.clear_caches()
+
+    def stats(self) -> dict[str, int]:
+        """Entry counts per cache, for benchmarks and diagnostics."""
+        return {cache.name: len(cache) for cache in self.caches()}
+
+    def hit_counts(self) -> dict[str, int]:
+        """Cumulative cache hits for the caches that track them."""
+        return {
+            self.normalization.name: self.normalization.hits,
+            self.judgments.name: self.judgments.hits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelState({self.name!r}, engine={self.engine!r})"
+
+
+# --------------------------------------------------------------------------
+# The active state.
+# --------------------------------------------------------------------------
+
+_ACTIVE: contextvars.ContextVar[KernelState | None] = contextvars.ContextVar(
+    "repro_kernel_state", default=None
+)
+_DEFAULT: KernelState | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_state() -> KernelState:
+    """The process-default state every legacy entrypoint runs against."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = KernelState("default")
+    return _DEFAULT
+
+
+def current_state() -> KernelState:
+    """The state in force for this thread/context (default when none is)."""
+    state = _ACTIVE.get()
+    return state if state is not None else default_state()
+
+
+@contextmanager
+def activate(state: KernelState) -> Iterator[KernelState]:
+    """Make ``state`` the active kernel state within the ``with`` body.
+
+    Context-variable scoped: nests correctly, restores the previous state
+    on exit, and never leaks across threads (each thread starts from a
+    fresh context, so a state activated here is invisible elsewhere unless
+    that thread activates it too).
+    """
+    token = _ACTIVE.set(state)
+    try:
+        yield state
+    finally:
+        _ACTIVE.reset(token)

@@ -44,14 +44,19 @@ def subst(lang: Language, term: Any, mapping: Substitution) -> Any:
     capturable: set[str] = set()
     for value in relevant.values():
         capturable |= fv.free_vars(lang, value)
-    return _subst(lang, term, relevant, capturable)
+    # Resolve the active session's fv cache once per walk: the property
+    # probes the contextvar, which is too hot to pay per visited node, and
+    # the active state cannot change mid-substitution.
+    return _subst(lang, lang.fv_cache, term, relevant, capturable)
 
 
-def _subst(lang: Language, term: Any, mapping: Substitution, capturable: set[str]) -> Any:
+def _subst(
+    lang: Language, fv_cache: Any, term: Any, mapping: Substitution, capturable: set[str]
+) -> Any:
     var_cls = lang.var_cls
     if isinstance(term, var_cls):
         return mapping.get(term.name, term)
-    fvs = lang.fv_cache.get(term)
+    fvs = fv_cache.get(term)
     if fvs is None:
         fvs = fv.free_vars(lang, term)
     for key in mapping:
@@ -97,7 +102,7 @@ def _subst(lang: Language, term: Any, mapping: Substitution, capturable: set[str
         inner = maps[len(child.binders)]
         value = new_values.get(child.attr, getattr(term, child.attr))
         if inner:
-            value = _subst(lang, value, inner, capturable)
+            value = _subst(lang, fv_cache, value, inner, capturable)
         new_values[child.attr] = value
         if value is not getattr(term, child.attr):
             changed = True

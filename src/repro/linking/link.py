@@ -22,6 +22,7 @@ from repro.cc.context import Context as CCContext
 from repro.cccc.context import Context as TargetContext
 from repro.closconv.translate import translate
 from repro.common.errors import LinkError, TypeCheckError
+from repro.kernel.budget import Budget
 
 __all__ = [
     "ClosingSubstitution",
@@ -68,14 +69,21 @@ class TargetClosingSubstitution:
         return self.mapping.items()
 
 
-def check_substitution(ctx: CCContext, gamma: ClosingSubstitution) -> None:
+def check_substitution(
+    ctx: CCContext, gamma: ClosingSubstitution, budget: Budget | None = None
+) -> None:
     """Check ``Γ ⊢ γ``: each import receives a closed term of its type.
 
     Types of later entries are instantiated with the values chosen for
     earlier entries before checking.  Definition entries must be *matched*
     by γ (mapped to a term equivalent to their instantiated definition) or
     omitted, in which case the definition itself is used at link time.
+    ``budget`` (a fresh default when omitted) is threaded through every
+    per-import judgment, so callers — ``repro.api.Session.link`` in
+    particular — can report the exact fuel the whole check spent.
     """
+    if budget is None:
+        budget = Budget()
     empty = CCContext.empty()
     applied: dict[str, cc.Term] = {}
     for binding in ctx:
@@ -84,7 +92,7 @@ def check_substitution(ctx: CCContext, gamma: ClosingSubstitution) -> None:
             value = cc.subst(binding.definition, applied)
             if binding.name in gamma:
                 supplied = gamma[binding.name]
-                if not cc.equivalent(empty, supplied, value):
+                if not cc.equivalent(empty, supplied, value, budget):
                     raise LinkError(
                         f"substitution for defined import {binding.name!r} is not "
                         f"equivalent to its definition"
@@ -101,7 +109,7 @@ def check_substitution(ctx: CCContext, gamma: ClosingSubstitution) -> None:
                     f"free variables {sorted(stray)}"
                 )
         try:
-            cc.check(empty, value, expected_type)
+            cc.check(empty, value, expected_type, budget)
         except TypeCheckError as error:
             raise LinkError(
                 f"substitution for {binding.name!r} has the wrong type: {error}"

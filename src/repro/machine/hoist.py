@@ -12,6 +12,12 @@ The hoisted program is still a well-typed CC-CC artifact: the code table
 becomes a telescope of *definitions* ``ℓ = λ(x′,x).e : Code …``, and the
 main expression type checks under it (see :func:`program_context`).
 Identical code bodies are deduplicated by α-invariant structure.
+
+The walk is **iterative** (an explicit work stack driven by the CC-CC node
+specs, like every other kernel traversal), so closure-converted programs
+with ~10k-node spines hoist without touching the Python recursion limit —
+the printers and the machine they feed were already stack-safe, and this
+pass was the last recursive tree walk in front of them.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import cccc
+from repro.cccc.ast import LANGUAGE
 from repro.cccc.context import Context
 from repro.common.errors import TranslationError
 
@@ -69,70 +76,63 @@ def hoist(term: cccc.Term) -> Program:
     return Program(hoister.table, main)
 
 
-def _hoist(term: cccc.Term, hoister: _Hoister) -> cccc.Term:
-    match term:
-        case cccc.CodeLam(env_name, env_type, arg_name, arg_type, body):
-            stray = cccc.free_vars(term)
-            if stray:
-                raise TranslationError(
-                    f"cannot hoist open code (free variables {sorted(stray)})"
-                )
-            hoisted_body = _hoist(body, hoister)
-            code = cccc.CodeLam(
-                env_name,
-                _hoist(env_type, hoister),
-                arg_name,
-                _hoist(arg_type, hoister),
-                hoisted_body,
-            )
-            return cccc.Var(hoister.add(code))
-        case cccc.Var() | cccc.Star() | cccc.Box() | cccc.Unit() | cccc.UnitVal():
-            return term
-        case cccc.Bool() | cccc.BoolLit() | cccc.Nat() | cccc.Zero():
-            return term
-        case cccc.Pi(name, domain, codomain):
-            return cccc.Pi(name, _hoist(domain, hoister), _hoist(codomain, hoister))
-        case cccc.CodeType(env_name, env_type, arg_name, arg_type, result):
-            return cccc.CodeType(
-                env_name,
-                _hoist(env_type, hoister),
-                arg_name,
-                _hoist(arg_type, hoister),
-                _hoist(result, hoister),
-            )
-        case cccc.Clo(code, env):
-            return cccc.Clo(_hoist(code, hoister), _hoist(env, hoister))
-        case cccc.App(fn, arg):
-            return cccc.App(_hoist(fn, hoister), _hoist(arg, hoister))
-        case cccc.Let(name, bound, annot, body):
-            return cccc.Let(
-                name, _hoist(bound, hoister), _hoist(annot, hoister), _hoist(body, hoister)
-            )
-        case cccc.Sigma(name, first, second):
-            return cccc.Sigma(name, _hoist(first, hoister), _hoist(second, hoister))
-        case cccc.Pair(fst_val, snd_val, annot):
-            return cccc.Pair(
-                _hoist(fst_val, hoister), _hoist(snd_val, hoister), _hoist(annot, hoister)
-            )
-        case cccc.Fst(pair):
-            return cccc.Fst(_hoist(pair, hoister))
-        case cccc.Snd(pair):
-            return cccc.Snd(_hoist(pair, hoister))
-        case cccc.If(cond, then_branch, else_branch):
-            return cccc.If(
-                _hoist(cond, hoister), _hoist(then_branch, hoister), _hoist(else_branch, hoister)
-            )
-        case cccc.Succ(pred):
-            return cccc.Succ(_hoist(pred, hoister))
-        case cccc.NatElim(motive, base, step, target):
-            return cccc.NatElim(
-                _hoist(motive, hoister),
-                _hoist(base, hoister),
-                _hoist(step, hoister),
-                _hoist(target, hoister),
-            )
-        case _:
+def _hoist(root: cccc.Term, hoister: _Hoister) -> cccc.Term:
+    """Rebuild ``root`` with every (closed) ``CodeLam`` replaced by a label.
+
+    Iterative post-order over the node specs: a frame is ``(term,
+    expanded?)``.  First visit checks code closedness (the [Code] rule's
+    guarantee, re-checked defensively) and pushes the children; second
+    visit pops their results and rebuilds — sharing the original node when
+    no child changed — then swaps a rebuilt ``CodeLam`` for a table label.
+    Nested code is hoisted innermost-first, so a hoisted body only ever
+    references *earlier* labels — the invariant ``unhoist`` and
+    ``program_context`` replay the table under.  (Children are visited in
+    field order; the old recursion visited a ``CodeLam``'s body before its
+    type annotations, so label *numbering* can differ from pre-iterative
+    releases when code sits in a type position — the invariant, not the
+    numbering, is the contract.)
+    """
+    specs = LANGUAGE.specs
+    results: list[cccc.Term] = []
+    stack: list[tuple[cccc.Term, bool]] = [(root, False)]
+    while stack:
+        term, expanded = stack.pop()
+        spec = specs.get(type(term))
+        if spec is None:
             raise TranslationError(f"not a CC-CC term: {term!r}")
+        if not expanded:
+            if isinstance(term, cccc.CodeLam):
+                stray = cccc.free_vars(term)
+                if stray:
+                    raise TranslationError(
+                        f"cannot hoist open code (free variables {sorted(stray)})"
+                    )
+            if not spec.children:
+                results.append(term)
+                continue
+            stack.append((term, True))
+            for child in reversed(spec.children):
+                stack.append((getattr(term, child.attr), False))
+        else:
+            count = len(spec.children)
+            values = results[-count:]
+            del results[-count:]
+            child_iter = iter(values)
+            args: list = []
+            changed = False
+            for attr in spec.field_order:
+                if any(child.attr == attr for child in spec.children):
+                    value = next(child_iter)
+                    changed = changed or value is not getattr(term, attr)
+                    args.append(value)
+                else:
+                    args.append(getattr(term, attr))
+            rebuilt = type(term)(*args) if changed else term
+            if isinstance(rebuilt, cccc.CodeLam):
+                results.append(cccc.Var(hoister.add(rebuilt)))
+            else:
+                results.append(rebuilt)
+    return results[-1]
 
 
 def unhoist(program: Program) -> cccc.Term:

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -68,6 +70,52 @@ class TestDecompileAndHoist:
         assert main(["hoist", "-e", r"(\ (A : Type) (x : A). x) Nat 1"]) == 0
         out = capsys.readouterr().out
         assert "code$0" in out and "main" in out
+
+
+class TestJsonOutput:
+    """``--json`` emits the structured session result for machine consumption."""
+
+    def test_check_json(self, capsys):
+        assert main(["check", "--json", "-e", r"\ (A : Type) (x : A). x"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["type"] == "Π (A : ⋆). A -> A"
+        assert document["engine"] == "nbe"
+        assert document["steps"] == 0
+        assert set(document["cache_hits"]) == {"kernel.normalization", "kernel.judgments"}
+
+    def test_normalize_json_reports_steps_and_engine(self, capsys):
+        assert main(["normalize", "--json", "-e", r"(\ (x : Nat). succ x) 41"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["normal"] == "42"
+        assert document["type"] == "Nat"
+        assert document["steps"] == 1
+        assert document["engine"] == "nbe"
+        assert document["elapsed_seconds"] >= 0
+
+    def test_normalize_json_subst_engine(self, capsys):
+        assert main(
+            ["normalize", "--json", "--engine", "subst", "-e", r"(\ (x : Nat). succ x) 4"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["normal"] == "5"
+        assert document["engine"] == "subst"
+
+    def test_compile_json(self, capsys):
+        assert main(["compile", "--json", "-e", r"\ (x : Nat). x"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["verified"] is True
+        assert "⟨⟨" in document["target"]
+        assert document["verify_steps"] >= 0
+        assert any("Theorem 5.6" in note for note in document["diagnostics"])
+
+    def test_compile_json_no_verify(self, capsys):
+        assert main(["compile", "--json", "--no-verify", "-e", r"\ (x : Nat). x"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["verified"] is False
+
+    def test_json_error_still_plain(self, capsys):
+        assert main(["check", "--json", "-e", "0 0"]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestArgumentHandling:
