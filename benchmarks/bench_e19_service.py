@@ -1,0 +1,244 @@
+"""E19 — the sharded service: a 4-worker pool vs. one shared session.
+
+The service exists so independent workloads get *independent* engine
+state across real OS processes.  The measured scenario is the one the
+ROADMAP's sharding item (and E18 before it) describes: **N independent
+component builds** arrive interleaved at one endpoint.  Each build opens
+every iteration with the deterministic ``reset`` discipline and then makes
+repeated warm passes over its workload — gen/-generated closed programs
+plus heavy arithmetic, as wire-format job streams (:mod:`repro.gen.jobs`).
+
+* **pooled** — a :class:`repro.service.Dispatcher` with 4 worker
+  processes.  Every job of a build carries the build's affinity key, so
+  the whole stream shards to one worker: its warm memo caches keep
+  hitting, and its resets cool exactly one session.
+* **single-session** — the same interleaved stream through the in-process
+  executor against one session (``api.execute_jobs(workers=0)``): the
+  pre-service world, where every build's reset clobbers every other
+  build's warm entries and heavy programs keep renormalizing from cold.
+
+``test_service_throughput_gate`` is the acceptance gate: pooled
+throughput (jobs/second over the whole stream) must be **≥ 2×** the
+single-session baseline.  On a single-core host the entire speedup is the
+cache-isolation structure (sharded sessions dodge cross-build resets); on
+multi-core hosts true parallelism stacks on top — the gate is the floor.
+
+The run also enforces the **determinism differential**: the deterministic
+half of every pooled result — values, types, exact fuel-replay step
+counts, error documents — must be byte-identical to the single-session
+run, on every attempt and additionally under a different shard shape
+(2 workers, hence different job→worker assignments and warmth).  The
+stream deliberately includes failing and fuel-exhausted jobs so errors
+cross the wire under the same contract.  Emits ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro import api
+from repro.gen.jobs import interleave, job_corpus
+from repro.service import Dispatcher
+from repro.surface import to_surface
+from workloads import bool_flip_tower, nat_sum
+
+_ARTIFACT = pathlib.Path(__file__).with_name("BENCH_service.json")
+_GATE = 2.0
+_WORKERS = 4
+_BUILDS = 4
+_ITERATIONS = 3
+_PASSES = 8
+_ATTEMPTS = 3
+
+
+def _pass_jobs(build: int) -> list[dict]:
+    """One pass of build ``build``: a gen/ job plus heavy Church arithmetic.
+
+    The heavy job is a ``bool_flip_tower`` — tens of thousands of
+    reduction steps from ~200 bytes of program — so the cost of losing a
+    warm memo entry dwarfs the per-job fixed costs (parse, render, IPC)
+    that pooled and single-session runs pay identically.
+    """
+    from repro import cc
+
+    key = f"build-{build}"
+    jobs = job_corpus(900 + build, count=1, kinds=("normalize",), key=key)
+    # α-distinct per build (a build-indexed ζ-wrapper): were two builds'
+    # heavy programs α-equivalent, they would intern to one canonical term
+    # and share one memo entry — letting the shared baseline warm one
+    # build's jobs from another's work, which independent components in
+    # separate sessions can never do.
+    tower = cc.Let("build", cc.nat_literal(build), cc.Nat(), bool_flip_tower(14))
+    jobs.append({"kind": "normalize", "program": to_surface(tower), "key": key})
+    return jobs
+
+
+def _error_jobs(build: int) -> list[dict]:
+    """Deterministic failures ride along once per iteration: a type error
+    and a fuel exhaustion must cross the wire byte-identically too."""
+    key = f"build-{build}"
+    return [
+        {"kind": "check", "program": "0 0", "key": key},
+        {"kind": "normalize", "program": to_surface(nat_sum(40)), "fuel": 25, "key": key},
+    ]
+
+
+def _stream(build: int) -> list[list[dict]]:
+    """Build ``build`` as a list of pass-granular job groups.
+
+    Each iteration opens with a ``reset`` job; the first iteration is
+    shortened by a per-build stagger, desynchronizing the builds' reset
+    points — aligned resets would let the shared baseline dodge most of
+    its own cross-talk (exactly E18's discipline).
+    """
+    template = _pass_jobs(build)
+    errors = _error_jobs(build)
+    stagger = build * (_PASSES // _BUILDS)
+    groups: list[list[dict]] = []
+    for iteration in range(_ITERATIONS):
+        passes = _PASSES - stagger if iteration == 0 else _PASSES
+        for pass_index in range(passes):
+            group = []
+            jobs = list(template)
+            if pass_index == 0:
+                group.append(
+                    {"kind": "reset", "key": f"build-{build}",
+                     "id": f"b{build}-i{iteration}-reset"}
+                )
+                jobs = jobs + errors
+            for job_index, spec in enumerate(jobs):
+                stamped = dict(spec)
+                stamped["id"] = f"b{build}-i{iteration}-p{pass_index}-{job_index}"
+                group.append(stamped)
+            groups.append(group)
+    return groups
+
+
+def _interleaved_stream() -> list[dict]:
+    """All builds' passes, round-robin — the arrival order a service sees."""
+    groups = interleave(_stream(build) for build in range(_BUILDS))
+    return [job for group in groups for job in group]
+
+
+def _run_pooled(jobs: list[dict], workers: int) -> tuple[float, list[dict], dict]:
+    """Time one pooled run (pool spun up and health-checked untimed)."""
+    with Dispatcher(workers=workers, engine="nbe") as pool:
+        for slot in range(workers):
+            assert pool.ping(slot, timeout=60.0), f"worker {slot} failed health check"
+        start = time.perf_counter()
+        results = pool.run_batch(jobs)
+        elapsed = time.perf_counter() - start
+        stats = pool.stats().to_dict()
+    return elapsed, [result.canonical() for result in results], stats
+
+
+def _run_solo(jobs: list[dict]) -> tuple[float, list[dict]]:
+    """Time the same stream through one in-process session."""
+    start = time.perf_counter()
+    report = api.execute_jobs(jobs, workers=0)
+    return time.perf_counter() - start, report.canonical()
+
+
+def test_service_throughput_gate():
+    """Acceptance: 4-worker pool ≥ 2× the single-session baseline, pooled
+    results byte-identical to solo under every shard shape, artifact emitted.
+
+    Like the other perf gates (E15/E17/E18), the timing comparison takes
+    the best attempt out of three — one noisy scheduler slice must not
+    fail CI — while the determinism differential must hold on *every*
+    attempt.
+    """
+    jobs = _interleaved_stream()
+    total_jobs = len(jobs)
+
+    speedup = 0.0
+    pooled_seconds = solo_seconds = float("inf")
+    pool_stats: dict = {}
+    identical = True
+    for _attempt in range(_ATTEMPTS):
+        attempt_solo, solo_canonical = _run_solo(jobs)
+        attempt_pooled, pooled_canonical, attempt_stats = _run_pooled(jobs, _WORKERS)
+        identical = identical and pooled_canonical == solo_canonical
+        attempt_speedup = attempt_solo / attempt_pooled
+        if attempt_speedup > speedup:
+            speedup = attempt_speedup
+            pooled_seconds, solo_seconds = attempt_pooled, attempt_solo
+            pool_stats = attempt_stats
+        if speedup >= _GATE:
+            break
+
+    # A different shard shape: different job→worker assignment, different
+    # per-worker warmth — same bytes.
+    _elapsed, reshard_canonical, _stats = _run_pooled(jobs, 2)
+    _solo_elapsed, solo_canonical = _run_solo(jobs)
+    reshard_identical = reshard_canonical == solo_canonical
+
+    failed_jobs = sum(1 for document in solo_canonical if not document["ok"])
+
+    _ARTIFACT.write_text(
+        json.dumps(
+            {
+                "bench": "e19_service",
+                "schema": 1,
+                "python": sys.version.split()[0],
+                "workers": _WORKERS,
+                "builds": _BUILDS,
+                "iterations": _ITERATIONS,
+                "passes_per_iteration": _PASSES,
+                "total_jobs": total_jobs,
+                "failing_jobs_in_stream": failed_jobs,
+                "gate_speedup": _GATE,
+                "pooled": {
+                    "seconds": pooled_seconds,
+                    "throughput_jobs_per_s": total_jobs / pooled_seconds,
+                    "stats": pool_stats,
+                },
+                "single_session": {
+                    "seconds": solo_seconds,
+                    "throughput_jobs_per_s": total_jobs / solo_seconds,
+                },
+                "speedup": speedup,
+                "determinism_identical": identical,
+                "reshard_identical": reshard_identical,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert identical, (
+        "pooled results diverged from the single-session run — worker "
+        "state leaked into a deterministic payload"
+    )
+    assert reshard_identical, (
+        "a different shard assignment changed deterministic payloads — "
+        "results depend on which worker ran a job"
+    )
+    assert failed_jobs > 0, "the differential stream must exercise error payloads"
+    assert speedup >= _GATE, (
+        f"pooled throughput only {speedup:.2f}x the single-session baseline "
+        f"(gate {_GATE}x): sharding is not paying for itself"
+    )
+
+
+def test_crash_recovery_differential_small():
+    """A worker crash mid-stream must not change any surviving payload
+    (the service-level face of the worker-failure satellite)."""
+    build_jobs = [
+        {"id": f"c{index}", "kind": spec["kind"], "program": spec["program"],
+         "key": "crash-build", **({"fuel": spec["fuel"]} if "fuel" in spec else {})}
+        for index, spec in enumerate(_pass_jobs(0))
+    ]
+    jobs = build_jobs[:2] + [{"id": "boom", "kind": "crash", "key": "crash-build"}] + build_jobs[2:]
+    survivors = [job for job in jobs if job["kind"] != "crash"]
+    solo = api.execute_jobs(survivors, workers=0).canonical()
+    with Dispatcher(workers=2, max_attempts=2) as pool:
+        results = pool.run_batch(jobs)
+        stats = pool.stats()
+    by_id = {result.id: result.canonical() for result in results}
+    assert not by_id["boom"]["ok"]
+    assert [by_id[doc["id"]] for doc in solo] == solo
+    assert stats.restarts >= 1

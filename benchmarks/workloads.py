@@ -12,6 +12,7 @@ from repro.cc import prelude
 from repro.cc.context import Context
 
 __all__ = [
+    "bool_flip_tower",
     "capture_chain",
     "church_sum",
     "nat_sum",
@@ -19,6 +20,21 @@ __all__ = [
     "pair_tower",
     "wide_capture",
 ]
+
+
+def bool_flip_tower(m: int) -> cc.Term:
+    """``not`` iterated ``2^m`` times over ``false`` via Church ``m``.
+
+    ``church m`` at type ``Bool -> Bool`` applied to the doubling
+    combinator ``twice Bool`` builds ``not^(2^m)``: exponentially many
+    β/ι-steps from ~200 bytes of program, with a one-token normal form.
+    The extreme cold-to-warm cost ratio (steps grow, term and result do
+    not) is what the service benchmark uses to expose cache clobbering.
+    """
+    boolfn = cc.Pi("_", cc.Bool(), cc.Bool())
+    doubler = prelude.twice(cc.Bool())
+    negate = cc.Lam("b", cc.Bool(), cc.If(cc.Var("b"), cc.BoolLit(False), cc.BoolLit(True)))
+    return cc.make_app(prelude.church_nat(m), boolfn, doubler, negate, cc.BoolLit(False))
 
 
 def church_sum(n: int) -> cc.Term:

@@ -12,20 +12,32 @@ via ``-e/--expr``:
   (Theorem 5.6); print the CC-CC term and its type.
 * ``run``       — compile, hoist, execute on the CBV machine; print the
   value and cost counters.
+* ``link``      — link a component against imports (Theorem 5.7):
+  ``--assume 'n : Nat'`` declares the interface Γ, ``--import 'n=41'``
+  supplies the closing substitution.
 * ``decompile`` — compile, then translate back through the Figure 8
   model; print the CC image and whether ``e ≡ (e⁺)°`` held.
 * ``hoist``     — compile and print the static code table.
+* ``batch``     — execute a stream of service jobs (JSONL file or a
+  generated ``gen/`` corpus) in-process or across a worker pool:
+  ``--workers N`` shards the batch over N processes (0 = solo),
+  ``--engine {subst,nbe}`` picks the worker engine.
 
-``check``, ``normalize``, and ``compile`` accept ``--json``: the
-structured result (type, steps, engine, cache hit counts, diagnostics) is
-emitted as one JSON document for machine consumption.
+Every program-level subcommand (``check``, ``normalize``, ``compile``,
+``run``, ``link``) accepts ``--json``: the structured result (type, steps,
+engine, cache hit counts, diagnostics) is emitted as one JSON document, so
+each entrypoint is machine-readable for service clients.  ``batch --json``
+emits the full batch report (results in submission order + pool stats).
 
 Examples::
 
     python -m repro check -e '\\ (A : Type) (x : A). x'
     python -m repro check --json -e '\\ (A : Type) (x : A). x'
-    python -m repro run -e '(\\ (x : Nat). succ x) 41'
+    python -m repro run --json -e '(\\ (x : Nat). succ x) 41'
+    python -m repro link -e 'n' --assume 'n : Nat' --import 'n=41'
     python -m repro compile program.cc
+    python -m repro batch jobs.jsonl --workers 4 --json
+    python -m repro batch --gen-seed 7 --gen-builds 2 --workers 2
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ from repro.common.errors import ReproError
 from repro.kernel.state import ENGINES
 from repro.machine import hoist, program_context
 from repro.model import decompile
+from repro.surface import parse_term
 
 __all__ = ["main"]
 
@@ -105,6 +118,8 @@ def _cmd_compile(session: Session, args: argparse.Namespace) -> int:
 
 def _cmd_run(session: Session, args: argparse.Namespace) -> int:
     result = session.run(_read_source(args), verify=not args.no_verify)
+    if args.json:
+        return _emit_json(result.to_dict())
     shown = result.observation if result.observation is not None else type(result.value).__name__
     print(f"value        : {shown}")
     print(f"code blocks  : {result.code_count}")
@@ -113,6 +128,87 @@ def _cmd_run(session: Session, args: argparse.Namespace) -> int:
         f" {result.tuple_allocs} env cells, {result.projections} projections"
     )
     return 0
+
+
+def _cmd_link(session: Session, args: argparse.Namespace) -> int:
+    ctx = cc.Context.empty()
+    with session.activate():
+        for entry in args.assume or []:
+            name, _, type_text = entry.partition(":")
+            if not name.strip() or not type_text.strip():
+                raise ReproError(f"malformed --assume {entry!r} (expected 'name : TYPE')")
+            ctx = ctx.extend(name.strip(), parse_term(type_text))
+    imports: dict[str, str] = {}
+    for entry in args.imports or []:
+        name, separator, term_text = entry.partition("=")
+        if not separator or not name.strip():
+            raise ReproError(f"malformed --import {entry!r} (expected 'name=TERM')")
+        imports[name.strip()] = term_text
+    result = session.link(ctx, _read_source(args), imports)
+    if args.json:
+        return _emit_json(result.to_dict())
+    print(f"linked : {cc.pretty(result.term)}")
+    print(f"type   : {cc.pretty(result.type_)}")
+    print(f"steps  : {result.steps}")
+    return 0
+
+
+def _read_job_specs(args: argparse.Namespace) -> list[dict]:
+    """Job specs for ``batch``: a JSONL/JSON file, or a generated corpus."""
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+        if text.lstrip().startswith("["):
+            return json.loads(text)
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    # Generated workload: N independent build streams, interleaved in the
+    # round-robin arrival order a multiplexed service sees.
+    from repro.gen.jobs import build_stream, interleave
+
+    if args.gen_builds < 1:
+        raise ReproError("--gen-builds must be at least 1")
+    return interleave(
+        build_stream(
+            build,
+            seed=args.gen_seed + build,
+            iterations=1,
+            passes=args.gen_passes,
+            corpus_size=args.gen_count,
+            engine=args.engine if args.engine != "nbe" else None,
+        )
+        for build in range(args.gen_builds)
+    )
+
+
+def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
+    from repro import api
+
+    try:
+        specs = _read_job_specs(args)
+        report = api.execute_jobs(
+            specs, workers=args.workers, engine=args.engine, job_timeout=args.job_timeout
+        )
+    except (ValueError, json.JSONDecodeError) as error:
+        # Malformed job specs (bad JSON, unknown kinds/fields) get the
+        # CLI's one-line error contract, not a traceback.
+        raise ReproError(f"bad job stream: {error}") from error
+    if args.json:
+        _emit_json(report.to_dict())
+    else:
+        for result in report.results:
+            if result.ok:
+                summary = ", ".join(
+                    f"{key}={value}" for key, value in sorted(result.payload.items())
+                    if not isinstance(value, str) or len(value) <= 40
+                )
+                print(f"ok   {result.id}: {summary}")
+            else:
+                print(f"FAIL {result.id}: {result.error.get('type')}: {result.error.get('message')}")
+        stats = ", ".join(f"{key}={value}" for key, value in sorted(report.stats.items())
+                          if not isinstance(value, dict))
+        print(f"-- {len(report.results)} job(s) in {report.elapsed_seconds:.3f}s "
+              f"({args.workers} worker(s)); {stats}")
+    return 0 if report.ok else 1
 
 
 def _cmd_decompile(session: Session, args: argparse.Namespace) -> int:
@@ -148,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         ("normalize", _cmd_normalize, "normalize a CC program (NbE or substitution engine)"),
         ("compile", _cmd_compile, "closure-convert and verify (Theorem 5.6)"),
         ("run", _cmd_run, "compile, hoist, and execute on the machine"),
+        ("link", _cmd_link, "link a component against imports (Theorem 5.7)"),
         ("decompile", _cmd_decompile, "round-trip through the Figure 8 model"),
         ("hoist", _cmd_hoist, "print the static code table"),
     ]:
@@ -166,13 +263,71 @@ def main(argv: list[str] | None = None) -> int:
                 default="nbe",
                 help="evaluator: NbE environment machine (default) or the substitution oracle",
             )
-        if name in ("check", "normalize", "compile"):
+        if name == "link":
+            sub.add_argument(
+                "--assume",
+                action="append",
+                metavar="NAME : TYPE",
+                help="one interface entry of Γ (repeatable)",
+            )
+            sub.add_argument(
+                "--import",
+                dest="imports",
+                action="append",
+                metavar="NAME=TERM",
+                help="one closing import (repeatable)",
+            )
+        if name in ("check", "normalize", "compile", "run", "link"):
             sub.add_argument(
                 "--json",
                 action="store_true",
                 help="emit the structured result (type, steps, engine, cache hits) as JSON",
             )
         sub.set_defaults(handler=handler)
+
+    batch = commands.add_parser(
+        "batch",
+        help="execute a service job stream, in-process or across a worker pool",
+    )
+    batch.add_argument(
+        "file",
+        nargs="?",
+        help="job specs: a JSONL file (one spec per line) or one JSON array",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes to shard across (0 = in-process solo run)",
+    )
+    batch.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="nbe",
+        help="normalization engine every worker session boots with",
+    )
+    batch.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="seconds one job may run before its worker is recycled",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full batch report (results + pool stats) as JSON",
+    )
+    batch.add_argument("--gen-seed", type=int, default=0, help="generated-corpus seed")
+    batch.add_argument(
+        "--gen-builds", type=int, default=1, help="independent build streams to generate"
+    )
+    batch.add_argument(
+        "--gen-count", type=int, default=4, help="corpus size per generated build"
+    )
+    batch.add_argument(
+        "--gen-passes", type=int, default=2, help="warm passes per generated build"
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     args = parser.parse_args(argv)
     session = Session(name="cli")

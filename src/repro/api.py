@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -50,6 +51,7 @@ from repro.machine import Program, hoist, machine_observation, run
 from repro.surface import parse_term
 
 __all__ = [
+    "BatchReport",
     "CheckResult",
     "CompileResult",
     "LinkResult",
@@ -58,6 +60,7 @@ __all__ = [
     "RunResult",
     "Session",
     "default_session",
+    "execute_jobs",
 ]
 
 _SESSION_IDS = itertools.count(1)
@@ -495,6 +498,23 @@ class Session:
                 diagnostics=(f"linked {len(gamma.mapping)} import(s) (Γ ⊢ γ checked)",),
             )
 
+    # -- batch/service interop ----------------------------------------------
+
+    def execute(self, job) -> Any:
+        """Execute one service wire job against this session.
+
+        ``job`` is a :class:`repro.service.jobs.Job` or its wire dict.  The
+        in-process executor is the same function the pool workers run, so
+        a solo session and a sharded pool produce byte-identical
+        deterministic payloads for the same job stream.
+        """
+        from repro.service.executor import execute_job
+        from repro.service.jobs import Job
+
+        if not isinstance(job, Job):
+            job = Job.from_dict(job)
+        return execute_job(self, job)
+
     # -- internals -----------------------------------------------------------
 
     def _coerce(self, program: str | cc.Term) -> cc.Term:
@@ -506,6 +526,110 @@ class Session:
     def _hit_delta(self, before: dict[str, int]) -> dict[str, int]:
         after = self._state.hit_counts()
         return {name: after[name] - before.get(name, 0) for name in after}
+
+
+# --------------------------------------------------------------------------
+# Batch execution: the same jobs, pooled or solo.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """The outcome of a batch: per-job results plus pool/session statistics.
+
+    ``results`` is in submission order.  ``stats`` is the dispatcher's
+    aggregated :class:`~repro.service.dispatcher.PoolStats` dict when the
+    batch ran pooled, or the solo session's job/hit counters when it ran
+    in-process.
+    """
+
+    results: tuple
+    stats: dict[str, Any]
+    workers: int
+    engine: str
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def canonical(self) -> list[dict[str, Any]]:
+        """The deterministic halves of every result, in submission order."""
+        return [result.canonical() for result in self.results]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "results": [result.to_dict() for result in self.results],
+            "stats": dict(self.stats),
+            "workers": self.workers,
+            "engine": self.engine,
+            "elapsed_seconds": self.elapsed_seconds,
+            "ok": self.ok,
+        }
+
+
+def execute_jobs(
+    jobs,
+    *,
+    workers: int = 0,
+    engine: str = "nbe",
+    fuel: int | None = None,
+    session: Session | None = None,
+    **dispatcher_options: Any,
+) -> BatchReport:
+    """Execute a stream of service jobs, pooled or solo.
+
+    With ``workers=0`` (the default) every job runs in-process against one
+    session — the reference semantics, and what a worker does with its
+    slice of the stream.  With ``workers > 0`` the batch is sharded across
+    a process pool (:class:`repro.service.Dispatcher`), one session per
+    worker; deterministic payloads are byte-identical either way, which is
+    the contract `benchmarks/bench_e19_service.py` gates.
+
+    ``dispatcher_options`` are forwarded to the :class:`Dispatcher`
+    (``max_pending``, ``job_timeout``, ``max_attempts``, …).
+    """
+    from repro.service.jobs import Job
+
+    specs = [job if isinstance(job, Job) else Job.from_dict(job) for job in jobs]
+    for index, spec in enumerate(specs):
+        if spec.id is None:
+            specs[index] = Job.from_dict({**spec.to_dict(), "id": f"job-{index}"})
+    start = time.perf_counter()
+    if workers <= 0:
+        solo = session if session is not None else Session(
+            name="batch", engine=engine, fuel=DEFAULT_FUEL if fuel is None else fuel
+        )
+        results = tuple(solo.execute(spec) for spec in specs)
+        stats = {
+            "workers": 0,
+            "submitted": len(specs),
+            "completed": len(specs),
+            "failed": sum(1 for result in results if not result.ok),
+            "cache_hits": solo.hit_counts(),
+        }
+        return BatchReport(
+            results=results,
+            stats=stats,
+            workers=0,
+            engine=engine,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    from repro.service.dispatcher import Dispatcher
+
+    with Dispatcher(
+        workers=workers, engine=engine, fuel=fuel, **dispatcher_options
+    ) as pool:
+        results = tuple(pool.run_batch(specs))
+        stats = pool.stats().to_dict()
+    return BatchReport(
+        results=results,
+        stats=stats,
+        workers=workers,
+        engine=engine,
+        elapsed_seconds=time.perf_counter() - start,
+    )
 
 
 # --------------------------------------------------------------------------

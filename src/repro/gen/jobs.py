@@ -1,0 +1,146 @@
+"""Workload corpora as service job streams.
+
+The generator (:mod:`repro.gen.generator`) supplies well-typed terms under
+random *contexts*; the service wire format carries *closed* surface text.
+This module bridges the two: :func:`close_over` folds a generated context
+into the term itself (assumptions become λ-binders, definitions become
+``let``), :func:`job_corpus` renders a verified corpus of closed job
+specs, and :func:`build_stream` arranges a corpus into the independent
+"component build" shape the scaling benchmarks measure — the classic
+discipline where each build starts from a deterministic reset and then
+makes repeated (warm) passes over its workload.
+
+Everything here is deterministic per seed: generation runs inside a
+throwaway session (so corpus construction never touches the caller's
+engine state) and every candidate is round-tripped through the surface
+printer/parser and re-checked before it may enter a corpus — a job stream
+never contains a program the kernel would reject for reasons the test
+didn't intend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro import cc
+from repro.common.errors import ReproError
+from repro.gen.generator import GenConfig, TermGenerator
+from repro.surface import parse_term, to_surface
+
+__all__ = ["build_stream", "close_over", "interleave", "job_corpus"]
+
+#: Kind rotation for mixed corpora: normalization-heavy, like real traffic.
+_DEFAULT_KINDS = ("normalize", "check", "normalize", "compile", "run")
+
+
+def interleave(streams: Iterable[Iterable[Any]]) -> list[Any]:
+    """Round-robin merge: one element from each stream per round.
+
+    The arrival order a multiplexed service sees when independent clients
+    submit concurrently.  Streams of unequal length simply drop out of
+    rotation as they drain; no streams → no jobs.
+    """
+    rows = [list(stream) for stream in streams]
+    merged: list[Any] = []
+    for index in range(max((len(row) for row in rows), default=0)):
+        for row in rows:
+            if index < len(row):
+                merged.append(row[index])
+    return merged
+
+
+def close_over(ctx: cc.Context, term: cc.Term) -> cc.Term:
+    """Fold ``ctx`` into ``term``: assumptions λ-bind, definitions ``let``.
+
+    ``Γ ⊢ e : A`` becomes ``⊢ λ/let Γ. e`` — still well typed, with the
+    same redexes inside, but closed and therefore wire-representable.
+    """
+    closed = term
+    for binding in reversed(list(ctx)):
+        if binding.is_definition:
+            closed = cc.Let(binding.name, binding.definition, binding.type_, closed)
+        else:
+            closed = cc.Lam(binding.name, binding.type_, closed)
+    return closed
+
+
+def job_corpus(
+    seed: int,
+    count: int = 6,
+    config: GenConfig | None = None,
+    kinds: tuple[str, ...] = _DEFAULT_KINDS,
+    engine: str | None = None,
+    key: str | None = None,
+) -> list[dict[str, Any]]:
+    """A deterministic corpus of ``count`` verified, closed job specs.
+
+    Kinds rotate through ``kinds``; ``engine`` applies to normalize jobs;
+    ``key`` stamps every spec with one affinity key.  Candidates that do
+    not survive the close-over → print → parse → re-check round trip are
+    discarded (the generator retries), so the corpus is reproducible *and*
+    well formed.
+    """
+    from repro.api import Session
+
+    scratch = Session(name=f"gen-jobs-{seed}")
+    specs: list[dict[str, Any]] = []
+    with scratch.activate():
+        source = TermGenerator(seed, config or GenConfig(max_depth=3, context_size=2))
+        attempts = 0
+        while len(specs) < count and attempts < count * 30:
+            attempts += 1
+            triple = source.well_typed_term()
+            if triple is None:
+                continue
+            ctx, term, _type = triple
+            try:
+                closed = close_over(ctx, term)
+                text = to_surface(closed)
+                reparsed = parse_term(text)
+                cc.infer(cc.Context.empty(), reparsed)
+            except ReproError:
+                continue
+            kind = kinds[len(specs) % len(kinds)]
+            spec: dict[str, Any] = {"kind": kind, "program": text}
+            if kind == "normalize" and engine is not None:
+                spec["engine"] = engine
+            if key is not None:
+                spec["key"] = key
+            specs.append(spec)
+    return specs
+
+
+def build_stream(
+    build: int,
+    seed: int,
+    iterations: int = 2,
+    passes: int = 4,
+    corpus: Iterable[dict[str, Any]] | None = None,
+    corpus_size: int = 4,
+    config: GenConfig | None = None,
+    engine: str | None = None,
+) -> list[dict[str, Any]]:
+    """One independent component build, as a job stream.
+
+    The stream opens each of ``iterations`` with a ``reset`` job — the
+    deterministic start-of-build discipline — followed by ``passes`` warm
+    passes over the build's corpus.  Every job carries the build's affinity
+    key, so a sharded pool keeps the whole stream on one worker: its warm
+    memo caches keep hitting, and its resets cool exactly one session
+    instead of every build's.  Job ids encode (build, iteration, pass,
+    index) and are unique across interleaved streams.
+    """
+    key = f"build-{build}"
+    jobs = list(corpus) if corpus is not None else job_corpus(
+        seed, count=corpus_size, config=config, engine=engine, key=key
+    )
+    stream: list[dict[str, Any]] = []
+    for iteration in range(iterations):
+        stream.append({"kind": "reset", "key": key, "id": f"{key}-i{iteration}-reset"})
+        for pass_index in range(passes):
+            for job_index, spec in enumerate(jobs):
+                stamped = dict(spec)
+                stamped["key"] = key
+                stamped["id"] = f"{key}-i{iteration}-p{pass_index}-{job_index}"
+                stream.append(stamped)
+    return stream

@@ -5,6 +5,11 @@ occurrences are compared through de Bruijn-style level environments; free
 occurrences by name.  Telescopic scoping (see
 :mod:`repro.kernel.nodespec`) lets one loop interleave child comparisons
 with binder introductions for single- and multi-binder nodes alike.
+
+The comparison is **iterative** (an explicit work stack of subterm pairs,
+like every other kernel traversal), so ~10k-node-deep programs — a deep
+hoisted spine reconstituted by ``machine/hoist.unhoist``, say — compare
+without touching the Python recursion limit.
 """
 
 from __future__ import annotations
@@ -18,50 +23,49 @@ __all__ = ["alpha_equal"]
 
 def alpha_equal(lang: Language, left: Any, right: Any) -> bool:
     """Structural equality of ``left`` and ``right`` up to bound names."""
-    return _alpha(lang, left, right, {}, {}, [0])
-
-
-def _alpha(
-    lang: Language,
-    left: Any,
-    right: Any,
-    env_l: dict[str, int],
-    env_r: dict[str, int],
-    counter: list[int],
-) -> bool:
-    if left is right and env_l == env_r:
-        # Identical objects under identical binder environments compare
-        # equal without a traversal — the common case once terms are
-        # hash-consed.
-        return True
     var_cls = lang.var_cls
-    if isinstance(left, var_cls):
-        if not isinstance(right, var_cls):
+    counter = 0
+    # Work stack of (left, right, left binder env, right binder env).
+    stack: list[tuple[Any, Any, dict[str, int], dict[str, int]]] = [
+        (left, right, {}, {})
+    ]
+    while stack:
+        left, right, env_l, env_r = stack.pop()
+        if left is right and env_l == env_r:
+            # Identical objects under identical binder environments compare
+            # equal without a traversal — the common case once terms are
+            # hash-consed.
+            continue
+        if isinstance(left, var_cls):
+            if not isinstance(right, var_cls):
+                return False
+            level_l, level_r = env_l.get(left.name), env_r.get(right.name)
+            if level_l is None and level_r is None:
+                if left.name != right.name:
+                    return False
+                continue
+            if level_l is None or level_l != level_r:
+                return False
+            continue
+        if type(left) is not type(right):
             return False
-        level_l, level_r = env_l.get(left.name), env_r.get(right.name)
-        if level_l is None and level_r is None:
-            return left.name == right.name
-        return level_l is not None and level_l == level_r
-    if type(left) is not type(right):
-        return False
-    spec = lang.spec(left)
-    for attr in spec.data_attrs:
-        if getattr(left, attr) != getattr(right, attr):
-            return False
-    depth = 0
-    cur_l, cur_r = env_l, env_r
-    for child in spec.children:
-        while depth < len(child.binders):
-            binder = spec.binder_attrs[depth]
-            index = counter[0]
-            counter[0] += 1
-            cur_l = dict(cur_l)
-            cur_l[getattr(left, binder)] = index
-            cur_r = dict(cur_r)
-            cur_r[getattr(right, binder)] = index
-            depth += 1
-        if not _alpha(
-            lang, getattr(left, child.attr), getattr(right, child.attr), cur_l, cur_r, counter
-        ):
-            return False
+        spec = lang.spec(left)
+        for attr in spec.data_attrs:
+            if getattr(left, attr) != getattr(right, attr):
+                return False
+        depth = 0
+        cur_l, cur_r = env_l, env_r
+        for child in spec.children:
+            while depth < len(child.binders):
+                binder = spec.binder_attrs[depth]
+                index = counter
+                counter += 1
+                cur_l = dict(cur_l)
+                cur_l[getattr(left, binder)] = index
+                cur_r = dict(cur_r)
+                cur_r[getattr(right, binder)] = index
+                depth += 1
+            stack.append(
+                (getattr(left, child.attr), getattr(right, child.attr), cur_l, cur_r)
+            )
     return True

@@ -68,7 +68,7 @@ def _build(lang: Language, table: dict, cls: type, args: tuple) -> Any:
     calls this directly.
     """
     spec = lang.specs[cls]
-    child_attrs = {child.attr for child in spec.children}
+    child_attrs = spec.child_attrs
     key_parts: list[Any] = [cls]
     for name, value in zip(spec.field_order, args):
         key_parts.append(id(value) if name in child_attrs else value)

@@ -43,6 +43,10 @@ class NodeSpec:
     data_attrs: tuple[str, ...]
     children: tuple[ChildSpec, ...]
     field_order: tuple[str, ...]
+    #: ``{child.attr for child in children}`` — membership tests on the
+    #: rebuild hot paths (substitution, hoisting, interning) must not
+    #: rescan ``children`` per field.
+    child_attrs: frozenset[str] = frozenset()
 
 
 class Language:
@@ -112,7 +116,14 @@ class Language:
             depth = len(child.binders)
         if depth > len(binders):
             raise ValueError(f"{cls.__name__}: scope depth exceeds declared binders")
-        spec = NodeSpec(cls, tuple(binders), tuple(data), children, field_order)
+        spec = NodeSpec(
+            cls,
+            tuple(binders),
+            tuple(data),
+            children,
+            field_order,
+            frozenset(child.attr for child in children),
+        )
         self.specs[cls] = spec
         return spec
 

@@ -49,6 +49,7 @@ __all__ = [
     "LanguageStore",
     "TokenTable",
     "activate",
+    "bootstrap_worker_state",
     "current_state",
     "default_state",
     "register_language",
@@ -265,6 +266,31 @@ def default_state() -> KernelState:
             if _DEFAULT is None:
                 _DEFAULT = KernelState("default")
     return _DEFAULT
+
+
+def bootstrap_worker_state(
+    name: str, engine: str = "nbe", fuel: int | None = None
+) -> KernelState:
+    """Install a pristine process-default state — the worker-side bootstrap.
+
+    A pool worker forked from a warm parent inherits the parent's default
+    state wholesale: its caches, its fresh-name counter position, its hit
+    counters.  Serving jobs against that would make worker results depend
+    on parent execution history and re-report the parent's counters in
+    every pool-stats aggregation.  This swaps in a brand-new
+    :class:`KernelState` as the process default (and deactivates any
+    inherited active state), so the worker's session — built over the
+    returned state — and the legacy shims observe one cold, deterministic
+    world, and its counters are exactly the work this worker performed.
+    """
+    global _DEFAULT
+    state = KernelState(name, engine=engine, fuel=fuel)
+    with _DEFAULT_LOCK:
+        _DEFAULT = state
+    # A fork can also inherit a contextvar pointing at a parent session;
+    # clear it so current_state() resolves to the fresh default here.
+    _ACTIVE.set(None)
+    return state
 
 
 def current_state() -> KernelState:

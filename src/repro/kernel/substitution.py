@@ -14,6 +14,16 @@ cached free-variable sets of :mod:`repro.kernel.fv`:
   *unchanged* (pointer-shared with the input), so a substitution touching
   one branch of a large term no longer rebuilds — or needlessly renames
   binders in — the untouched branches.
+
+The walk is **iterative** — an explicit work stack driven by the node
+specs, like the hoisting pass and the other kernel traversals — so
+substitution into ~10k-node-deep programs (``machine/hoist.unhoist``
+reconstituting a deep hoisted program, linking a deep component) never
+approaches the Python recursion limit.  Binder renaming is folded into the
+mapping itself: renaming ``b`` to the fresh ``b'`` pushes the children
+under ``b`` with ``mapping ∪ {b ↦ b'}``.  Because the mapping is parallel
+and ``b'`` is globally fresh, this is exactly the old rename-then-
+substitute composition, in one pass.
 """
 
 from __future__ import annotations
@@ -47,76 +57,81 @@ def subst(lang: Language, term: Any, mapping: Substitution) -> Any:
     # Resolve the active session's fv cache once per walk: the property
     # probes the contextvar, which is too hot to pay per visited node, and
     # the active state cannot change mid-substitution.
-    return _subst(lang, lang.fv_cache, term, relevant, capturable)
-
-
-def _subst(
-    lang: Language, fv_cache: Any, term: Any, mapping: Substitution, capturable: set[str]
-) -> Any:
+    fv_cache = lang.fv_cache
     var_cls = lang.var_cls
-    if isinstance(term, var_cls):
-        return mapping.get(term.name, term)
-    fvs = fv_cache.get(term)
-    if fvs is None:
-        fvs = fv.free_vars(lang, term)
-    for key in mapping:
-        if key in fvs:
-            break
-    else:
-        return term  # no mapped name occurs free: share the whole subtree
 
-    spec = lang.spec(term)
-    # A non-variable node with a free mapped name necessarily has children.
-    new_values: dict[str, Any] = {}
-    binder_names: dict[str, str] = {}
-    # maps[k] is the mapping in force under the first k binders.
-    maps: list[Substitution] = [mapping]
-    current = mapping
-    for position, binder in enumerate(spec.binder_attrs):
-        bound = getattr(term, binder)
-        if bound in current:
-            current = {k: v for k, v in current.items() if k != bound}
-        if current and bound in capturable:
-            renamed = fresh(bound)
-            renaming = {bound: var_cls(renamed)}
-            for child in spec.children:
-                if binder not in child.binders:
-                    continue
-                if any(
-                    getattr(term, later) == bound
-                    for later in child.binders[position + 1 :]
-                ):
-                    # A later binder of the same name shadows this one for
-                    # every occurrence in the child, so there is nothing to
-                    # rename there (and renaming would capture).
-                    continue
-                original = new_values.get(child.attr, getattr(term, child.attr))
-                new_values[child.attr] = subst(lang, original, renaming)
-            binder_names[binder] = renamed
+    # Post-order over an explicit stack.  A *visit* frame carries the
+    # mapping and capturable set in force at that position; a *build* frame
+    # (``work`` is the ``(spec, binder_names)`` pair) pops its children's
+    # results off the value stack and rebuilds.
+    results: list[Any] = []
+    stack: list[tuple[Any, Substitution, set[str], Any]] = [
+        (term, relevant, capturable, None)
+    ]
+    while stack:
+        node, current, cap, work = stack.pop()
+        if work is not None:
+            spec, binder_names = work
+            count = len(spec.children)
+            values = results[-count:]
+            del results[-count:]
+            child_iter = iter(values)
+            child_attrs = spec.child_attrs
+            changed = False
+            args: list[Any] = []
+            for name in spec.field_order:
+                if name in binder_names:
+                    value = binder_names[name]
+                    changed = changed or value != getattr(node, name)
+                elif name in child_attrs:
+                    value = next(child_iter)
+                    changed = changed or value is not getattr(node, name)
+                else:
+                    value = getattr(node, name)
+                args.append(value)
+            results.append(type(node)(*args) if changed else node)
+            continue
+
+        if not current:
+            results.append(node)  # no substitution in force under this prefix
+            continue
+        if isinstance(node, var_cls):
+            results.append(current.get(node.name, node))
+            continue
+        fvs = fv_cache.get(node)
+        if fvs is None:
+            fvs = fv.free_vars(lang, node)
+        for key in current:
+            if key in fvs:
+                break
         else:
-            binder_names[binder] = bound
-        maps.append(current)
+            results.append(node)  # no mapped name occurs free: share the subtree
+            continue
 
-    changed = False
-    for child in spec.children:
-        inner = maps[len(child.binders)]
-        value = new_values.get(child.attr, getattr(term, child.attr))
-        if inner:
-            value = _subst(lang, fv_cache, value, inner, capturable)
-        new_values[child.attr] = value
-        if value is not getattr(term, child.attr):
-            changed = True
-    if not changed and all(
-        binder_names[b] == getattr(term, b) for b in spec.binder_attrs
-    ):
-        return term
+        spec = lang.spec(node)
+        # A non-variable node with a free mapped name necessarily has children.
+        binder_names: dict[str, str] = {}
+        # maps[k] / caps[k]: mapping and capturable set under the first k
+        # binders — shadowed names dropped, renames added.
+        maps: list[Substitution] = [current]
+        caps: list[set[str]] = [cap]
+        for binder in spec.binder_attrs:
+            bound = getattr(node, binder)
+            if bound in current:
+                current = {k: v for k, v in current.items() if k != bound}
+            if current and bound in cap:
+                renamed = fresh(bound)
+                current = dict(current)
+                current[bound] = var_cls(renamed)
+                cap = cap | {renamed}
+                binder_names[binder] = renamed
+            else:
+                binder_names[binder] = bound
+            maps.append(current)
+            caps.append(cap)
 
-    args = []
-    for name in spec.field_order:
-        if name in binder_names:
-            args.append(binder_names[name])
-        elif name in new_values:
-            args.append(new_values[name])
-        else:
-            args.append(getattr(term, name))
-    return type(term)(*args)
+        stack.append((node, current, cap, (spec, binder_names)))
+        for child in reversed(spec.children):
+            depth = len(child.binders)
+            stack.append((getattr(node, child.attr), maps[depth], caps[depth], None))
+    return results[-1]

@@ -121,7 +121,7 @@ def _hoist(root: cccc.Term, hoister: _Hoister) -> cccc.Term:
             args: list = []
             changed = False
             for attr in spec.field_order:
-                if any(child.attr == attr for child in spec.children):
+                if attr in spec.child_attrs:
                     value = next(child_iter)
                     changed = changed or value is not getattr(term, attr)
                     args.append(value)

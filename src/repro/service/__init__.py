@@ -1,0 +1,35 @@
+"""The sharded normalization service: a process-pool dispatch layer.
+
+PR 4 made :class:`repro.api.Session` the unit of isolation — interleaved
+sessions are byte-identical to solo runs — but every session still shares
+one interpreter and one GIL.  This subsystem is the next scaling step the
+ROADMAP names: batches of independent kernel jobs (``check`` /
+``normalize`` / ``compile`` / ``run`` / ``link``) dispatched across a pool
+of **worker processes**, one session per worker.
+
+The paper makes the sharding sound: Bowman & Ahmed's separate-compilation
+story (Theorem 5.8) means each ``compile``/``link``/``run`` job carries no
+shared mutable state, and closure-converted evaluation is embarrassingly
+parallel across independent programs.  Operationally:
+
+* :mod:`repro.service.jobs` — the JSON wire format: job specs in, split
+  deterministic payloads / nondeterministic telemetry out;
+* :mod:`repro.service.executor` — one job against one session, used
+  identically by pool workers and by the in-process solo path, so pooled
+  results are byte-identical to solo runs by construction;
+* :mod:`repro.service.worker` — the worker process: state bootstrap, job
+  loop, health and stats reporting;
+* :mod:`repro.service.dispatcher` — the pool: bounded queue,
+  round-robin-with-affinity sharding, crash detection with requeue onto a
+  fresh worker, per-job timeouts, graceful shutdown, aggregated stats.
+
+The CLI front end is ``python -m repro batch``; the programmatic front end
+is :func:`repro.api.execute_jobs`, which runs the same executor pooled
+(``workers > 0``) or solo (``workers = 0``).
+"""
+
+from repro.service.dispatcher import Dispatcher, PoolStats
+from repro.service.executor import execute_job
+from repro.service.jobs import Job, JobResult
+
+__all__ = ["Dispatcher", "Job", "JobResult", "PoolStats", "execute_job"]

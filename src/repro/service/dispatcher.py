@@ -1,0 +1,506 @@
+"""The pool dispatcher: sharded queues, crash recovery, aggregated stats.
+
+One :class:`Dispatcher` owns a fixed array of worker *slots*.  Each slot
+holds one worker process (:mod:`repro.service.worker`) with a private job
+queue; all workers share one result queue.  Everything on either queue is
+a JSON string — the wire format of :mod:`repro.service.jobs`.
+
+**Sharding** is round-robin-with-affinity: the first job carrying a new
+affinity key claims the next slot round-robin, and every later job with
+the same key goes to that slot — so a stream of related jobs keeps
+hitting one worker's warm memo caches, while distinct streams spread
+evenly (hashing keys instead can collide several hot streams onto one
+worker and leave others idle).  A job without a key takes the next slot
+round-robin, unpinned.  Key assignments live for the dispatcher's
+lifetime and survive worker restarts: a requeued job lands on the fresh
+worker in its original slot.
+
+**Lifecycle.**  The dispatcher's collector thread drains the result queue
+and watches worker health.  When a worker dies (crash, kill, hard exit),
+its slot is refilled with a *fresh* worker — new process, new generation,
+new queue, cold session — and every unfinished job assigned to the slot is
+requeued onto it.  The job that was in flight at the moment of death (the
+worker ``begin``-acks each job precisely so this is known) is the culprit:
+its attempt counter rises, and when attempts are exhausted it completes as
+a failed result instead of looping forever.  Requeued jobs produce results
+byte-identical to an uninterrupted run — cold caches change timing, never
+payloads, because every term renders α-canonically and every step count
+replays from the fuel caches.  Per-job timeouts reuse the same machinery:
+an overdue worker is killed and handled as a death with a known culprit.
+
+**Stats.**  Pool-level aggregation sums per-worker counters without double
+counting: each worker's session *is* its process-default state (the
+bootstrap guarantees it), so the legacy-shim counters and the session
+counters are one set of numbers, and the dispatcher keeps exactly one
+cumulative snapshot per worker generation (the latest) and sums those.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.kernel.state import validate_engine
+from repro.service.jobs import Job, JobResult
+from repro.service.worker import worker_main
+
+__all__ = ["Dispatcher", "PoolStats"]
+
+_POOL_IDS = itertools.count(1)
+
+
+@dataclass
+class PoolStats:
+    """Aggregated pool-level statistics, JSON-ready via :meth:`to_dict`."""
+
+    workers: int = 0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    requeued: int = 0
+    restarts: int = 0
+    timeouts: int = 0
+    jobs_per_slot: dict[int, int] = field(default_factory=dict)
+    cache_hits: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "requeued": self.requeued,
+            "restarts": self.restarts,
+            "timeouts": self.timeouts,
+            "jobs_per_slot": {str(slot): n for slot, n in sorted(self.jobs_per_slot.items())},
+            "cache_hits": dict(self.cache_hits),
+        }
+
+
+@dataclass
+class _Pending:
+    """Dispatcher-side record of one submitted, not-yet-completed job."""
+
+    job: Job
+    slot: int
+    sequence: int
+    attempts: int = 0
+    begun_at: float | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+    result: JobResult | None = None
+
+
+class _WorkerHandle:
+    """One live worker process bound to a slot."""
+
+    __slots__ = ("slot", "generation", "name", "process", "queue", "bye")
+
+    def __init__(self, slot: int, generation: int, name: str, process: Any, jobs: Any):
+        self.slot = slot
+        self.generation = generation
+        self.name = name
+        self.process = process
+        self.queue = jobs
+        self.bye = threading.Event()
+
+
+class Dispatcher:
+    """A bounded-queue dispatcher over a pool of session workers.
+
+    Args:
+        workers: number of worker slots (processes).
+        engine: normalization engine every worker session boots with.
+        fuel: default fuel for worker sessions (None = kernel default).
+        max_pending: bound on unfinished jobs; :meth:`submit` blocks at it.
+        job_timeout: seconds a single job may run before its worker is
+            killed and the job handled as a crash (None disables).
+        max_attempts: dispatch attempts per job before it completes as a
+            failed result (a crash/timeout consumes one attempt).
+        start_method: multiprocessing start method (default: ``fork``
+            where available, else the platform default).
+        name: pool label used in worker session names.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        engine: str = "nbe",
+        fuel: int | None = None,
+        max_pending: int = 256,
+        job_timeout: float | None = None,
+        max_attempts: int = 2,
+        start_method: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        if max_pending < workers:
+            raise ValueError("max_pending must be at least the worker count")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        validate_engine(engine)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.name = name or f"pool-{next(_POOL_IDS)}"
+        self.engine = engine
+        self.fuel = fuel
+        self.max_pending = max_pending
+        self.job_timeout = job_timeout
+        self.max_attempts = max_attempts
+        self._mp = multiprocessing.get_context(start_method)
+        self._results = self._mp.Queue()
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._pending: dict[str, _Pending] = {}
+        self._key_slots: dict[str, int] = {}
+        self._handles: list[_WorkerHandle] = []
+        self._hit_snapshots: dict[tuple[int, int], dict[str, int]] = {}
+        self._jobs_per_slot: dict[int, int] = {}
+        self._pings: dict[Any, threading.Event] = {}
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "requeued": 0,
+            "restarts": 0,
+            "timeouts": 0,
+        }
+        self._sequence = itertools.count()
+        self._round_robin = itertools.count()
+        self._closing = False
+        for slot in range(workers):
+            self._handles.append(self._spawn(slot, generation=0))
+        self._collector = threading.Thread(
+            target=self._collect, name=f"{self.name}-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- context management ---------------------------------------------------
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- sharding -------------------------------------------------------------
+
+    def slot_for(self, job: Job) -> int:
+        """The slot ``job`` shards to: round-robin with key affinity.
+
+        A new key claims the next slot in rotation and keeps it for the
+        dispatcher's lifetime; unkeyed jobs just take the rotation.  The
+        assignment is deterministic in arrival order — and deterministic
+        *payloads* never depend on it at all, which the service benchmark's
+        reshard differential enforces.
+        """
+        key = job.shard_key
+        if key is None:
+            return next(self._round_robin) % len(self._handles)
+        slot = self._key_slots.get(key)
+        if slot is None:
+            slot = self._key_slots.setdefault(
+                key, next(self._round_robin) % len(self._handles)
+            )
+        return slot
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, job: Job | Mapping[str, Any]) -> _Pending:
+        """Queue one job; blocks while ``max_pending`` jobs are unfinished."""
+        if not isinstance(job, Job):
+            job = Job.from_dict(job)
+        with self._space:
+            if self._closing:
+                raise RuntimeError("dispatcher is shut down")
+            sequence = next(self._sequence)
+            if job.id is None:
+                job = Job.from_dict({**job.to_dict(), "id": f"job-{sequence}"})
+            if job.id in self._pending:
+                raise ValueError(f"duplicate in-flight job id {job.id!r}")
+            while len(self._pending) >= self.max_pending:
+                self._space.wait()
+                if self._closing:
+                    raise RuntimeError("dispatcher is shut down")
+            slot = self.slot_for(job)
+            pending = _Pending(job=job, slot=slot, sequence=sequence)
+            self._pending[job.id] = pending
+            self._counts["submitted"] += 1
+            self._send(self._handles[slot], pending)
+        return pending
+
+    def run_batch(self, jobs: Iterable[Job | Mapping[str, Any]]) -> list[JobResult]:
+        """Dispatch ``jobs`` and block until every result is in.
+
+        Results come back in submission order regardless of which workers
+        finished first — the stable shape batch clients (and the
+        determinism differential) want.
+        """
+        pendings = [self.submit(job) for job in jobs]
+        for pending in pendings:
+            pending.done.wait()
+        return [pending.result for pending in pendings]  # type: ignore[misc]
+
+    # -- health ---------------------------------------------------------------
+
+    def ping(self, slot: int, timeout: float = 5.0) -> bool:
+        """True if the worker in ``slot`` answers a health probe in time."""
+        token = f"ping-{slot}-{time.monotonic_ns()}"
+        event = threading.Event()
+        self._pings[token] = event
+        try:
+            with self._lock:
+                self._handles[slot].queue.put(json.dumps({"op": "ping", "token": token}))
+            return event.wait(timeout)
+        finally:
+            self._pings.pop(token, None)
+
+    def alive_workers(self) -> list[bool]:
+        """Liveness of each slot's current worker process."""
+        return [handle.process.is_alive() for handle in self._handles]
+
+    def kill_worker(self, slot: int) -> None:
+        """Hard-kill the worker in ``slot`` (chaos hook for failure tests)."""
+        self._handles[slot].process.kill()
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> PoolStats:
+        """A consistent snapshot of the aggregated pool statistics."""
+        with self._lock:
+            hits: dict[str, int] = {}
+            # One cumulative snapshot per worker generation: the worker's
+            # session *is* its process default (bootstrap_worker_state), so
+            # this is each counter counted exactly once — never session
+            # plus legacy-shim double counting, never per-job double sums.
+            for snapshot in self._hit_snapshots.values():
+                for cache, count in snapshot.items():
+                    hits[cache] = hits.get(cache, 0) + count
+            return PoolStats(
+                workers=len(self._handles),
+                jobs_per_slot=dict(self._jobs_per_slot),
+                cache_hits=hits,
+                **self._counts,
+            )
+
+    # -- shutdown -------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every worker gracefully; escalate to kill on the deadline."""
+        with self._space:
+            if self._closing:
+                return
+            self._closing = True
+            self._space.notify_all()
+            handles = list(self._handles)
+        stop = json.dumps({"op": "stop"})
+        for handle in handles:
+            try:
+                handle.queue.put(stop)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            handle.bye.wait(max(0.0, deadline - time.monotonic()))
+        for handle in handles:
+            handle.process.join(max(0.05, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+        self._collector.join(timeout=2.0)
+        with self._space:
+            for pending in self._pending.values():
+                if not pending.done.is_set():
+                    pending.result = JobResult(
+                        id=pending.job.id or "?",
+                        ok=False,
+                        error={
+                            "type": "DispatcherShutdown",
+                            "message": "dispatcher shut down before the job completed",
+                        },
+                        meta={"slot": pending.slot, "attempts": pending.attempts},
+                    )
+                    pending.done.set()
+            self._pending.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _spawn(self, slot: int, generation: int) -> _WorkerHandle:
+        """Start a fresh worker process for ``slot``."""
+        worker_name = f"{self.name}-w{slot}g{generation}"
+        jobs = self._mp.Queue()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(slot, generation, worker_name, jobs, self._results, self.engine, self.fuel),
+            name=worker_name,
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(slot, generation, worker_name, process, jobs)
+
+    def _send(self, handle: _WorkerHandle, pending: _Pending) -> None:
+        """Put one job on a worker queue (caller holds the lock)."""
+        pending.begun_at = None
+        handle.queue.put(json.dumps({"op": "job", "spec": pending.job.to_dict()}))
+
+    def _collect(self) -> None:
+        """Collector thread: drain results, watch health, enforce timeouts.
+
+        Health runs on the idle branch *and* at a bounded interval while
+        results are flowing — a continuous stream from healthy workers
+        must not starve the detection of a dead or overdue one.
+        """
+        last_health = time.monotonic()
+        while True:
+            try:
+                raw = self._results.get(timeout=0.05)
+            except queue_module.Empty:
+                if self._closing and all(h.bye.is_set() or not h.process.is_alive()
+                                         for h in self._handles):
+                    return
+                self._watch_health()
+                last_health = time.monotonic()
+                continue
+            if time.monotonic() - last_health > 0.05:
+                self._watch_health()
+                last_health = time.monotonic()
+            message = json.loads(raw)
+            op = message.get("op")
+            if op == "begin":
+                self._on_begin(message)
+            elif op == "result":
+                self._on_result(message)
+            elif op == "pong":
+                event = self._pings.get(message.get("token"))
+                if event is not None:
+                    event.set()
+                self._store_snapshot(message)
+            elif op == "bye":
+                self._store_snapshot(message)
+                for handle in self._handles:
+                    if (
+                        handle.slot == message.get("slot")
+                        and handle.generation == message.get("generation")
+                    ):
+                        handle.bye.set()
+
+    def _store_snapshot(self, message: Mapping[str, Any]) -> None:
+        """Record a worker generation's cumulative hit counters (latest wins)."""
+        hits = message.get("hits")
+        if hits is None:
+            return
+        key = (message.get("slot"), message.get("generation"))
+        with self._lock:
+            self._hit_snapshots[key] = dict(hits)
+
+    def _on_begin(self, message: Mapping[str, Any]) -> None:
+        slot, generation = message.get("slot"), message.get("generation")
+        with self._lock:
+            handle = self._handles[slot]
+            if handle.generation != generation:
+                return  # stale: that worker generation is already retired
+            pending = self._pending.get(message.get("id"))
+            if pending is not None and pending.slot == slot:
+                pending.begun_at = time.monotonic()
+
+    def _on_result(self, message: Mapping[str, Any]) -> None:
+        self._store_snapshot(message)
+        document = message["result"]
+        with self._space:
+            pending = self._pending.pop(document["id"], None)
+            if pending is None or pending.done.is_set():
+                return  # duplicate (a retired worker's late result): drop
+            slot = message.get("slot")
+            self._jobs_per_slot[slot] = self._jobs_per_slot.get(slot, 0) + 1
+            result = JobResult.from_dict(document)
+            result.meta["attempts"] = pending.attempts + 1
+            pending.result = result
+            self._counts["completed"] += 1
+            if not result.ok:
+                self._counts["failed"] += 1
+            pending.done.set()
+            self._space.notify_all()
+
+    def _watch_health(self) -> None:
+        """Respawn dead workers; kill overdue ones (handled as deaths)."""
+        now = time.monotonic()
+        if self.job_timeout is not None:
+            overdue: list[int] = []
+            with self._lock:
+                for pending in self._pending.values():
+                    if (
+                        pending.begun_at is not None
+                        and now - pending.begun_at > self.job_timeout
+                        and self._handles[pending.slot].process.is_alive()
+                    ):
+                        overdue.append(pending.slot)
+            for slot in set(overdue):
+                self._counts["timeouts"] += 1
+                self._handles[slot].process.kill()
+                self._handles[slot].process.join(2.0)
+        for slot, handle in enumerate(list(self._handles)):
+            if not handle.process.is_alive() and not self._closing:
+                if handle.bye.is_set():
+                    continue  # exited gracefully
+                self._recover_slot(slot)
+
+    def _recover_slot(self, slot: int) -> None:
+        """Refill a dead slot with a fresh worker and requeue its jobs.
+
+        The job that was in flight (its ``begin`` arrived, its result never
+        did) is the culprit: one attempt is consumed, and when attempts run
+        out it completes as a failed result.  Every other unfinished job of
+        the slot is requeued unchanged — the fresh worker starts cold, but
+        cold caches change timing only: payloads and fuel-replay step
+        counts are byte-identical to an uninterrupted run.
+        """
+        with self._space:
+            dead = self._handles[slot]
+            replacement = self._spawn(slot, dead.generation + 1)
+            self._handles[slot] = replacement
+            self._counts["restarts"] += 1
+            stranded = sorted(
+                (p for p in self._pending.values() if p.slot == slot and not p.done.is_set()),
+                key=lambda p: p.sequence,
+            )
+            # The culprit is the job whose begin-ack arrived without a
+            # result.  A hard kill can lose the ack in the worker's queue
+            # feeder; the slot queue is FIFO, so the oldest stranded job is
+            # the one that was (or was about to be) in flight — blaming it
+            # keeps every crash loop bounded by max_attempts.
+            culprit = next((p for p in stranded if p.begun_at is not None), None)
+            if culprit is None and stranded:
+                culprit = stranded[0]
+            for pending in stranded:
+                if pending is culprit:
+                    pending.attempts += 1
+                    pending.begun_at = None
+                    if pending.attempts >= self.max_attempts:
+                        self._pending.pop(pending.job.id, None)
+                        pending.result = JobResult(
+                            id=pending.job.id or "?",
+                            ok=False,
+                            error={
+                                "type": "WorkerCrash",
+                                "message": (
+                                    f"worker died while executing this job "
+                                    f"({pending.attempts} attempt(s))"
+                                ),
+                            },
+                            meta={"slot": slot, "attempts": pending.attempts},
+                        )
+                        self._counts["completed"] += 1
+                        self._counts["failed"] += 1
+                        pending.done.set()
+                        continue
+                self._counts["requeued"] += 1
+                self._send(replacement, pending)
+            self._space.notify_all()
+        dead.process.join(0.1)

@@ -1,0 +1,172 @@
+"""Execute one wire job against one session — pooled and solo alike.
+
+This is the single definition of what a job *means*.  Pool workers call it
+from their process-private session; the in-process solo path
+(:func:`repro.api.execute_jobs` with ``workers=0``) calls the same function
+against a local session.  Pooled results are therefore byte-identical to
+solo runs by construction — there is exactly one executor.
+
+Determinism across shard assignments comes from two mechanisms:
+
+* **α-canonical ingest and egress.**  The program text is parsed and then
+  *interned* (:func:`repro.kernel.intern.intern`), so α-equivalent jobs
+  resolve to the same canonical term object — which is what lets a warm
+  worker's identity-keyed memo caches hit across repeated jobs.  Every
+  term in the payload is rendered from its interned representative, whose
+  binder names are a pure function of the α-class: machine-freshened
+  names (which depend on execution history) can never reach the wire.
+* **Fuel replay.**  Step counts come from :class:`~repro.kernel.budget.Budget`
+  totals, and every cache in the kernel replays recorded fuel on a hit —
+  a warm worker reports exactly the steps a cold solo run reports,
+  including the position of a fuel-exhaustion error.
+
+Failures of kernel work (parse errors, type errors, fuel exhaustion, link
+errors) are *results*, not exceptions: they travel the wire as the
+deterministic ``error`` half of the result document.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any
+
+from repro import cc, cccc
+from repro.common.errors import ReproError
+from repro.service.jobs import Job, JobResult
+from repro.surface import parse_term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Session
+
+__all__ = ["execute_job"]
+
+
+def _canon_cc(term: cc.Term) -> str:
+    """α-canonical rendering of a CC term (deterministic across sessions)."""
+    return cc.pretty(cc.intern(term))
+
+
+def _canon_cccc(term: cccc.Term) -> str:
+    """α-canonical rendering of a CC-CC term."""
+    return cccc.pretty(cccc.intern(term))
+
+
+@contextmanager
+def _fuel_override(session: "Session", fuel: int | None):
+    """Run the body under a per-job fuel limit, restoring the session's."""
+    if fuel is None:
+        yield
+        return
+    state = session.state
+    saved = state.fuel
+    state.fuel = fuel
+    try:
+        yield
+    finally:
+        state.fuel = saved
+
+
+def execute_job(session: "Session", job: Job) -> JobResult:
+    """Run ``job`` against ``session``; never raises for kernel failures."""
+    job_id = job.id if job.id is not None else job.kind
+    started = time.perf_counter()
+    hits_before = session.state.hit_counts()
+    try:
+        with _fuel_override(session, job.fuel):
+            payload = _dispatch(session, job)
+        ok, error = True, {}
+    except ReproError as failure:
+        # Deterministic kernel failures: part of the job's defined result.
+        payload, ok = {}, False
+        error = {"type": type(failure).__name__, "message": str(failure)}
+    hits_after = session.state.hit_counts()
+    meta = {
+        "session": session.name,
+        "elapsed_seconds": time.perf_counter() - started,
+        "cache_hits": {
+            name: hits_after[name] - hits_before.get(name, 0) for name in hits_after
+        },
+    }
+    return JobResult(id=job_id, ok=ok, payload=payload, error=error, meta=meta)
+
+
+def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
+    """The kind table: one wire job → one deterministic payload dict."""
+    if job.kind == "reset":
+        session.reset()
+        return {"reset": True}
+    if job.kind == "sleep":
+        time.sleep(job.seconds)
+        return {"slept": job.seconds}
+    if job.kind == "crash":
+        # Only a pool worker turns this into a real process death (see
+        # repro.service.worker); in-process it is a plain failed job.
+        raise ReproError("crash job executed outside a worker process")
+
+    with session.activate():
+        term = cc.intern(parse_term(job.program))
+        if job.kind == "parse":
+            return {"term": _canon_cc(term)}
+        if job.kind == "check":
+            result = session.check(term)
+            return {
+                "term": _canon_cc(result.term),
+                "type": _canon_cc(result.type_),
+                "steps": result.steps,
+            }
+        if job.kind == "normalize":
+            result = session.normalize(term, engine=job.engine)
+            return {
+                "term": _canon_cc(result.term),
+                "normal": _canon_cc(result.value),
+                "type": _canon_cc(result.type_),
+                "steps": result.steps,
+                "check_steps": result.check_steps,
+                "engine": result.engine,
+            }
+        if job.kind == "compile":
+            result = session.compile(term, verify=job.verify)
+            return {
+                "term": _canon_cc(result.compilation.source),
+                "type": _canon_cc(result.compilation.source_type),
+                "target": _canon_cccc(result.target),
+                "target_type": _canon_cccc(result.target_type),
+                "verified": result.verified,
+                "steps": result.steps,
+                "check_steps": result.check_steps,
+                "verify_steps": result.verify_steps,
+            }
+        if job.kind == "run":
+            result = session.run(term, verify=job.verify)
+            shown = (
+                result.observation
+                if result.observation is not None
+                else type(result.value).__name__
+            )
+            return {
+                "term": _canon_cc(result.compile_result.compilation.source),
+                "value": shown,
+                "code_blocks": result.code_count,
+                "machine_steps": result.machine_steps,
+                "closure_allocs": result.closure_allocs,
+                "tuple_allocs": result.tuple_allocs,
+                "projections": result.projections,
+                "verified": result.compile_result.verified,
+                "compile_steps": result.compile_result.steps,
+            }
+        if job.kind == "link":
+            ctx = cc.Context.empty()
+            for name, type_text in job.interface:
+                ctx = ctx.extend(name, parse_term(type_text))
+            imports = {
+                name: parse_term(text) for name, text in job.imports.items()
+            }
+            result = session.link(ctx, term, imports)
+            return {
+                "term": _canon_cc(result.term),
+                "type": _canon_cc(result.type_),
+                "steps": result.steps,
+                "imports_linked": len(job.imports),
+            }
+    raise AssertionError(f"unhandled job kind {job.kind!r}")  # pragma: no cover

@@ -1,0 +1,185 @@
+"""The service wire format: JSON job specs and split result documents.
+
+A **job** is one independent unit of kernel work, described entirely by
+JSON-serializable data (the dispatcher literally sends ``json.dumps`` of
+the spec down the worker pipe, so nothing richer can leak through):
+
+    {"id": "b0-7", "kind": "normalize", "program": "(\\\\ (x : Nat). x) 3",
+     "engine": "nbe", "fuel": null, "key": "build-0"}
+
+``kind`` selects the session entrypoint.  The service kinds mirror
+:class:`repro.api.Session` — ``parse`` / ``check`` / ``normalize`` /
+``compile`` / ``run`` / ``link`` — plus three service-level kinds:
+
+* ``reset`` — return the executing session to its cold deterministic zero
+  (the classic start-of-build ``reset_fresh_counter`` discipline; with
+  affinity keys this cools exactly one worker instead of the whole pool);
+* ``sleep`` / ``crash`` — chaos kinds for health checks and the
+  worker-failure test suite (a worker executing ``crash`` dies hard; the
+  in-process executor merely fails the job).
+
+``key`` is the **affinity key**: jobs sharing a key are dispatched to the
+same worker slot, so a stream of related jobs keeps hitting that worker's
+warm memo caches.  Jobs without a key are sharded round-robin.
+
+A **result** is split in two, and the split is load-bearing:
+
+* ``payload`` (or ``error``) is the *deterministic* half — every term is
+  rendered α-canonically (``pretty(intern(term))``), and every step count
+  comes from the fuel-replaying caches, so the payload is byte-identical
+  no matter which worker ran the job, how warm its caches were, or what
+  had executed before it.  This is what the service's determinism
+  differential compares.
+* ``meta`` is the *telemetry* half — worker name, attempt number,
+  per-job cache-hit deltas, wall time.  It legitimately varies run to run
+  and feeds the dispatcher's aggregated pool stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["JOB_KINDS", "Job", "JobResult"]
+
+#: Every job kind the executor understands, in dispatch order of interest:
+#: the Session entrypoints, then the service-level kinds.
+JOB_KINDS = (
+    "parse",
+    "check",
+    "normalize",
+    "compile",
+    "run",
+    "link",
+    "reset",
+    "sleep",
+    "crash",
+)
+
+#: Kinds that require a ``program`` field.
+_PROGRAM_KINDS = frozenset({"parse", "check", "normalize", "compile", "run", "link"})
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of kernel work, fully described by JSON-safe data."""
+
+    kind: str
+    id: str | None = None
+    program: str | None = None
+    engine: str | None = None  # normalize only; None = session default
+    fuel: int | None = None  # per-job fuel override; None = session default
+    key: str | None = None  # affinity key; None = round-robin
+    verify: bool = True  # compile/run
+    imports: Mapping[str, str] = field(default_factory=dict)  # link
+    interface: tuple[tuple[str, str], ...] = ()  # link: the telescope Γ
+    seconds: float = 0.0  # sleep
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            expected = ", ".join(JOB_KINDS)
+            raise ValueError(f"unknown job kind {self.kind!r} (expected one of {expected})")
+        if self.kind in _PROGRAM_KINDS and not self.program:
+            raise ValueError(f"{self.kind!r} job needs a 'program' field")
+
+    @property
+    def shard_key(self) -> str | None:
+        """The affinity key the dispatcher shards on (None → round-robin)."""
+        return self.key
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON wire form (sparse: defaults are omitted)."""
+        spec: dict[str, Any] = {"kind": self.kind}
+        if self.id is not None:
+            spec["id"] = self.id
+        if self.program is not None:
+            spec["program"] = self.program
+        if self.engine is not None:
+            spec["engine"] = self.engine
+        if self.fuel is not None:
+            spec["fuel"] = self.fuel
+        if self.key is not None:
+            spec["key"] = self.key
+        if not self.verify:
+            spec["verify"] = False
+        if self.imports:
+            spec["imports"] = dict(self.imports)
+        if self.interface:
+            spec["interface"] = [list(entry) for entry in self.interface]
+        if self.seconds:
+            spec["seconds"] = self.seconds
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "Job":
+        """Parse a wire spec; unknown fields are rejected, not ignored."""
+        known = {
+            "kind",
+            "id",
+            "program",
+            "engine",
+            "fuel",
+            "key",
+            "verify",
+            "imports",
+            "interface",
+            "seconds",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown job fields: {', '.join(sorted(unknown))}")
+        if "kind" not in spec:
+            raise ValueError("job spec is missing 'kind'")
+        interface = tuple(
+            (str(name), str(type_)) for name, type_ in spec.get("interface", ())
+        )
+        return cls(
+            kind=spec["kind"],
+            id=spec.get("id"),
+            program=spec.get("program"),
+            engine=spec.get("engine"),
+            fuel=spec.get("fuel"),
+            key=spec.get("key"),
+            verify=spec.get("verify", True),
+            imports=dict(spec.get("imports", {})),
+            interface=interface,
+            seconds=spec.get("seconds", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's outcome: deterministic payload/error plus telemetry meta."""
+
+    id: str
+    ok: bool
+    payload: dict[str, Any] = field(default_factory=dict)
+    error: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> dict[str, Any]:
+        """The deterministic half — what pooled-vs-solo differentials compare.
+
+        Identical for the same job spec no matter which worker executed it,
+        in what order, or against how warm a session: term renderings are
+        α-canonical and step counts replay exactly from the fuel caches.
+        """
+        if self.ok:
+            return {"id": self.id, "ok": True, "payload": dict(self.payload)}
+        return {"id": self.id, "ok": False, "error": dict(self.error)}
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full JSON wire form, telemetry included."""
+        document = self.canonical()
+        document["meta"] = dict(self.meta)
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "JobResult":
+        return cls(
+            id=document["id"],
+            ok=document["ok"],
+            payload=dict(document.get("payload", {})),
+            error=dict(document.get("error", {})),
+            meta=dict(document.get("meta", {})),
+        )

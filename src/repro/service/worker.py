@@ -1,0 +1,111 @@
+"""The pool worker: one process, one session, one job loop.
+
+A worker is spawned (or forked) by the dispatcher with two queues — its
+private job queue and the pool-shared result queue — and a slot/generation
+identity.  Everything crossing either queue is a JSON *string*; the wire
+format of :mod:`repro.service.jobs` is enforced by construction.
+
+Startup runs the **worker-side state bootstrap**
+(:func:`repro.kernel.state.bootstrap_worker_state`): a forked child
+inherits the parent's process-default kernel state — warm caches, an
+advanced fresh-name counter, accumulated hit counters — and serving jobs
+against that would make results depend on parent history and double-count
+the parent's statistics in every pool report.  The bootstrap installs a
+pristine :class:`~repro.kernel.state.KernelState` as the process default
+and the worker's session wraps *that same state*, so the session and every
+legacy shim observe one cold, deterministic world.
+
+Protocol (worker → dispatcher on the result queue):
+
+* ``{"op": "begin", "id", "slot", "generation"}`` — sent before executing
+  each job, so the dispatcher knows exactly which job was in flight if
+  this process dies (crash culpability and timeout tracking);
+* ``{"op": "result", "slot", "generation", "result", "hits", "jobs"}`` —
+  the job's result document plus the session's *cumulative* hit counters
+  (the dispatcher keeps the latest snapshot per worker generation);
+* ``{"op": "pong", "token", ...}`` — health-check reply;
+* ``{"op": "bye", ...}`` — graceful-shutdown acknowledgement with final
+  counters.
+
+A ``crash`` job acknowledges ``begin`` and then hard-exits the process
+(``os._exit``) — no result, no cleanup — which is exactly the failure the
+dispatcher's requeue-on-fresh-worker machinery exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.service.executor import execute_job
+from repro.service.jobs import Job
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    slot: int,
+    generation: int,
+    name: str,
+    job_queue: Any,
+    result_queue: Any,
+    engine: str,
+    fuel: int | None,
+) -> None:
+    """The worker process entry point (top-level, so ``spawn`` can import it)."""
+    from repro.api import Session
+    from repro.kernel.state import bootstrap_worker_state
+
+    state = bootstrap_worker_state(name, engine=engine, fuel=fuel)
+    session = Session(_state=state)
+    jobs_done = 0
+
+    def post(document: dict[str, Any]) -> None:
+        document.setdefault("slot", slot)
+        document.setdefault("generation", generation)
+        document.setdefault("worker", name)
+        result_queue.put(json.dumps(document))
+
+    while True:
+        message = json.loads(job_queue.get())
+        op = message.get("op")
+        if op == "stop":
+            post({"op": "bye", "hits": state.hit_counts(), "jobs": jobs_done})
+            return
+        if op == "ping":
+            post(
+                {
+                    "op": "pong",
+                    "token": message.get("token"),
+                    "pid": os.getpid(),
+                    "jobs": jobs_done,
+                    "hits": state.hit_counts(),
+                }
+            )
+            continue
+        if op != "job":  # pragma: no cover - protocol misuse
+            post({"op": "error", "message": f"unknown op {op!r}"})
+            continue
+        job = Job.from_dict(message["spec"])
+        post({"op": "begin", "id": job.id})
+        if job.kind == "crash":
+            # Flush the begin-ack before dying: ``put`` hands the message
+            # to a feeder thread, and ``os._exit`` would race it.  (A real
+            # SIGKILL *can* lose the ack — the dispatcher's recovery blames
+            # the queue head in that case, so the retry loop stays bounded.)
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(3)
+        result = execute_job(session, job)
+        jobs_done += 1
+        result.meta["slot"] = slot
+        result.meta["generation"] = generation
+        post(
+            {
+                "op": "result",
+                "result": result.to_dict(),
+                "hits": state.hit_counts(),
+                "jobs": jobs_done,
+            }
+        )

@@ -118,6 +118,99 @@ class TestJsonOutput:
         assert "error" in capsys.readouterr().err
 
 
+class TestLink:
+    IMPORTS = ["--assume", "n : Nat", "--import", "n=41"]
+
+    def test_link_plain(self, capsys):
+        assert main(["link", "-e", "succ n", *self.IMPORTS]) == 0
+        out = capsys.readouterr().out
+        assert "linked : 42" in out  # succ 41 renders as the literal
+        assert "type   : Nat" in out
+
+    def test_link_json(self, capsys):
+        assert main(["link", "--json", "-e", "succ n", *self.IMPORTS]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["term"] == "42"
+        assert document["type"] == "Nat"
+        assert any("1 import(s)" in note for note in document["diagnostics"])
+
+    def test_link_missing_import_fails(self, capsys):
+        assert main(["link", "-e", "succ n", "--assume", "n : Nat"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_link_malformed_assume_fails(self, capsys):
+        assert main(["link", "-e", "0", "--assume", "nonsense"]) == 1
+        assert "--assume" in capsys.readouterr().err
+
+
+class TestRunJson:
+    def test_run_json(self, capsys):
+        assert main(["run", "--json", "-e", r"(\ (x : Nat). succ x) 41"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["value"] == 42
+        assert document["verified"] is True
+        assert document["machine_steps"] > 0
+
+
+class TestBatch:
+    def test_batch_jsonl_file(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"id": "a", "kind": "normalize", "program": "(\\\\ (x : Nat). succ x) 41"}\n'
+            '{"id": "b", "kind": "check", "program": "\\\\ (x : Nat). x"}\n'
+        )
+        assert main(["batch", str(jobs)]) == 0
+        out = capsys.readouterr().out
+        assert "ok   a" in out and "ok   b" in out
+        assert "2 job(s)" in out
+
+    def test_batch_json_array_file_with_json_output(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(
+            '[{"id": "a", "kind": "normalize", "program": "(\\\\ (x : Nat). succ x) 4"}]'
+        )
+        assert main(["batch", "--json", str(jobs)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["results"][0]["payload"]["normal"] == "5"
+        assert document["stats"]["completed"] == 1
+
+    def test_batch_failed_job_exits_nonzero(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"id": "bad", "kind": "check", "program": "0 0"}\n')
+        assert main(["batch", str(jobs)]) == 1
+        assert "FAIL bad" in capsys.readouterr().out
+
+    def test_batch_malformed_json_is_a_clean_error(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"kind": "check", "program"\n')
+        assert main(["batch", str(jobs)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad job stream:")
+
+    def test_batch_unknown_job_field_is_a_clean_error(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"kind": "check", "program": "0", "bogus": 1}\n')
+        assert main(["batch", str(jobs)]) == 1
+        assert "unknown job fields" in capsys.readouterr().err
+
+    def test_batch_zero_gen_builds_is_a_clean_error(self, capsys):
+        assert main(["batch", "--gen-builds", "0"]) == 1
+        assert "--gen-builds" in capsys.readouterr().err
+
+    def test_batch_generated_corpus_pooled(self, capsys):
+        assert main(
+            ["batch", "--gen-seed", "9", "--gen-builds", "2", "--gen-count", "2",
+             "--gen-passes", "1", "--workers", "2", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["stats"]["workers"] == 2
+        # One reset per build plus the corpus passes.
+        kinds = [len(result["payload"]) for result in document["results"]]
+        assert len(kinds) == 2 * (1 + 2)
+
+
 class TestArgumentHandling:
     def test_requires_input(self):
         with pytest.raises(SystemExit):

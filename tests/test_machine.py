@@ -173,10 +173,19 @@ class TestDeepHoist:
         assert program.main is term
         assert cccc.alpha_equal(unhoist(program), term)
 
+    def test_deep_unhoist_roundtrip(self):
+        # Reconstituting a 10k-deep program substitutes code blocks back
+        # through the (iterative) kernel substitution engine and compares
+        # with the (iterative) α-equivalence walk — no recursion limit.
+        code = cccc.CodeLam("env", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
+        term: cccc.Term = cccc.Clo(code, cccc.UnitVal())
+        for _ in range(self.DEPTH):
+            term = cccc.App(term, cccc.Zero())
+        program = hoist(term)
+        assert program.code_count == 1
+        assert cccc.alpha_equal(unhoist(program), term)
+
     def test_deep_pair_tower_with_code(self):
-        # (unhoist on deep terms would recurse through kernel subst — the
-        # remaining recursive walk, tracked in ROADMAP — so this checks the
-        # hoisted structure directly with the iterative traversals.)
         code = cccc.CodeLam("env", cccc.Unit(), "x", cccc.Nat(), cccc.Var("x"))
         term: cccc.Term = cccc.Clo(code, cccc.UnitVal())
         annot: cccc.Term = cccc.Nat()

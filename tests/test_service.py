@@ -1,0 +1,385 @@
+"""Tests for the sharded normalization service (``repro.service``).
+
+The load-bearing contract: the deterministic half of every job result
+(``JobResult.canonical()``) is **byte-identical** no matter where the job
+ran — in-process, on any worker, after any crash/requeue, behind any shard
+assignment.  Term renderings are α-canonical and step counts replay from
+the fuel caches, so payloads cannot observe session history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import api
+from repro.gen.jobs import build_stream, close_over, job_corpus
+from repro.service import Dispatcher, Job, JobResult, execute_job
+from repro.service.jobs import JOB_KINDS
+
+IDENTITY = r"\ (A : Type) (x : A). x"
+REDEX = r"(\ (x : Nat). succ x) 41"
+ILL_TYPED = "0 0"
+
+
+def _mixed_jobs() -> list[dict]:
+    """A small stream covering every deterministic kind, errors included."""
+    return [
+        {"id": "m0", "kind": "parse", "program": IDENTITY},
+        {"id": "m1", "kind": "check", "program": IDENTITY, "key": "a"},
+        {"id": "m2", "kind": "normalize", "program": REDEX, "key": "b"},
+        {"id": "m3", "kind": "normalize", "program": REDEX, "engine": "subst"},
+        {"id": "m4", "kind": "compile", "program": r"\ (x : Nat). x", "key": "a"},
+        {"id": "m5", "kind": "run", "program": REDEX, "key": "b"},
+        {
+            "id": "m6",
+            "kind": "link",
+            "program": "n",
+            "interface": [["n", "Nat"]],
+            "imports": {"n": "41"},
+        },
+        {"id": "m7", "kind": "check", "program": ILL_TYPED, "key": "a"},
+        {"id": "m8", "kind": "normalize", "program": REDEX, "fuel": 0, "key": "b"},
+        {"id": "m9", "kind": "reset", "key": "a"},
+        {"id": "m10", "kind": "normalize", "program": REDEX, "key": "a"},
+    ]
+
+
+class TestWireFormat:
+    def test_job_roundtrip(self):
+        job = Job.from_dict(
+            {
+                "kind": "link",
+                "id": "j1",
+                "program": "n",
+                "interface": [["n", "Nat"]],
+                "imports": {"n": "41"},
+                "key": "build-0",
+            }
+        )
+        assert Job.from_dict(job.to_dict()) == job
+        # The wire form is honest JSON.
+        assert Job.from_dict(json.loads(json.dumps(job.to_dict()))) == job
+
+    def test_sparse_wire_form(self):
+        spec = Job(kind="check", program="0").to_dict()
+        assert spec == {"kind": "check", "program": "0"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            Job(kind="frobnicate")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown job fields"):
+            Job.from_dict({"kind": "check", "program": "0", "bogus": 1})
+
+    def test_program_kinds_require_program(self):
+        with pytest.raises(ValueError, match="needs a 'program'"):
+            Job(kind="normalize")
+
+    def test_result_split_and_roundtrip(self):
+        result = JobResult(
+            id="r", ok=True, payload={"steps": 3}, meta={"session": "w0", "attempts": 1}
+        )
+        assert result.canonical() == {"id": "r", "ok": True, "payload": {"steps": 3}}
+        assert "meta" not in result.canonical()
+        assert JobResult.from_dict(result.to_dict()) == result
+
+
+class TestExecutor:
+    def test_every_deterministic_kind_executes(self):
+        report = api.execute_jobs(_mixed_jobs(), workers=0)
+        by_id = {result.id: result for result in report.results}
+        assert by_id["m2"].payload["normal"] == "42"
+        assert by_id["m2"].payload["steps"] == 1
+        assert by_id["m3"].payload["engine"] == "subst"
+        assert by_id["m4"].payload["verified"] is True
+        assert by_id["m5"].payload["value"] == 42
+        assert by_id["m6"].payload["type"] == "Nat"
+        assert by_id["m7"].ok is False
+        assert by_id["m7"].error["type"] == "TypeCheckError"
+        assert by_id["m8"].error["type"] == "NormalizationDepthExceeded"
+        assert by_id["m9"].payload == {"reset": True}
+
+    def test_payloads_are_alpha_canonical(self):
+        # α-variants of one program produce byte-identical payloads.
+        session = api.Session()
+        left = execute_job(session, Job(kind="normalize", id="l", program=REDEX))
+        right = execute_job(
+            session,
+            Job(kind="normalize", id="l", program=r"(\ (y : Nat). succ y) 41"),
+        )
+        assert left.canonical() == right.canonical()
+
+    def test_warm_repeat_is_byte_identical_with_replayed_fuel(self):
+        session = api.Session()
+        job = Job(kind="normalize", id="j", program=REDEX)
+        cold = execute_job(session, job)
+        warm = execute_job(session, job)
+        assert warm.canonical() == cold.canonical()
+        assert warm.payload["steps"] == cold.payload["steps"] == 1
+        # The repeat really was warm: the memo cache hit.
+        assert warm.meta["cache_hits"]["kernel.normalization"] >= 1
+
+    def test_fuel_override_restores_session_default(self):
+        session = api.Session()
+        default = session.fuel
+        result = execute_job(session, Job(kind="normalize", id="f", program=REDEX, fuel=0))
+        assert not result.ok
+        assert session.fuel == default
+
+    def test_crash_in_process_is_a_failed_result(self):
+        result = api.default_session().execute({"kind": "crash", "id": "c"})
+        assert not result.ok and "worker process" in result.error["message"]
+
+    def test_all_kinds_covered(self):
+        # Every wire kind is either exercised above or chaos-only.
+        deterministic = {job["kind"] for job in _mixed_jobs()}
+        assert set(JOB_KINDS) - deterministic == {"sleep", "crash"}
+
+
+class TestBatchAPI:
+    def test_results_in_submission_order_with_assigned_ids(self):
+        report = api.execute_jobs(
+            [{"kind": "check", "program": IDENTITY}, {"kind": "normalize", "program": REDEX}]
+        )
+        assert [result.id for result in report.results] == ["job-0", "job-1"]
+        assert report.workers == 0
+        assert report.ok is False or report.ok is True  # property computes
+
+    def test_session_fuel_zero_matches_pooled(self):
+        # fuel=0 must not fall back to the default on the solo path (0 is
+        # falsy!) — the pooled worker honors it, and the two must agree.
+        jobs = [{"id": "z", "kind": "normalize", "program": REDEX}]
+        solo = api.execute_jobs(jobs, workers=0, fuel=0)
+        pooled = api.execute_jobs(jobs, workers=1, fuel=0)
+        assert not solo.results[0].ok
+        assert solo.results[0].error["type"] == "NormalizationDepthExceeded"
+        assert pooled.canonical() == solo.canonical()
+
+    def test_interleave_round_robin_and_uneven_streams(self):
+        from repro.gen.jobs import interleave
+
+        assert interleave([[1, 2, 3], ["a"], ["x", "y"]]) == [1, "a", "x", 2, "y", 3]
+        assert interleave([]) == []
+
+    def test_batch_report_to_dict_is_json_safe(self):
+        report = api.execute_jobs([{"kind": "normalize", "program": REDEX}])
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["results"][0]["payload"]["normal"] == "42"
+        assert document["ok"] is True
+
+
+class TestDispatcher:
+    def test_pooled_byte_identical_to_solo(self):
+        jobs = _mixed_jobs()
+        solo = api.execute_jobs(jobs, workers=0)
+        pooled = api.execute_jobs(jobs, workers=2)
+        assert pooled.canonical() == solo.canonical()
+
+    def test_any_shard_assignment_is_byte_identical(self):
+        # The same stream under different pool shapes (hence different
+        # job→worker assignments and per-worker warmth) yields the same
+        # deterministic results.
+        jobs = _mixed_jobs()
+        reference = api.execute_jobs(jobs, workers=0).canonical()
+        for workers in (1, 3):
+            assert api.execute_jobs(jobs, workers=workers).canonical() == reference
+
+    def test_affinity_is_stable_and_round_robin_rotates(self):
+        with Dispatcher(workers=3) as pool:
+            keyed = Job(kind="check", program=IDENTITY, key="build-7")
+            slots = {pool.slot_for(keyed) for _ in range(5)}
+            assert len(slots) == 1  # affinity: same key, same slot, always
+            unkeyed = Job(kind="check", program=IDENTITY)
+            rotation = [pool.slot_for(unkeyed) for _ in range(6)]
+            assert sorted(set(rotation)) == [0, 1, 2]  # round-robin rotates
+
+    def test_distinct_keys_spread_across_all_slots(self):
+        # Round-robin-with-affinity: N fresh keys claim N distinct slots
+        # (a key *hash* can collide hot streams onto one worker).
+        with Dispatcher(workers=4) as pool:
+            slots = [
+                pool.slot_for(Job(kind="check", program=IDENTITY, key=f"build-{index}"))
+                for index in range(4)
+            ]
+            assert sorted(slots) == [0, 1, 2, 3]
+            # And the assignment is sticky.
+            again = [
+                pool.slot_for(Job(kind="check", program=IDENTITY, key=f"build-{index}"))
+                for index in range(4)
+            ]
+            assert again == slots
+
+    def test_ping_and_liveness(self):
+        with Dispatcher(workers=2) as pool:
+            assert pool.alive_workers() == [True, True]
+            assert pool.ping(0, timeout=30.0)
+            assert pool.ping(1, timeout=30.0)
+
+    def test_bounded_queue_still_completes(self):
+        jobs = [
+            {"id": f"q{index}", "kind": "normalize", "program": REDEX}
+            for index in range(12)
+        ]
+        solo = api.execute_jobs(jobs, workers=0)
+        pooled = api.execute_jobs(jobs, workers=2, max_pending=2)
+        assert pooled.canonical() == solo.canonical()
+
+    def test_duplicate_inflight_ids_rejected(self):
+        with Dispatcher(workers=1) as pool:
+            pool.submit({"id": "dup", "kind": "sleep", "seconds": 0.5})
+            with pytest.raises(ValueError, match="duplicate in-flight job id"):
+                pool.submit({"id": "dup", "kind": "check", "program": IDENTITY})
+
+    def test_pool_cache_stats_sum_without_double_counting(self):
+        # A 1-worker pool serves the stream in submission order, exactly
+        # like a solo session.  Its aggregated hit counters must equal the
+        # solo session's — the worker's session IS its process default, so
+        # naively adding the legacy-shim counters on top would report 2x.
+        jobs = [
+            {"id": f"s{index}", "kind": "normalize", "program": REDEX, "key": "one"}
+            for index in range(6)
+        ]
+        solo_session = api.Session(name="stats-ref")
+        solo = api.execute_jobs(jobs, workers=0, session=solo_session)
+        assert solo.ok
+        with Dispatcher(workers=1) as pool:
+            results = pool.run_batch(jobs)
+            assert all(result.ok for result in results)
+            pooled_hits = pool.stats().cache_hits
+        assert pooled_hits == solo_session.hit_counts()
+        # Cross-check: per-job telemetry deltas sum to the same totals.
+        delta_sum: dict[str, int] = {}
+        for result in results:
+            for cache, hits in result.meta["cache_hits"].items():
+                delta_sum[cache] = delta_sum.get(cache, 0) + hits
+        assert delta_sum == pooled_hits
+
+    def test_stats_shape(self):
+        with Dispatcher(workers=2) as pool:
+            pool.run_batch([{"id": "x", "kind": "check", "program": IDENTITY}])
+            stats = pool.stats().to_dict()
+        assert stats["workers"] == 2
+        assert stats["submitted"] == stats["completed"] == 1
+        assert stats["failed"] == stats["restarts"] == stats["timeouts"] == 0
+        assert sum(int(n) for n in stats["jobs_per_slot"].values()) == 1
+
+    def test_graceful_shutdown_reaps_workers(self):
+        pool = Dispatcher(workers=2)
+        processes = [handle.process for handle in pool._handles]
+        pool.run_batch([{"id": "g", "kind": "check", "program": IDENTITY}])
+        pool.shutdown()
+        assert not any(process.is_alive() for process in processes)
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit({"kind": "check", "program": IDENTITY})
+
+
+class TestWorkerFailure:
+    def test_crash_mid_batch_completes_byte_identical(self):
+        # The satellite contract: kill a worker mid-batch; the batch still
+        # completes, requeued jobs land on a fresh worker with cold caches,
+        # and every surviving result — values, types, steps, diagnostics —
+        # is byte-identical to a solo run.
+        key = "doomed-build"
+        jobs: list[dict] = [
+            {"id": "pre", "kind": "normalize", "program": REDEX, "key": key},
+            {"id": "boom", "kind": "crash", "key": key},
+        ] + [
+            {"id": f"post{index}", "kind": kind, "program": program, "key": key}
+            for index, (kind, program) in enumerate(
+                [
+                    ("normalize", REDEX),
+                    ("check", IDENTITY),
+                    ("compile", r"\ (x : Nat). x"),
+                    ("normalize", ILL_TYPED),
+                ]
+            )
+        ]
+        survivors = [job for job in jobs if job["kind"] != "crash"]
+        solo = {result.id: result.canonical() for result in api.execute_jobs(survivors).results}
+        with Dispatcher(workers=2, max_attempts=2) as pool:
+            results = pool.run_batch(jobs)
+            stats = pool.stats()
+        by_id = {result.id: result for result in results}
+        assert not by_id["boom"].ok
+        assert by_id["boom"].error["type"] == "WorkerCrash"
+        for job in survivors:
+            assert by_id[job["id"]].canonical() == solo[job["id"]]
+        # The pre-crash job has identical replayed steps to the post-crash
+        # requeues of the same program on the cold fresh worker.
+        assert by_id["pre"].payload["steps"] == by_id["post0"].payload["steps"] == 1
+        assert stats.restarts >= 1
+        assert stats.requeued >= 1
+
+    def test_hard_kill_recovers_without_begin_ack(self):
+        # SIGKILL can eat the begin-ack; the dispatcher blames the queue
+        # head, so recovery stays bounded and the batch still completes.
+        with Dispatcher(workers=1, max_attempts=3) as pool:
+            first = pool.submit({"id": "k0", "kind": "sleep", "seconds": 2.0})
+            time.sleep(0.3)  # let the worker start sleeping
+            pool.kill_worker(0)
+            rest = [
+                pool.submit({"id": f"k{index}", "kind": "normalize", "program": REDEX})
+                for index in (1, 2)
+            ]
+            for pending in [first, *rest]:
+                assert pending.done.wait(60.0)
+            stats = pool.stats()
+        assert stats.restarts >= 1
+        assert all(pending.result.ok for pending in rest)
+
+    def test_job_timeout_kills_and_fails_the_culprit(self):
+        with Dispatcher(workers=1, job_timeout=0.4, max_attempts=1) as pool:
+            results = pool.run_batch(
+                [
+                    {"id": "slow", "kind": "sleep", "seconds": 30.0},
+                    {"id": "after", "kind": "normalize", "program": REDEX},
+                ]
+            )
+            stats = pool.stats()
+        by_id = {result.id: result for result in results}
+        assert not by_id["slow"].ok
+        assert by_id["after"].ok and by_id["after"].payload["normal"] == "42"
+        assert stats.timeouts >= 1
+        assert stats.restarts >= 1
+
+
+class TestGenJobStreams:
+    def test_corpus_is_deterministic_and_closed(self):
+        corpus = job_corpus(11, count=5)
+        assert corpus == job_corpus(11, count=5)
+        assert len(corpus) == 5
+        report = api.execute_jobs(corpus, workers=0)
+        assert report.ok  # every candidate survived close-over + re-check
+
+    def test_close_over_preserves_typability(self):
+        from repro import cc
+        from repro.gen.generator import TermGenerator
+
+        generator = TermGenerator(5)
+        session = api.Session()
+        with session.activate():
+            triple = generator.well_typed_term()
+            assert triple is not None
+            ctx, term, _ = triple
+            closed = close_over(ctx, term)
+            assert not cc.free_vars(closed)
+            cc.infer(cc.Context.empty(), closed)  # must not raise
+
+    def test_build_stream_shape(self):
+        stream = build_stream(3, seed=1, iterations=2, passes=2, corpus_size=2)
+        assert [job["kind"] for job in stream[:1]] == ["reset"]
+        assert len(stream) == 2 * (1 + 2 * 2)
+        assert len({job["id"] for job in stream}) == len(stream)
+        assert {job["key"] for job in stream} == {"build-3"}
+
+    def test_build_streams_pooled_match_solo(self):
+        streams = [build_stream(build, seed=20 + build, iterations=1, passes=2,
+                                corpus_size=2) for build in range(2)]
+        interleaved = [job for pair in zip(*streams) for job in pair]
+        solo = api.execute_jobs(interleaved, workers=0)
+        pooled = api.execute_jobs(interleaved, workers=2)
+        assert pooled.canonical() == solo.canonical()
