@@ -1,0 +1,249 @@
+"""E20 — the binary wire and the persistent memo tier.
+
+Two acceptance gates, one artifact (``BENCH_wire.json``):
+
+* **Ingest.**  Binary ingest (decode the content-addressed node table,
+  then intern) must be **≥ 5×** faster than text ingest (parse the
+  surface syntax, then intern) on the shared-DAG regime the codec exists
+  for: :func:`workloads.shared_dag_tower`, a ~10k-node unfolding whose
+  interned DAG is a few hundred nodes.  The text wire pays the unfolding
+  — its pretty-printed form spells every repeated subterm out — while the
+  node table carries each unique node once; the gate also reports the
+  bytes-on-wire ratio, which is the same asymmetry measured in bytes.
+
+* **Restart.**  A job stream served warm from the persistent store across
+  a **real process restart** must run **≥ 2×** faster than the cold run
+  that filled the store (both timed inside the subprocess, via the batch
+  report's ``elapsed_seconds`` — interpreter startup is not the thing
+  under test).  The workload is ``bool_flip_tower`` normalization: tens
+  of thousands of reduction steps from ~200 bytes of program, so the cost
+  a persisted hit avoids dwarfs the store lookup that replaces it.
+
+The restart gate also enforces the determinism differential: the
+deterministic half of every result — values, types, exact fuel-replay
+step counts, error documents — must be **byte-identical** across the
+in-process solo run, the 2-worker pooled run sharing the store, and both
+subprocess runs (cold and warm-from-store), on every attempt.  The stream
+deliberately includes a fuel-starved job and a binary-wire job so error
+documents and ``wire: 2`` payloads cross the restart under the same
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import api, cc
+from repro.api import Session
+from repro.gen.jobs import binary_specs
+from repro.surface import parse_term, to_surface
+from repro.wire.codec import decode_term, encode_term
+from workloads import bool_flip_tower, nat_sum, shared_dag_tower
+
+_ARTIFACT = pathlib.Path(__file__).with_name("BENCH_wire.json")
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+
+_INGEST_GATE = 5.0
+_RESTART_GATE = 2.0
+_ATTEMPTS = 3
+_INGEST_REPS = 5
+_TOWER_BUILDS = 3
+_TOWER_HEIGHT = 13
+
+
+def _merge_artifact(section: str, payload: dict) -> None:
+    """Fold one gate's results into the shared ``BENCH_wire.json``."""
+    document = {"bench": "e20_wire", "schema": 1, "python": sys.version.split()[0]}
+    if _ARTIFACT.exists():
+        try:
+            document.update(json.loads(_ARTIFACT.read_text()))
+        except json.JSONDecodeError:
+            pass  # a torn artifact from a crashed run: start over
+    document[section] = payload
+    _ARTIFACT.write_text(json.dumps(document, indent=2) + "\n")
+
+
+# --------------------------------------------------------------------------
+# Gate 1: binary ingest vs. text ingest.
+# --------------------------------------------------------------------------
+
+
+def test_binary_ingest_gate():
+    """Decode+intern ≥ 5× parse+intern on the shared-DAG workload."""
+    lang = cc.ast.LANGUAGE
+    scratch = Session(name="e20-encode")
+    with scratch.activate():
+        tower = cc.intern(shared_dag_tower())
+        text = to_surface(tower)
+        blob = encode_term(lang, tower)
+        canonical_pretty = cc.pretty(tower)
+    text_bytes = len(text.encode("utf-8"))
+    ratio_bytes = text_bytes / len(blob)
+
+    best_text = best_binary = float("inf")
+    for rep in range(_INGEST_REPS):
+        # Fresh sessions: both wires pay their honest cold cost — empty
+        # hash-cons tables, empty by_hash index, no warm caches.
+        text_session = Session(name=f"e20-text-{rep}")
+        with text_session.activate():
+            start = time.perf_counter()
+            via_text = cc.intern(parse_term(text))
+            best_text = min(best_text, time.perf_counter() - start)
+            assert cc.pretty(via_text) == canonical_pretty
+        binary_session = Session(name=f"e20-binary-{rep}")
+        with binary_session.activate():
+            start = time.perf_counter()
+            via_binary = cc.intern(decode_term(lang, blob))
+            best_binary = min(best_binary, time.perf_counter() - start)
+            assert cc.pretty(via_binary) == canonical_pretty
+
+    speedup = best_text / best_binary
+    _merge_artifact(
+        "ingest",
+        {
+            "workload": "shared_dag_tower()",
+            "reps": _INGEST_REPS,
+            "text_bytes": text_bytes,
+            "binary_bytes": len(blob),
+            "bytes_on_wire_ratio": ratio_bytes,
+            "text_seconds_best": best_text,
+            "binary_seconds_best": best_binary,
+            "speedup": speedup,
+            "gate": _INGEST_GATE,
+        },
+    )
+    assert speedup >= _INGEST_GATE, (
+        f"binary ingest {best_binary * 1e3:.2f} ms vs text {best_text * 1e3:.2f} ms "
+        f"= {speedup:.1f}x, below the {_INGEST_GATE:.0f}x gate"
+    )
+
+
+# --------------------------------------------------------------------------
+# Gate 2: warm-from-store across a real process restart.
+# --------------------------------------------------------------------------
+
+
+def _restart_jobs() -> list[dict]:
+    """The restart stream: heavy towers, a binary-wire job, a failure."""
+    jobs: list[dict] = []
+    for build in range(_TOWER_BUILDS):
+        # α-distinct per build (a build-indexed ζ-wrapper), so every job is
+        # its own store entry rather than three aliases of one.
+        tower = cc.Let(
+            "build", cc.nat_literal(build), cc.Nat(), bool_flip_tower(_TOWER_HEIGHT)
+        )
+        jobs.append(
+            {"id": f"tower-{build}", "kind": "normalize", "program": to_surface(tower)}
+        )
+    binary = binary_specs(
+        [{"id": "dag-binary", "kind": "normalize", "program": to_surface(shared_dag_tower(5))}]
+    )
+    jobs.extend(binary)
+    jobs.append(
+        {
+            "id": "starved",
+            "kind": "normalize",
+            "program": to_surface(nat_sum(40)),
+            "fuel": 25,
+        }
+    )
+    return jobs
+
+
+def _run_restart(corpus: pathlib.Path, store: pathlib.Path) -> dict:
+    """One ``python -m repro batch`` subprocess — a genuinely fresh process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "batch",
+            str(corpus),
+            "--json",
+            "--memo-store",
+            str(store),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(_REPO),
+        timeout=600,
+    )
+    # Exit 1 only flags the deliberate in-stream failure; the report emits.
+    assert proc.returncode in (0, 1), proc.stderr
+    return json.loads(proc.stdout)
+
+
+def _canonical_from_report(report: dict) -> list[dict]:
+    return [
+        {key: value for key, value in result.items() if key != "meta"}
+        for result in report["results"]
+    ]
+
+
+def test_persistent_restart_gate():
+    """Warm-from-store ≥ 2× cold across a restart; payloads byte-identical
+    solo / pooled / cold subprocess / warm subprocess, on every attempt."""
+    jobs = _restart_jobs()
+
+    solo_canonical = api.execute_jobs(jobs).canonical()
+
+    best = None
+    identical = True
+    with tempfile.TemporaryDirectory(prefix="e20-restart-") as scratch:
+        scratch_path = pathlib.Path(scratch)
+        corpus = scratch_path / "jobs.jsonl"
+        corpus.write_text("".join(json.dumps(spec) + "\n" for spec in jobs))
+        for attempt in range(_ATTEMPTS):
+            store = scratch_path / f"memo-{attempt}.sqlite"
+            cold = _run_restart(corpus, store)
+            warm = _run_restart(corpus, store)
+            identical = identical and (
+                _canonical_from_report(cold)
+                == _canonical_from_report(warm)
+                == solo_canonical
+            )
+            attempt_result = {
+                "cold_seconds": cold["elapsed_seconds"],
+                "warm_seconds": warm["elapsed_seconds"],
+                "speedup": cold["elapsed_seconds"] / warm["elapsed_seconds"],
+                "cold_persist": cold["stats"]["persist"],
+                "warm_persist": warm["stats"]["persist"],
+            }
+            assert warm["stats"]["persist"]["hits"] > 0, "warm run never hit the store"
+            if best is None or attempt_result["speedup"] > best["speedup"]:
+                best = attempt_result
+            if identical and best["speedup"] >= _RESTART_GATE:
+                break
+
+        # The pooled differential: two workers sharing the last store.
+        pooled = api.execute_jobs(
+            jobs, workers=2, memo_store=scratch_path / f"memo-{attempt}.sqlite"
+        )
+        pooled_identical = pooled.canonical() == solo_canonical
+
+    _merge_artifact(
+        "restart",
+        {
+            "jobs": len(jobs),
+            "tower_height": _TOWER_HEIGHT,
+            "attempts": _ATTEMPTS,
+            "gate": _RESTART_GATE,
+            "payloads_identical": identical and pooled_identical,
+            **best,
+        },
+    )
+    assert identical, "restart differential: payloads diverged across runs"
+    assert pooled_identical, "pooled differential: payloads diverged from solo"
+    assert best["speedup"] >= _RESTART_GATE, (
+        f"warm {best['warm_seconds']:.3f}s vs cold {best['cold_seconds']:.3f}s "
+        f"= {best['speedup']:.1f}x, below the {_RESTART_GATE:.0f}x gate"
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro import cc
 from repro.cc import prelude
 from repro.cc.context import Context
+from repro.gen.dag import shared_dag_tower
 
 __all__ = [
     "bool_flip_tower",
@@ -18,6 +19,7 @@ __all__ = [
     "nat_sum",
     "nested_lambdas",
     "pair_tower",
+    "shared_dag_tower",
     "wide_capture",
 ]
 

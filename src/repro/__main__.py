@@ -21,7 +21,10 @@ via ``-e/--expr``:
 * ``batch``     — execute a stream of service jobs (JSONL file or a
   generated ``gen/`` corpus) in-process or across a worker pool:
   ``--workers N`` shards the batch over N processes (0 = solo),
-  ``--engine {subst,nbe}`` picks the worker engine.
+  ``--engine {subst,nbe}`` picks the worker engine,
+  ``--wire binary`` re-encodes program jobs onto the binary DAG wire,
+  ``--memo-store PATH`` attaches the persistent memo tier (shared across
+  workers, surviving restarts).
 
 Every program-level subcommand (``check``, ``normalize``, ``compile``,
 ``run``, ``link``) accepts ``--json``: the structured result (type, steps,
@@ -76,12 +79,29 @@ def _emit_json(document: dict) -> int:
     return 0
 
 
+def _binary_extras(session: Session, **terms: "cc.Term") -> dict:
+    """``{field}_b64`` wire renderings of CC ``terms`` (``--wire binary``)."""
+    from repro.wire.codec import term_to_b64
+
+    with session.activate():
+        return {
+            f"{name}_b64": term_to_b64(cc.ast.LANGUAGE, cc.intern(term))
+            for name, term in terms.items()
+        }
+
+
 def _cmd_check(session: Session, args: argparse.Namespace) -> int:
     result = session.check(_read_source(args))
+    document = result.to_dict()
+    if args.wire == "binary":
+        document.update(_binary_extras(session, term=result.term, type=result.type_))
     if args.json:
-        return _emit_json(result.to_dict())
+        return _emit_json(document)
     print(f"term : {cc.pretty(result.term)}")
     print(f"type : {cc.pretty(result.type_)}")
+    if args.wire == "binary":
+        print(f"wire : term_b64 {len(document['term_b64'])} chars, "
+              f"type_b64 {len(document['type_b64'])} chars")
     return 0
 
 
@@ -93,8 +113,10 @@ def _cmd_normalize(session: Session, args: argparse.Namespace) -> int:
     start = time.perf_counter()
     result = session.normalize(checked.term, engine=args.engine)
     elapsed = time.perf_counter() - start
+    document = result.to_dict()
+    if args.wire == "binary":
+        document.update(_binary_extras(session, term=result.term, normal=result.value))
     if args.json:
-        document = result.to_dict()
         document["elapsed_seconds"] = elapsed
         return _emit_json(document)
     print(f"term    : {cc.pretty(result.term)}")
@@ -102,6 +124,9 @@ def _cmd_normalize(session: Session, args: argparse.Namespace) -> int:
     print(f"engine  : {result.engine}")
     print(f"steps   : {result.steps}")
     print(f"elapsed : {elapsed:.6f}s")
+    if args.wire == "binary":
+        print(f"wire    : term_b64 {len(document['term_b64'])} chars, "
+              f"normal_b64 {len(document['normal_b64'])} chars")
     return 0
 
 
@@ -185,8 +210,16 @@ def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
 
     try:
         specs = _read_job_specs(args)
+        if args.wire == "binary":
+            from repro.gen.jobs import binary_specs
+
+            specs = binary_specs(specs)
         report = api.execute_jobs(
-            specs, workers=args.workers, engine=args.engine, job_timeout=args.job_timeout
+            specs,
+            workers=args.workers,
+            engine=args.engine,
+            job_timeout=args.job_timeout,
+            memo_store=args.memo_store,
         )
     except (ValueError, json.JSONDecodeError) as error:
         # Malformed job specs (bad JSON, unknown kinds/fields) get the
@@ -263,6 +296,13 @@ def main(argv: list[str] | None = None) -> int:
                 default="nbe",
                 help="evaluator: NbE environment machine (default) or the substitution oracle",
             )
+        if name in ("check", "normalize"):
+            sub.add_argument(
+                "--wire",
+                choices=("text", "binary"),
+                default="text",
+                help="binary adds base64 DAG encodings (*_b64 fields) to the output",
+            )
         if name == "link":
             sub.add_argument(
                 "--assume",
@@ -316,6 +356,18 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         action="store_true",
         help="emit the full batch report (results + pool stats) as JSON",
+    )
+    batch.add_argument(
+        "--wire",
+        choices=("text", "binary"),
+        default="text",
+        help="binary re-encodes program jobs onto the binary DAG wire (term_b64)",
+    )
+    batch.add_argument(
+        "--memo-store",
+        metavar="PATH",
+        default=None,
+        help="attach a persistent memo store (SQLite) shared across workers and restarts",
     )
     batch.add_argument("--gen-seed", type=int, default=0, help="generated-corpus seed")
     batch.add_argument(

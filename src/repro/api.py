@@ -317,8 +317,26 @@ class Session:
 
         Clears every cache this session owns and restarts its fresh-name
         counter.  Sibling sessions are untouched — their caches stay warm.
+        An attached persistent memo tier is flushed and detached (the
+        on-disk store survives; re-attach to keep using it) so a reset
+        session holds no cross-session storage handle.
         """
         self._state.reset()
+
+    def attach_memo_store(self, store: Any) -> Any:
+        """Attach a persistent memo tier (a path or an opened store).
+
+        The session's normalization caches consult the store's
+        content-keyed entries on miss and write through on store; hits
+        replay their recorded fuel, so results are byte-identical to cold
+        runs — merely warm from the first request, across processes and
+        restarts.  Returns the :class:`repro.wire.persist.PersistentTier`.
+        """
+        return self._state.attach_memo_store(store)
+
+    def detach_memo_store(self) -> Any:
+        """Flush and detach the persistent tier (no-op when none attached)."""
+        return self._state.detach_memo_store()
 
     def cache_stats(self) -> dict[str, int]:
         """Entry counts per cache (see ``KernelState.stats``)."""
@@ -575,6 +593,7 @@ def execute_jobs(
     engine: str = "nbe",
     fuel: int | None = None,
     session: Session | None = None,
+    memo_store: Any = None,
     **dispatcher_options: Any,
 ) -> BatchReport:
     """Execute a stream of service jobs, pooled or solo.
@@ -585,6 +604,14 @@ def execute_jobs(
     a process pool (:class:`repro.service.Dispatcher`), one session per
     worker; deterministic payloads are byte-identical either way, which is
     the contract `benchmarks/bench_e19_service.py` gates.
+
+    ``memo_store`` attaches the persistent memo tier for the duration of
+    the batch: a path (or, solo only, an opened
+    :class:`~repro.wire.persist.PersistentMemoStore`).  Solo, the batch
+    session consults/fills it and the report's ``stats["persist"]``
+    carries the store counters; pooled, every worker attaches the path at
+    bootstrap.  Either way results stay byte-identical to a store-less
+    run — entries replay recorded fuel and render α-canonically.
 
     ``dispatcher_options`` are forwarded to the :class:`Dispatcher`
     (``max_pending``, ``job_timeout``, ``max_attempts``, …).
@@ -597,10 +624,25 @@ def execute_jobs(
             specs[index] = Job.from_dict({**spec.to_dict(), "id": f"job-{index}"})
     start = time.perf_counter()
     if workers <= 0:
+        from repro.wire.persist import PersistentMemoStore
+
         solo = session if session is not None else Session(
             name="batch", engine=engine, fuel=DEFAULT_FUEL if fuel is None else fuel
         )
-        results = tuple(solo.execute(spec) for spec in specs)
+        store = None
+        opened_here = False
+        if memo_store is not None:
+            if isinstance(memo_store, PersistentMemoStore):
+                store = memo_store
+            else:
+                store = PersistentMemoStore(memo_store)
+                opened_here = True
+            solo.attach_memo_store(store)
+        try:
+            results = tuple(solo.execute(spec) for spec in specs)
+        finally:
+            if store is not None:
+                solo.detach_memo_store()
         stats = {
             "workers": 0,
             "submitted": len(specs),
@@ -608,6 +650,10 @@ def execute_jobs(
             "failed": sum(1 for result in results if not result.ok),
             "cache_hits": solo.hit_counts(),
         }
+        if store is not None:
+            stats["persist"] = store.stats()
+            if opened_here:
+                store.close()
         return BatchReport(
             results=results,
             stats=stats,
@@ -618,6 +664,8 @@ def execute_jobs(
 
     from repro.service.dispatcher import Dispatcher
 
+    if memo_store is not None:
+        dispatcher_options["memo_store"] = str(memo_store)
     with Dispatcher(
         workers=workers, engine=engine, fuel=fuel, **dispatcher_options
     ) as pool:

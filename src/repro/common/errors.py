@@ -66,3 +66,16 @@ class NormalizationDepthExceeded(ReproError):
     only happen for terms whose normal forms are astronomically large; the
     fuel keeps benchmarks and property tests from hanging.
     """
+
+
+class WireError(ReproError):
+    """The binary term codec rejected a request (e.g. an unencodable term)."""
+
+
+class WireDecodeError(WireError):
+    """A binary term buffer was malformed, truncated, or corrupt.
+
+    The message is a pure function of the buffer (byte offsets and expected
+    values, never object addresses), so a rejected buffer produces the same
+    deterministic error document on every worker.
+    """

@@ -1,0 +1,50 @@
+"""Deliberately DAG-shaped workload terms.
+
+The benchmark families in ``benchmarks/workloads.py`` are mostly *spines*:
+deep but structurally diverse, so their unfoldings and their DAGs are the
+same order of magnitude.  The wire codec and the canonicalize memo are
+about the opposite regime — closure-converted dependently typed programs
+whose environments and type annotations repeat the same subterms over and
+over (the Accattoli et al. observation the ISSUE cites): huge as trees,
+tiny as DAGs.  :func:`shared_dag_tower` builds that shape on purpose, and
+lives under ``src/`` (not ``benchmarks/``) so the fuzz corpus and the
+codec tests can exercise it too.
+"""
+
+from __future__ import annotations
+
+from repro import cc
+
+__all__ = ["shared_dag_tower"]
+
+
+def shared_dag_tower(levels: int = 7, salt: int = 3) -> cc.Term:
+    """A closed, well-typed pair tower that is a tree of ~``2^levels`` nodes
+    but a DAG of O(``levels``²) unique interned nodes.
+
+    Level 0 is an annotated pair of Nat literals; level ``k+1`` pairs level
+    ``k`` with a freshly-annotated copy of it (plus a small literal
+    "pepper" so adjacent levels do not collapse into each other), and the
+    Σ annotations repeat the previous level's annotation twice.  Every
+    subterm therefore appears many times in the unfolding — exactly the
+    repeated-annotated-subterm shape closure conversion produces — while
+    the interned DAG stays in the hundreds of nodes (binder-depth-indexed
+    canonical names split shared subterms per depth, which is why the count
+    is quadratic in ``levels``, not linear).
+
+    At the default ``levels=7`` the unfolding is ~10k nodes and the DAG
+    ~200.  The term round-trips through the surface printer/parser and
+    typechecks in the empty context (each level has type equal to its own
+    annotation), so it can ride any job kind.
+    """
+    annot: cc.Term = cc.Sigma("_", cc.Nat(), cc.Nat())
+    term: cc.Term = cc.Pair(cc.nat_literal(salt), cc.nat_literal(salt + 1), annot)
+    for level in range(levels):
+        pepper = cc.Pair(
+            cc.nat_literal(level % (salt + 2)),
+            term,
+            cc.Sigma("_", cc.Nat(), annot),
+        )
+        term = cc.Pair(term, pepper, cc.Sigma("_", annot, cc.Sigma("_", cc.Nat(), annot)))
+        annot = cc.Sigma("_", annot, cc.Sigma("_", cc.Nat(), annot))
+    return term

@@ -27,7 +27,7 @@ from repro.common.errors import ReproError
 from repro.gen.generator import GenConfig, TermGenerator
 from repro.surface import parse_term, to_surface
 
-__all__ = ["build_stream", "close_over", "interleave", "job_corpus"]
+__all__ = ["binary_specs", "build_stream", "close_over", "interleave", "job_corpus"]
 
 #: Kind rotation for mixed corpora: normalization-heavy, like real traffic.
 _DEFAULT_KINDS = ("normalize", "check", "normalize", "compile", "run")
@@ -108,6 +108,50 @@ def job_corpus(
                 spec["key"] = key
             specs.append(spec)
     return specs
+
+
+def binary_specs(
+    specs: Iterable[dict[str, Any]], keep_program: bool = False
+) -> list[dict[str, Any]]:
+    """Re-encode program-carrying job specs onto the binary DAG wire.
+
+    Each ``program`` (surface text) is parsed, interned, and wire-encoded
+    once inside a throwaway session; the returned specs speak wire
+    version 2 and carry ``term_b64`` (dropping ``program`` unless
+    ``keep_program``).  Non-program jobs (reset/sleep/crash) and specs
+    already carrying a binary term pass through untouched.  Payloads are
+    byte-identical to the text-wire run of the same stream — both wires
+    intern to the same α-canonical representative.
+    """
+    from repro.api import Session
+    from repro.service.jobs import PROGRAM_KINDS
+    from repro.wire.codec import term_to_b64
+
+    scratch = Session(name="wire-encode")
+    encoded: dict[str, str] = {}
+    out: list[dict[str, Any]] = []
+    with scratch.activate():
+        for spec in specs:
+            if (
+                spec.get("kind") not in PROGRAM_KINDS
+                or not spec.get("program")
+                or spec.get("term_b64")
+            ):
+                out.append(dict(spec))
+                continue
+            text = spec["program"]
+            b64 = encoded.get(text)
+            if b64 is None:
+                b64 = encoded[text] = term_to_b64(
+                    cc.ast.LANGUAGE, cc.intern(parse_term(text))
+                )
+            converted = dict(spec)
+            converted["term_b64"] = b64
+            converted["wire"] = 2
+            if not keep_program:
+                converted.pop("program", None)
+            out.append(converted)
+    return out
 
 
 def build_stream(

@@ -107,19 +107,34 @@ def _canonicalize(lang: Language, root: Any) -> Any:
     hit the recursion limit.  A frame carries the renaming environment in
     force at that position and the binder depth, which names any binders
     the node introduces.
+
+    Shared subterms are canonicalized once per (node, depth): a node whose
+    cached free-variable set is disjoint from the renaming environment
+    canonicalizes identically at every occurrence at the same binder depth,
+    so the walk keeps a per-walk memo for exactly those nodes and interning
+    a hash-consed DAG costs O(unique nodes × depths), not O(unfolded tree).
+    The guard requires the free-variable set to be *already cached* (true
+    for anything built through :func:`build` — hash-consed, wire-decoded —
+    where it is computed at construction): a plain parse-tree walk stays on
+    the historical path, paying only one cache probe per node.
     """
     var_cls = lang.var_cls
-    table = lang.hashcons  # the active session's table, resolved once per walk
+    store = lang.store()  # the active session's caches, resolved once per walk
+    table = store.hashcons
+    fv_cache = store.fv_cache
     free = fv.free_vars(lang, root)
     prefix = _CANON_PREFIX
     while any(name.startswith(prefix) for name in free):
         prefix += "v"
     results: list[Any] = []
-    # Frame: (term, env, depth, expanded?); env maps original binder names
-    # to canonical ones for the binders in scope.
-    stack: list[tuple[Any, dict[str, str], int, bool]] = [(root, {}, 0, False)]
+    walk_memo: dict[tuple[int, int], Any] = {}
+    # Frame: (term, env, depth, expanded?, memo key); env maps original
+    # binder names to canonical ones for the binders in scope.
+    stack: list[tuple[Any, dict[str, str], int, bool, tuple[int, int] | None]] = [
+        (root, {}, 0, False, None)
+    ]
     while stack:
-        term, env, depth, expanded = stack.pop()
+        term, env, depth, expanded, memo_key = stack.pop()
         if not expanded:
             if isinstance(term, var_cls):
                 results.append(_build(lang, table, var_cls, (env.get(term.name, term.name),)))
@@ -130,7 +145,17 @@ def _canonicalize(lang: Language, root: Any) -> Any:
                     _build(lang, table, type(term), tuple(getattr(term, f) for f in spec.field_order))
                 )
                 continue
-            stack.append((term, env, depth, True))
+            memo_key = None
+            cached_free = fv_cache.get(term)
+            if cached_free is not None and (
+                not env or all(name not in env for name in cached_free)
+            ):
+                memo_key = (id(term), depth)
+                done = walk_memo.get(memo_key)
+                if done is not None:
+                    results.append(done)
+                    continue
+            stack.append((term, env, depth, True, memo_key))
             # Environments for each binder-prefix length.
             envs = [env]
             for offset, binder in enumerate(spec.binder_attrs):
@@ -139,7 +164,7 @@ def _canonicalize(lang: Language, root: Any) -> Any:
                 envs.append(extended)
             for child in reversed(spec.children):
                 scope = len(child.binders)
-                stack.append((getattr(term, child.attr), envs[scope], depth + scope, False))
+                stack.append((getattr(term, child.attr), envs[scope], depth + scope, False, None))
         else:
             spec = lang.specs[type(term)]
             count = len(spec.children)
@@ -155,5 +180,8 @@ def _canonicalize(lang: Language, root: Any) -> Any:
                     args.append(next(child_iter))
                 else:
                     args.append(getattr(term, offset_name))
-            results.append(_build(lang, table, type(term), tuple(args)))
+            node = _build(lang, table, type(term), tuple(args))
+            if memo_key is not None:
+                walk_memo[memo_key] = node
+            results.append(node)
     return results[-1]

@@ -146,6 +146,10 @@ class ContextTokenizer:
             if entry is None:
                 entry = (next(self._counter), tuple(visible.values()))
                 tables.table[fingerprint] = entry
+                # Reverse index for the persistent tier: it re-derives the
+                # *content* this token fingerprints.  Registered only at
+                # token creation — every later holder shares the map.
+                tables.by_token[entry[0]] = visible
             token = entry[0]
             tables.map_tokens[id(visible)] = (token, visible)  # pin: id stays valid
         object.__setattr__(ctx, self._token_attr, token)
@@ -194,21 +198,40 @@ class NormalizationCache:
     to recompute relative to the bookkeeping of a smarter eviction policy.
     ``hits`` counts successful lookups, for the structured result objects
     of :mod:`repro.api`.
+
+    ``persistent`` (installed by ``KernelState.attach_memo_store``, None
+    otherwise) is the content-keyed on-disk tier: consulted on an
+    in-memory miss, written through on every store.  A persistent hit
+    warms the in-memory entry (so identity-keyed lookups take over) and
+    carries recorded fuel exactly like a local entry; it is *not*
+    re-persisted, and it is counted on the tier, not in ``hits`` — the
+    in-memory hit counters keep their historical meaning.
     """
 
-    __slots__ = ("name", "max_entries", "hits", "_entries")
+    __slots__ = ("name", "max_entries", "hits", "persistent", "_entries")
 
     def __init__(self, name: str = "kernel.normalization", max_entries: int = 262_144) -> None:
         self.name = name
         self.max_entries = max_entries
         self.hits = 0
+        self.persistent: Any = None
         self._entries: dict[tuple[int, str, int], tuple[Any, Any, int]] = {}
 
     def lookup(self, kind: str, term: Any, token: int) -> tuple[Any, int] | None:
         """The cached (result, steps) for ``term`` under ``token``, or None."""
         entry = self._entries.get((id(term), kind, token))
         if entry is None:
-            return None
+            tier = self.persistent
+            if tier is None:
+                return None
+            found = tier.load(kind, term, token)
+            if found is None:
+                return None
+            result, steps = found
+            if len(self._entries) >= self.max_entries:
+                self._entries.clear()
+            self._entries[(id(term), kind, token)] = (term, result, steps)
+            return result, steps
         self.hits += 1
         return entry[1], entry[2]
 
@@ -217,6 +240,9 @@ class NormalizationCache:
         if len(self._entries) >= self.max_entries:
             self._entries.clear()
         self._entries[(id(term), kind, token)] = (term, result, steps)
+        tier = self.persistent
+        if tier is not None:
+            tier.save(kind, term, token, result, steps)
 
     def clear(self) -> None:
         self._entries.clear()

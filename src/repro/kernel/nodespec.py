@@ -86,6 +86,24 @@ class Language:
         """The active session's hash-consing table for this calculus."""
         return current_state().store(self).hashcons
 
+    @property
+    def hash_cache(self) -> Any:
+        """The active session's ``id(term) -> content hash`` cache (weak)."""
+        return current_state().store(self).hash_cache
+
+    @property
+    def by_hash(self) -> dict[bytes, Any]:
+        """The active session's ``content hash -> node`` adoption index."""
+        return current_state().store(self).by_hash
+
+    def store(self) -> Any:
+        """The active session's whole :class:`~repro.kernel.state.LanguageStore`.
+
+        For walks that touch several caches (the wire codec): resolve the
+        contextvar once instead of once per property access.
+        """
+        return current_state().store(self)
+
     def node(
         self,
         cls: type,

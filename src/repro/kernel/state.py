@@ -95,21 +95,25 @@ class TokenTable:
 
     ``table`` maps a context fingerprint to ``(token, pinned values)``;
     ``map_tokens`` is the O(1) ``id(visible map) -> (token, pinned map)``
-    path.  Clearing drops both (the pins die with them) but never touches
-    the owning tokenizer's counter, so tokens are never reused — within a
-    state or across states.
+    path; ``by_token`` is the reverse index ``token -> visible map``, which
+    the persistent memo tier uses to translate a session-local token back
+    into the content it fingerprints.  Clearing drops all three (the pins
+    die with them) but never touches the owning tokenizer's counter, so
+    tokens are never reused — within a state or across states.
     """
 
-    __slots__ = ("name", "table", "map_tokens")
+    __slots__ = ("name", "table", "map_tokens", "by_token")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.table: dict[tuple, tuple[int, tuple]] = {}
         self.map_tokens: dict[int, tuple[int, dict]] = {}
+        self.by_token: dict[int, dict] = {}
 
     def clear(self) -> None:
         self.table.clear()
         self.map_tokens.clear()
+        self.by_token.clear()
 
     def __len__(self) -> int:
         return len(self.table)
@@ -118,17 +122,25 @@ class TokenTable:
 class LanguageStore:
     """One calculus's identity-keyed caches, owned by a :class:`KernelState`."""
 
-    __slots__ = ("fv_cache", "intern_cache", "hashcons", "caches")
+    __slots__ = ("fv_cache", "intern_cache", "hashcons", "hash_cache", "by_hash", "caches")
 
     def __init__(self, lang_name: str) -> None:
         self.fv_cache = TermCache(f"{lang_name}.fv")
         self.intern_cache = TermCache(f"{lang_name}.intern")
         #: (cls, *field keys) -> interned node; owned by repro.kernel.intern.
         self.hashcons: dict[tuple, Any] = {}
+        #: id(term) -> 128-bit content hash; owned by repro.wire.codec.  Weak
+        #: on the keyed term, so hashing transient terms never pins them.
+        self.hash_cache = TermCache(f"{lang_name}.hash")
+        #: content hash -> node: the wire decoder's adoption index.  Pins its
+        #: nodes strongly (like the hashcons table whose lifetime it shares).
+        self.by_hash: dict[bytes, Any] = {}
         self.caches: tuple[Any, ...] = (
             self.fv_cache,
             self.intern_cache,
             DictCache(f"{lang_name}.hashcons", self.hashcons),
+            self.hash_cache,
+            DictCache(f"{lang_name}.by_hash", self.by_hash),
         )
 
 
@@ -163,6 +175,8 @@ class KernelState:
         self.fuel = fuel
         self.normalization = NormalizationCache()
         self.judgments = JudgmentCache()
+        #: The attached persistent memo tier (repro.wire.persist), or None.
+        self.persistent: Any = None
         self._counter = itertools.count(1)
         self._stores: dict[str, LanguageStore] = {}
         self._token_tables: dict[str, TokenTable] = {}
@@ -226,11 +240,50 @@ class KernelState:
         Restarts the fresh-name counter *and* clears every cache: cached
         results may embed fresh names issued before the reset, and keeping
         them would make runs depend on execution history.  Only this
-        state's caches are touched — sibling states stay warm.
+        state's caches are touched — sibling states stay warm.  An attached
+        persistent memo tier is flushed and **detached** (the on-disk store
+        itself is append-only and survives): a reset state holds no handle
+        to any cross-session storage, which keeps tests hermetic.  Service
+        policy differs deliberately — the executor's ``reset`` job
+        re-attaches the worker's configured store afterwards.
         """
         with self._reset_lock:
             self._counter = itertools.count(1)
+            self.detach_memo_store()
             self.clear_caches()
+
+    def attach_memo_store(self, store: Any) -> Any:
+        """Attach a persistent memo tier backed by ``store`` (path or store).
+
+        ``store`` is a :class:`repro.wire.persist.PersistentMemoStore` or a
+        filesystem path one is opened at.  From then on the normalization
+        cache consults the tier on every in-memory miss and writes every
+        stored entry through to it; hits replay their recorded fuel, so a
+        persisted hit is bit-identical to a cold computation.  Returns the
+        installed :class:`~repro.wire.persist.PersistentTier`.
+        """
+        from repro.wire.persist import PersistentMemoStore, PersistentTier
+
+        if not isinstance(store, PersistentMemoStore):
+            store = PersistentMemoStore(store)
+        tier = PersistentTier(store, self)
+        self.persistent = tier
+        self.normalization.persistent = tier
+        return tier
+
+    def detach_memo_store(self) -> Any:
+        """Detach the persistent tier (flushing buffered writes); None-safe.
+
+        Returns the detached tier (its store stays open — callers that
+        opened the store close it) or None if nothing was attached.
+        """
+        tier = self.persistent
+        if tier is None:
+            return None
+        self.persistent = None
+        self.normalization.persistent = None
+        tier.store.flush()
+        return tier
 
     def stats(self) -> dict[str, int]:
         """Entry counts per cache, for benchmarks and diagnostics."""
@@ -269,7 +322,10 @@ def default_state() -> KernelState:
 
 
 def bootstrap_worker_state(
-    name: str, engine: str = "nbe", fuel: int | None = None
+    name: str,
+    engine: str = "nbe",
+    fuel: int | None = None,
+    memo_store: Any = None,
 ) -> KernelState:
     """Install a pristine process-default state — the worker-side bootstrap.
 
@@ -282,9 +338,17 @@ def bootstrap_worker_state(
     inherited active state), so the worker's session — built over the
     returned state — and the legacy shims observe one cold, deterministic
     world, and its counters are exactly the work this worker performed.
+
+    ``memo_store`` (a path, or an opened store) attaches the pool's shared
+    persistent memo tier: the worker opens its *own* connection to the
+    store (SQLite WAL arbitrates cross-process readers/writers) and batches
+    its write-backs in its own append transactions, so the hot path never
+    contends on a lock with sibling workers.
     """
     global _DEFAULT
     state = KernelState(name, engine=engine, fuel=fuel)
+    if memo_store is not None:
+        state.attach_memo_store(memo_store)
     with _DEFAULT_LOCK:
         _DEFAULT = state
     # A fork can also inherit a contextvar pointing at a parent session;

@@ -125,6 +125,10 @@ class Dispatcher:
         start_method: multiprocessing start method (default: ``fork``
             where available, else the platform default).
         name: pool label used in worker session names.
+        memo_store: path of a shared persistent memo store every worker
+            attaches at bootstrap (None disables the tier).  Workers open
+            independent connections and batch their own write-backs, so
+            the tier adds no cross-process locking to the job hot path.
     """
 
     def __init__(
@@ -137,6 +141,7 @@ class Dispatcher:
         max_attempts: int = 2,
         start_method: str | None = None,
         name: str | None = None,
+        memo_store: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
@@ -151,6 +156,7 @@ class Dispatcher:
         self.name = name or f"pool-{next(_POOL_IDS)}"
         self.engine = engine
         self.fuel = fuel
+        self.memo_store = None if memo_store is None else str(memo_store)
         self.max_pending = max_pending
         self.job_timeout = job_timeout
         self.max_attempts = max_attempts
@@ -338,7 +344,16 @@ class Dispatcher:
         jobs = self._mp.Queue()
         process = self._mp.Process(
             target=worker_main,
-            args=(slot, generation, worker_name, jobs, self._results, self.engine, self.fuel),
+            args=(
+                slot,
+                generation,
+                worker_name,
+                jobs,
+                self._results,
+                self.engine,
+                self.fuel,
+                self.memo_store,
+            ),
             name=worker_name,
             daemon=True,
         )

@@ -8,10 +8,11 @@ solo runs by construction — there is exactly one executor.
 
 Determinism across shard assignments comes from two mechanisms:
 
-* **α-canonical ingest and egress.**  The program text is parsed and then
-  *interned* (:func:`repro.kernel.intern.intern`), so α-equivalent jobs
-  resolve to the same canonical term object — which is what lets a warm
-  worker's identity-keyed memo caches hit across repeated jobs.  Every
+* **α-canonical ingest and egress.**  The program — surface text, or a
+  binary DAG buffer when the job speaks wire version 2 — is decoded and
+  then *interned* (:func:`repro.kernel.intern.intern`), so α-equivalent
+  jobs resolve to the same canonical term object — which is what lets a
+  warm worker's identity-keyed memo caches hit across repeated jobs.  Every
   term in the payload is rendered from its interned representative, whose
   binder names are a pure function of the α-class: machine-freshened
   names (which depend on execution history) can never reach the wire.
@@ -50,6 +51,40 @@ def _canon_cc(term: cc.Term) -> str:
 def _canon_cccc(term: cccc.Term) -> str:
     """α-canonical rendering of a CC-CC term."""
     return cccc.pretty(cccc.intern(term))
+
+
+def _b64_cc(term: cc.Term) -> str:
+    """Binary DAG rendering of a CC term's interned representative.
+
+    As deterministic as the pretty text: the encoder is canonical and the
+    interned representative is a pure function of the α-class.
+    """
+    from repro.wire.codec import term_to_b64
+
+    return term_to_b64(cc.ast.LANGUAGE, cc.intern(term))
+
+
+def _b64_cccc(term: cccc.Term) -> str:
+    """Binary DAG rendering of a CC-CC term's interned representative."""
+    from repro.wire.codec import term_to_b64
+
+    return term_to_b64(cccc.ast.LANGUAGE, cccc.intern(term))
+
+
+def _ingest(job: Job) -> cc.Term:
+    """The job's program as an interned CC term — binary or text path.
+
+    Binary ingest is O(new nodes): the decoder adopts every node whose
+    content hash the session already knows, and interning the decoded DAG
+    memoizes per unique (node, depth).  Both paths land on the same
+    α-canonical representative, so payloads are byte-identical whichever
+    wire the job arrived on.
+    """
+    if job.term_b64 is not None:
+        from repro.wire.codec import term_from_b64
+
+        return cc.intern(term_from_b64(cc.ast.LANGUAGE, job.term_b64))
+    return cc.intern(parse_term(job.program))
 
 
 @contextmanager
@@ -94,7 +129,15 @@ def execute_job(session: "Session", job: Job) -> JobResult:
 def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
     """The kind table: one wire job → one deterministic payload dict."""
     if job.kind == "reset":
+        # Service policy: a reset returns the session to its cold
+        # deterministic zero but keeps the worker *configured* — the shared
+        # persistent tier (attached at bootstrap) is re-attached after the
+        # state-level detach, because the store holds only content-keyed,
+        # fuel-replaying entries that are byte-identical to cold recomputes.
+        tier = getattr(session.state, "persistent", None)
         session.reset()
+        if tier is not None:
+            session.state.attach_memo_store(tier.store)
         return {"reset": True}
     if job.kind == "sleep":
         time.sleep(job.seconds)
@@ -104,20 +147,28 @@ def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
         # repro.service.worker); in-process it is a plain failed job.
         raise ReproError("crash job executed outside a worker process")
 
+    binary = job.wire >= 2
     with session.activate():
-        term = cc.intern(parse_term(job.program))
+        term = _ingest(job)
         if job.kind == "parse":
-            return {"term": _canon_cc(term)}
+            payload = {"term": _canon_cc(term)}
+            if binary:
+                payload["term_b64"] = _b64_cc(term)
+            return payload
         if job.kind == "check":
             result = session.check(term)
-            return {
+            payload = {
                 "term": _canon_cc(result.term),
                 "type": _canon_cc(result.type_),
                 "steps": result.steps,
             }
+            if binary:
+                payload["term_b64"] = _b64_cc(result.term)
+                payload["type_b64"] = _b64_cc(result.type_)
+            return payload
         if job.kind == "normalize":
             result = session.normalize(term, engine=job.engine)
-            return {
+            payload = {
                 "term": _canon_cc(result.term),
                 "normal": _canon_cc(result.value),
                 "type": _canon_cc(result.type_),
@@ -125,9 +176,13 @@ def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
                 "check_steps": result.check_steps,
                 "engine": result.engine,
             }
+            if binary:
+                payload["term_b64"] = _b64_cc(result.term)
+                payload["normal_b64"] = _b64_cc(result.value)
+            return payload
         if job.kind == "compile":
             result = session.compile(term, verify=job.verify)
-            return {
+            payload = {
                 "term": _canon_cc(result.compilation.source),
                 "type": _canon_cc(result.compilation.source_type),
                 "target": _canon_cccc(result.target),
@@ -137,6 +192,10 @@ def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
                 "check_steps": result.check_steps,
                 "verify_steps": result.verify_steps,
             }
+            if binary:
+                payload["term_b64"] = _b64_cc(result.compilation.source)
+                payload["target_b64"] = _b64_cccc(result.target)
+            return payload
         if job.kind == "run":
             result = session.run(term, verify=job.verify)
             shown = (
@@ -163,10 +222,13 @@ def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
                 name: parse_term(text) for name, text in job.imports.items()
             }
             result = session.link(ctx, term, imports)
-            return {
+            payload = {
                 "term": _canon_cc(result.term),
                 "type": _canon_cc(result.type_),
                 "steps": result.steps,
                 "imports_linked": len(job.imports),
             }
+            if binary:
+                payload["term_b64"] = _b64_cc(result.term)
+            return payload
     raise AssertionError(f"unhandled job kind {job.kind!r}")  # pragma: no cover

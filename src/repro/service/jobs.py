@@ -40,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["JOB_KINDS", "Job", "JobResult"]
+__all__ = ["JOB_KINDS", "PROGRAM_KINDS", "WIRE_VERSIONS", "Job", "JobResult"]
 
 #: Every job kind the executor understands, in dispatch order of interest:
 #: the Session entrypoints, then the service-level kinds.
@@ -56,8 +56,18 @@ JOB_KINDS = (
     "crash",
 )
 
-#: Kinds that require a ``program`` field.
-_PROGRAM_KINDS = frozenset({"parse", "check", "normalize", "compile", "run", "link"})
+#: Kinds that require a program (as surface text or a binary term).
+PROGRAM_KINDS = frozenset({"parse", "check", "normalize", "compile", "run", "link"})
+_PROGRAM_KINDS = PROGRAM_KINDS  # historical name
+
+#: Wire-format versions this build speaks.  Version 1 is the original
+#: text-only format (``program`` carries surface syntax); version 2 adds
+#: the binary DAG form: jobs may carry ``term_b64`` (a base64
+#: :mod:`repro.wire.codec` buffer) instead of — or alongside — ``program``,
+#: and payloads echo ``*_b64`` renderings next to the pretty text.  Specs
+#: without a ``wire`` field are version 1, so every old JSONL corpus loads
+#: unchanged; unknown versions are rejected at parse time, not mid-batch.
+WIRE_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -74,13 +84,22 @@ class Job:
     imports: Mapping[str, str] = field(default_factory=dict)  # link
     interface: tuple[tuple[str, str], ...] = ()  # link: the telescope Γ
     seconds: float = 0.0  # sleep
+    wire: int = 1  # wire-format version this spec speaks
+    term_b64: str | None = None  # binary DAG program (wire >= 2)
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             expected = ", ".join(JOB_KINDS)
             raise ValueError(f"unknown job kind {self.kind!r} (expected one of {expected})")
-        if self.kind in _PROGRAM_KINDS and not self.program:
-            raise ValueError(f"{self.kind!r} job needs a 'program' field")
+        if self.wire not in WIRE_VERSIONS:
+            expected = ", ".join(str(version) for version in WIRE_VERSIONS)
+            raise ValueError(
+                f"unsupported wire version {self.wire!r} (this build speaks {expected})"
+            )
+        if self.term_b64 is not None and self.wire < 2:
+            raise ValueError("'term_b64' requires wire version 2")
+        if self.kind in PROGRAM_KINDS and not self.program and not self.term_b64:
+            raise ValueError(f"{self.kind!r} job needs a 'program' or 'term_b64' field")
 
     @property
     def shard_key(self) -> str | None:
@@ -108,6 +127,10 @@ class Job:
             spec["interface"] = [list(entry) for entry in self.interface]
         if self.seconds:
             spec["seconds"] = self.seconds
+        if self.wire != 1:
+            spec["wire"] = self.wire
+        if self.term_b64 is not None:
+            spec["term_b64"] = self.term_b64
         return spec
 
     @classmethod
@@ -124,6 +147,8 @@ class Job:
             "imports",
             "interface",
             "seconds",
+            "wire",
+            "term_b64",
         }
         unknown = set(spec) - known
         if unknown:
@@ -144,6 +169,8 @@ class Job:
             imports=dict(spec.get("imports", {})),
             interface=interface,
             seconds=spec.get("seconds", 0.0),
+            wire=spec.get("wire", 1),
+            term_b64=spec.get("term_b64"),
         )
 
 

@@ -52,14 +52,27 @@ def worker_main(
     result_queue: Any,
     engine: str,
     fuel: int | None,
+    memo_store: str | None = None,
 ) -> None:
-    """The worker process entry point (top-level, so ``spawn`` can import it)."""
+    """The worker process entry point (top-level, so ``spawn`` can import it).
+
+    ``memo_store`` is the path of the pool's shared persistent memo tier;
+    each worker opens its own SQLite connection (WAL arbitrates the
+    cross-process traffic) and batches write-backs in its own append
+    transactions — flushed at a size threshold and on graceful shutdown.
+    A crash loses only unflushed cache warmth, never correctness: the
+    store is an append-only cache of fuel-replaying, content-keyed entries.
+    """
     from repro.api import Session
     from repro.kernel.state import bootstrap_worker_state
 
-    state = bootstrap_worker_state(name, engine=engine, fuel=fuel)
+    state = bootstrap_worker_state(name, engine=engine, fuel=fuel, memo_store=memo_store)
     session = Session(_state=state)
     jobs_done = 0
+
+    def flush_tier() -> None:
+        if state.persistent is not None:
+            state.persistent.store.flush()
 
     def post(document: dict[str, Any]) -> None:
         document.setdefault("slot", slot)
@@ -71,6 +84,7 @@ def worker_main(
         message = json.loads(job_queue.get())
         op = message.get("op")
         if op == "stop":
+            flush_tier()
             post({"op": "bye", "hits": state.hit_counts(), "jobs": jobs_done})
             return
         if op == "ping":

@@ -1,0 +1,36 @@
+"""Binary wire format and persistent memo tier for interned term DAGs.
+
+Two layers, both keyed by the same 128-bit content hashes:
+
+* :mod:`repro.wire.codec` — a versioned, content-addressed binary encoding
+  of a term as a topologically ordered node table with child indices, so
+  hash-cons sharing survives the process boundary and ingest is O(new
+  nodes): a node whose hash the receiving session already knows is adopted
+  by pointer, never rebuilt.
+* :mod:`repro.wire.persist` — an append-only SQLite store of normalization
+  results keyed on (term content hash × context-defs content key × memo
+  kind × fuel discipline), consulted by the in-memory caches on miss and
+  written through on store, shared across pool workers and surviving
+  restarts.
+"""
+
+from repro.wire.codec import (
+    CODEC_VERSION,
+    content_hash,
+    decode_term,
+    encode_term,
+    term_from_b64,
+    term_to_b64,
+)
+from repro.wire.persist import PersistentMemoStore, PersistentTier
+
+__all__ = [
+    "CODEC_VERSION",
+    "PersistentMemoStore",
+    "PersistentTier",
+    "content_hash",
+    "decode_term",
+    "encode_term",
+    "term_from_b64",
+    "term_to_b64",
+]

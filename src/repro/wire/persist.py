@@ -1,0 +1,320 @@
+"""The persistent memo tier: normalization results that survive restarts.
+
+An append-only SQLite table of sealed normalization entries, keyed on pure
+*content*::
+
+    key = BLAKE2b( discipline version ∥ memo kind ∥ term content hash
+                   ∥ context-defs content key )
+
+``kind`` is the same engine-qualified judgment string the in-memory
+:class:`~repro.kernel.memo.NormalizationCache` keys on (``"cc.nf"``,
+``"cc.whnf.subst"``, …), so the two engines never exchange entries here
+either.  The context-defs key is derived from the session-local context
+token by translating it *back* to content: the names of the visible
+definitions paired with each definition's own content hash.  Session-local
+identities (object ids, token numbers, fresh-counter positions) never
+reach the store, which is what lets one store be shared by every worker of
+a pool and by runs separated by a process restart.
+
+Each row carries the result term (wire-encoded), the **recorded fuel** the
+original computation spent, and a *seal*: a keyed BLAKE2b over (key, steps,
+result bytes).  A hit replays the recorded fuel into the caller's budget
+exactly like an in-memory hit, so a persisted hit is bit-identical to a
+cold run — including the position of a fuel-exhaustion error.  A poisoned
+row (tampered result or wrong fuel) fails its seal and is treated as a
+miss, never trusted.
+
+Concurrency: the store is read-mostly.  Readers hit SQLite directly (WAL
+lets them proceed under a writer); writers buffer ``put`` calls in memory
+and flush them as one ``INSERT OR IGNORE`` append transaction at a size
+threshold and at detach/shutdown — so the normalization hot path never
+blocks on a cross-process lock, and a crash between flushes loses nothing
+but uncommitted cache warmth.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from hashlib import blake2b
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.wire.codec import content_hash, decode_term, encode_term
+
+__all__ = ["FUEL_DISCIPLINE", "PersistentMemoStore", "PersistentTier"]
+
+#: The fuel-discipline version baked into every key.  Bump when the meaning
+#: of recorded steps changes (cost model, replay semantics): old entries
+#: then simply stop matching instead of replaying the wrong fuel.
+FUEL_DISCIPLINE = 1
+
+_SEAL_KEY = b"repro-memo-seal"
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS memo (
+    key     BLOB PRIMARY KEY,
+    steps   INTEGER NOT NULL,
+    result  BLOB NOT NULL,
+    seal    BLOB NOT NULL
+) WITHOUT ROWID
+"""
+
+
+def _seal(key: bytes, steps: int, result: bytes) -> bytes:
+    sealer = blake2b(digest_size=16, key=_SEAL_KEY)
+    sealer.update(key)
+    sealer.update(steps.to_bytes(8, "little"))
+    sealer.update(result)
+    return sealer.digest()
+
+
+class PersistentMemoStore:
+    """One connection to the shared on-disk memo store.
+
+    Every process opens its own instance over the same path; SQLite WAL
+    mode arbitrates concurrent readers and the append-only writers.
+    ``read_only`` opens in query-only mode (writes buffer but never flush).
+    """
+
+    def __init__(
+        self,
+        path: Any,
+        *,
+        read_only: bool = False,
+        flush_threshold: int = 256,
+        timeout: float = 30.0,
+    ) -> None:
+        self.path = str(path)
+        self.read_only = read_only
+        self.flush_threshold = flush_threshold
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.flushes = 0
+        self._lock = threading.RLock()
+        self._pending: dict[bytes, tuple[int, bytes]] = {}
+        self._conn = sqlite3.connect(self.path, timeout=timeout, check_same_thread=False)
+        if read_only:
+            self._conn.execute("PRAGMA query_only=ON")
+        else:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """The sealed ``(steps, result)`` for ``key``, or None.
+
+        Checks this process's unflushed buffer first, then the table.  A
+        row whose seal does not verify — a poisoned or torn entry — is
+        counted and reported as a miss.
+        """
+        with self._lock:
+            found = self._pending.get(key)
+            if found is not None:
+                self.hits += 1
+                return found
+            try:
+                row = self._conn.execute(
+                    "SELECT steps, result, seal FROM memo WHERE key = ?", (key,)
+                ).fetchone()
+            except sqlite3.Error:
+                row = None  # e.g. a read-only handle on a not-yet-created store
+            if row is None:
+                self.misses += 1
+                return None
+            steps, result, seal = row
+            if seal != _seal(key, steps, result):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return steps, result
+
+    def put(self, key: bytes, steps: int, result: bytes) -> None:
+        """Buffer one entry; flushed in a batch at the size threshold."""
+        with self._lock:
+            if key in self._pending:
+                return
+            self._pending[key] = (steps, result)
+            self.writes += 1
+            if not self.read_only and len(self._pending) >= self.flush_threshold:
+                self._flush_locked()
+
+    def flush(self) -> None:
+        """Append every buffered entry in one transaction (no-op read-only)."""
+        with self._lock:
+            if not self.read_only:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._pending:
+            return
+        rows = [
+            (key, steps, result, _seal(key, steps, result))
+            for key, (steps, result) in self._pending.items()
+        ]
+        try:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO memo (key, steps, result, seal) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
+        except sqlite3.Error:
+            return  # keep the buffer; the next flush retries
+        self._pending.clear()
+        self.flushes += 1
+
+    def close(self) -> None:
+        """Flush and close the connection."""
+        with self._lock:
+            if not self.read_only:
+                self._flush_locked()
+            self._conn.close()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "flushes": self.flushes,
+            "entries": len(self),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            try:
+                (count,) = self._conn.execute("SELECT COUNT(*) FROM memo").fetchone()
+            except sqlite3.Error:
+                count = 0
+            return count + sum(1 for key in self._pending if not self._known(key))
+
+    def _known(self, key: bytes) -> bool:
+        try:
+            return (
+                self._conn.execute(
+                    "SELECT 1 FROM memo WHERE key = ?", (key,)
+                ).fetchone()
+                is not None
+            )
+        except sqlite3.Error:
+            return False
+
+
+class PersistentTier:
+    """One session's view of a :class:`PersistentMemoStore`.
+
+    Installed on a :class:`~repro.kernel.state.KernelState` by
+    ``attach_memo_store``; the in-memory normalization cache consults
+    :meth:`load` on miss and calls :meth:`save` on store.  The tier owns
+    the *translation* between the session's identity-keyed world (context
+    tokens, term objects) and the store's content-keyed world.
+    """
+
+    __slots__ = ("store", "_state", "_languages", "_ctx_keys", "hits", "stores", "skipped")
+
+    def __init__(self, store: PersistentMemoStore, state: Any) -> None:
+        self.store = store
+        self._state = state
+        self._languages: dict[str, Any] = {}
+        self._ctx_keys: dict[int, bytes] = {}
+        self.hits = 0
+        self.stores = 0
+        self.skipped = 0
+
+    def _language(self, kind: str) -> Any:
+        """The Language a memo kind belongs to (``"cc.nf"`` → cc), or None."""
+        prefix = kind.split(".", 1)[0]
+        lang = self._languages.get(prefix)
+        if lang is None:
+            from repro.kernel.state import _LANGUAGES
+
+            for candidate in _LANGUAGES:
+                if candidate.name == prefix:
+                    lang = self._languages[prefix] = candidate
+                    break
+        return lang
+
+    def _ctx_key(self, lang: Any, token: int) -> bytes | None:
+        """The content key of the context-defs view ``token`` fingerprints.
+
+        Translates the session-local token back into content via the token
+        table's reverse index: sorted (name, content hash of definition)
+        pairs.  Returns None — skip the tier — when the token cannot be
+        resolved in this session (e.g. a context carrying a token issued
+        by a different state) or a definition is not a term of ``lang``.
+        """
+        found = self._ctx_keys.get(token)
+        if found is not None:
+            return found
+        visible = self._state.token_table("kernel.ctx_tokens").by_token.get(token)
+        if visible is None:
+            return None
+        hasher = blake2b(digest_size=16, key=b"repro-memo-ctx")
+        term_base = lang.term_base
+        for name in sorted(visible):
+            value = visible[name]
+            if not isinstance(value, term_base):
+                return None
+            hasher.update(name.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(content_hash(lang, value))
+        key = hasher.digest()
+        self._ctx_keys[token] = key
+        return key
+
+    def _key(self, kind: str, lang: Any, term: Any, token: int) -> bytes | None:
+        ctx_key = self._ctx_key(lang, token)
+        if ctx_key is None:
+            return None
+        hasher = blake2b(digest_size=24, key=b"repro-memo-key")
+        hasher.update(FUEL_DISCIPLINE.to_bytes(4, "little"))
+        hasher.update(kind.encode("ascii"))
+        hasher.update(b"\x00")
+        hasher.update(content_hash(lang, term))
+        hasher.update(ctx_key)
+        return hasher.digest()
+
+    def load(self, kind: str, term: Any, token: int) -> tuple[Any, int] | None:
+        """The persisted ``(result, steps)`` for this computation, or None."""
+        lang = self._language(kind)
+        if lang is None or not isinstance(term, lang.term_base):
+            self.skipped += 1
+            return None
+        key = self._key(kind, lang, term, token)
+        if key is None:
+            self.skipped += 1
+            return None
+        found = self.store.get(key)
+        if found is None:
+            return None
+        steps, blob = found
+        try:
+            result = decode_term(lang, blob)
+        except ReproError:
+            return None  # undecodable row: a miss, never an error
+        self.hits += 1
+        return result, steps
+
+    def save(self, kind: str, term: Any, token: int, result: Any, steps: int) -> None:
+        """Write one completed computation through to the store."""
+        lang = self._language(kind)
+        if (
+            lang is None
+            or not isinstance(term, lang.term_base)
+            or not isinstance(result, lang.term_base)
+        ):
+            self.skipped += 1
+            return
+        key = self._key(kind, lang, term, token)
+        if key is None:
+            self.skipped += 1
+            return
+        self.store.put(key, steps, encode_term(lang, result))
+        self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        document = self.store.stats()
+        document.update(
+            {"tier_hits": self.hits, "tier_stores": self.stores, "tier_skipped": self.skipped}
+        )
+        return document

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro import cc
 from repro.cc import prelude
 from repro.cc.context import Context
+from repro.gen.dag import shared_dag_tower
 from repro.surface import parse_term
 
 __all__ = ["CORPUS", "CLOSED_GROUND_PROGRAMS", "corpus_ids", "closed_ground_ids"]
@@ -108,6 +109,8 @@ CORPUS: list[tuple[str, Context, cc.Term]] = [
     ("type-term", _EMPTY, parse_term("Nat -> Bool")),
     ("pi-type-term", _EMPTY, parse_term("forall (A : Type), A -> A")),
     ("sigma-type-term", _EMPTY, prelude.positive_nat()),
+    # -- heavily shared DAG (wire-codec / canonicalize-memo regime) --------
+    ("shared-dag-tower", _EMPTY, shared_dag_tower(3)),
 ]
 
 

@@ -1,0 +1,367 @@
+"""Codec hardening tests for the binary term wire (``repro.wire.codec``).
+
+The contracts under test, in the order the ISSUE states them:
+
+* every node spec of *both* calculi round-trips byte-stably (with a
+  coverage assertion, so adding a node class without wire coverage fails
+  here rather than in production),
+* truncated and corrupt buffers are rejected with deterministic error
+  documents — same bytes in, same message out, byte offsets not addresses,
+* the wire-version negotiation keeps old text-only JSONL corpora loading
+  and executing unchanged, while binary jobs produce payloads that are
+  byte-identical to their text twins.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cc, cccc
+from repro.api import Session, execute_jobs
+from repro.common.errors import WireDecodeError, WireError
+from repro.gen.dag import shared_dag_tower
+from repro.gen.jobs import binary_specs, job_corpus
+from repro.service.jobs import WIRE_VERSIONS, Job
+from repro.surface import parse_term
+from repro.wire import (
+    CODEC_VERSION,
+    content_hash,
+    decode_term,
+    encode_term,
+    term_from_b64,
+    term_to_b64,
+)
+
+CCL = cc.ast.LANGUAGE
+CCCCL = cccc.ast.LANGUAGE
+
+
+# --------------------------------------------------------------------------
+# Kitchen-sink terms: one term per calculus containing every node class.
+# --------------------------------------------------------------------------
+
+
+def _cc_everything() -> cc.Term:
+    """A (deliberately ill-typed) CC term using every registered node class."""
+    sigma = cc.Sigma("p", cc.Nat(), cc.Bool())
+    pair = cc.Pair(cc.Zero(), cc.BoolLit(True), sigma)
+    elim = cc.NatElim(
+        cc.Lam("n", cc.Nat(), cc.Nat()),
+        cc.Zero(),
+        cc.Lam("n", cc.Nat(), cc.Lam("ih", cc.Nat(), cc.Succ(cc.Var("ih")))),
+        cc.Succ(cc.Fst(pair)),
+    )
+    body = cc.If(cc.BoolLit(False), cc.Snd(pair), cc.App(cc.Var("f"), elim))
+    return cc.Let(
+        "f",
+        cc.Lam("x", cc.Bool(), cc.Var("x")),
+        cc.Pi("A", cc.Star(), cc.Box()),
+        body,
+    )
+
+
+def _cccc_everything() -> cccc.Term:
+    """A CC-CC term using every registered node class (Code/Clo included)."""
+    sigma = cccc.Sigma("p", cccc.Nat(), cccc.Bool())
+    pair = cccc.Pair(cccc.Zero(), cccc.BoolLit(True), sigma)
+    code = cccc.CodeLam("env", cccc.Unit(), "x", cccc.Nat(), cccc.Succ(cccc.Var("x")))
+    clo = cccc.Clo(code, cccc.UnitVal())
+    elim = cccc.NatElim(
+        cccc.Var("P"), cccc.Zero(), clo, cccc.App(clo, cccc.Fst(pair))
+    )
+    code_type = cccc.CodeType("env", cccc.Unit(), "x", cccc.Nat(), cccc.Nat())
+    body = cccc.If(cccc.BoolLit(False), cccc.Snd(pair), elim)
+    return cccc.Let(
+        "t",
+        body,
+        cccc.Pi("A", cccc.Star(), cccc.Box()),
+        cccc.Pair(cccc.Var("t"), code_type, cccc.Sigma("q", sigma, cccc.Star())),
+    )
+
+
+def _node_classes(lang, term) -> set[str]:
+    """Class names reachable in ``term`` (structural walk, sharing ignored)."""
+    seen: set[str] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        seen.add(type(node).__name__)
+        spec = lang.specs[type(node)]
+        stack.extend(getattr(node, child.attr) for child in spec.children)
+    return seen
+
+
+def _unshared(lang, term):
+    """A structural deep copy: same term, zero object sharing."""
+    spec = lang.specs[type(term)]
+    args = []
+    for attr in spec.field_order:
+        value = getattr(term, attr)
+        args.append(_unshared(lang, value) if attr in spec.child_attrs else value)
+    return type(term)(*args)
+
+
+CASES = [
+    pytest.param(CCL, _cc_everything, id="cc"),
+    pytest.param(CCCCL, _cccc_everything, id="cc-cc"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("lang, build", CASES)
+    def test_every_spec_covered(self, lang, build):
+        # The kitchen-sink term must mention every node class the calculus
+        # registers — otherwise the round-trip below is not the full claim.
+        all_specs = {cls.__name__ for cls in lang.specs}
+        assert _node_classes(lang, build()) == all_specs
+
+    @pytest.mark.parametrize("lang, build", CASES)
+    def test_roundtrip_byte_stable(self, lang, build):
+        session = Session(name="wire-rt")
+        with session.activate():
+            term = build()
+            interned = (cc if lang is CCL else cccc).intern(term)
+            blob = encode_term(lang, interned)
+            decoded = decode_term(lang, blob)
+            assert decoded is interned  # hash-consed: same representative
+            assert encode_term(lang, decoded) == blob
+
+    @pytest.mark.parametrize("lang, build", CASES)
+    def test_canonical_across_sharing(self, lang, build):
+        # A fully-unshared structural copy encodes to the same bytes as the
+        # maximally-shared interned DAG: table order is first *structural*
+        # occurrence, not object identity.
+        session = Session(name="wire-canon")
+        with session.activate():
+            interned = (cc if lang is CCL else cccc).intern(build())
+            copy = _unshared(lang, interned)
+            assert copy is not interned
+            assert encode_term(lang, copy) == encode_term(lang, interned)
+
+    def test_decode_joins_parse_on_the_same_representative(self):
+        text = r"\ (x : Nat). succ ((\ (y : Nat). y) x)"
+        session = Session(name="wire-join")
+        with session.activate():
+            via_text = cc.intern(parse_term(text))
+            blob = encode_term(CCL, via_text)
+        other = Session(name="wire-join-2")
+        with other.activate():
+            via_wire = cc.intern(decode_term(CCL, blob))
+            assert via_wire is cc.intern(parse_term(text))
+
+    def test_adoption_is_by_pointer(self):
+        session = Session(name="wire-adopt")
+        with session.activate():
+            tower = cc.intern(shared_dag_tower(5))
+            blob = encode_term(CCL, tower)
+            assert decode_term(CCL, blob) is tower
+            # And again — the by_hash index keeps answering.
+            assert decode_term(CCL, blob) is tower
+
+    def test_content_hash_ignores_sharing_and_session(self):
+        one = Session(name="wire-h1")
+        two = Session(name="wire-h2")
+        with one.activate():
+            interned = cc.intern(shared_dag_tower(4))
+            shared_hash = content_hash(CCL, interned)
+            unshared_hash = content_hash(CCL, _unshared(CCL, interned))
+        with two.activate():
+            again = content_hash(CCL, cc.intern(shared_dag_tower(4)))
+        assert shared_hash == unshared_hash == again
+
+    def test_shared_dag_compresses(self):
+        # The whole point of the node table: ~10k-node unfoldings whose
+        # DAGs are O(hundreds) must not pay tree-sized buffers.
+        session = Session(name="wire-size")
+        with session.activate():
+            tower = cc.intern(shared_dag_tower())
+            blob = encode_term(CCL, tower)
+            text = cc.pretty(tower)
+            assert len(blob) * 10 < len(text)
+
+    def test_b64_roundtrip(self):
+        session = Session(name="wire-b64")
+        with session.activate():
+            term = cc.intern(parse_term("succ (succ 0)"))
+            assert term_from_b64(CCL, term_to_b64(CCL, term)) is term
+
+    def test_foreign_term_rejected(self):
+        session = Session(name="wire-foreign")
+        with session.activate():
+            with pytest.raises(WireError, match="not a CC term"):
+                encode_term(CCL, cccc.UnitVal())
+
+
+class TestRejection:
+    def _blob(self) -> bytes:
+        session = Session(name="wire-reject")
+        with session.activate():
+            return encode_term(CCL, cc.intern(_cc_everything()))
+
+    def test_every_truncation_rejected(self):
+        blob = self._blob()
+        for length in range(len(blob)):
+            with pytest.raises(WireDecodeError):
+                fresh = Session(name=f"wire-trunc-{length}")
+                with fresh.activate():
+                    decode_term(CCL, blob[:length])
+
+    def test_truncation_errors_are_deterministic(self):
+        blob = self._blob()
+        for length in (0, 3, len(blob) // 2, len(blob) - 1):
+            messages = set()
+            for attempt in range(2):
+                fresh = Session(name=f"wire-det-{length}-{attempt}")
+                with fresh.activate():
+                    with pytest.raises(WireDecodeError) as err:
+                        decode_term(CCL, blob[:length])
+                messages.add(str(err.value))
+            assert len(messages) == 1, messages
+
+    def test_bad_magic(self):
+        with pytest.raises(WireDecodeError, match="bad magic"):
+            decode_term(CCL, b"NOPE" + self._blob()[4:])
+
+    def test_version_mismatch(self):
+        blob = bytearray(self._blob())
+        assert blob[4] == CODEC_VERSION
+        blob[4] = CODEC_VERSION + 1
+        with pytest.raises(WireDecodeError, match="unsupported codec version"):
+            decode_term(CCL, bytes(blob))
+
+    def test_language_mismatch(self):
+        blob = self._blob()
+        session = Session(name="wire-lang")
+        with session.activate():
+            with pytest.raises(WireDecodeError, match="language mismatch"):
+                decode_term(CCCCL, blob)
+
+    def test_trailing_garbage(self):
+        blob = self._blob()
+        session = Session(name="wire-trail")
+        with session.activate():
+            with pytest.raises(WireDecodeError, match="trailing garbage"):
+                decode_term(CCL, blob + b"\x00")
+
+    def test_corrupt_hash_detected_cold(self):
+        blob = bytearray(self._blob())
+        blob[-2] ^= 0xFF  # inside the last node's stored content hash
+        fresh = Session(name="wire-corrupt")
+        with fresh.activate():
+            with pytest.raises(WireDecodeError, match="content hash mismatch"):
+                decode_term(CCL, bytes(blob))
+
+    def test_bad_base64(self):
+        with pytest.raises(WireDecodeError, match="malformed base64"):
+            term_from_b64(CCL, "!!! not base64 !!!")
+
+    def test_executor_turns_corruption_into_error_documents(self):
+        # Kernel-side wire failures are *results*: deterministic error
+        # documents, byte-identical on every run.
+        session = Session(name="wire-errdoc")
+        with session.activate():
+            good = term_to_b64(CCL, cc.intern(parse_term("0")))
+        bad = good[:-8] + "AAAAAAAA"  # same length, corrupt tail
+        job = {"id": "c0", "kind": "normalize", "term_b64": bad, "wire": 2}
+        first = execute_jobs([job]).canonical()
+        second = execute_jobs([job]).canonical()
+        assert first == second
+        (doc,) = first
+        assert doc["ok"] is False
+        assert doc["error"]["type"] == "WireDecodeError"
+        assert "offset" in doc["error"]["message"] or "mismatch" in doc["error"]["message"]
+
+
+class TestJobWireVersions:
+    def test_default_wire_is_text(self):
+        job = Job(kind="check", program="0")
+        assert job.wire == 1
+        assert "wire" not in job.to_dict()
+
+    def test_unknown_wire_version_rejected(self):
+        top = max(WIRE_VERSIONS)
+        with pytest.raises(ValueError, match="unsupported wire version"):
+            Job(kind="check", program="0", wire=top + 1)
+        with pytest.raises(ValueError, match="unsupported wire version"):
+            Job.from_dict({"kind": "check", "program": "0", "wire": top + 1})
+
+    def test_binary_term_requires_wire_2(self):
+        with pytest.raises(ValueError, match="wire version 2"):
+            Job(kind="check", term_b64="AAAA")
+
+    def test_binary_job_roundtrips_the_wire_format(self):
+        session = Session(name="wire-jobrt")
+        with session.activate():
+            b64 = term_to_b64(CCL, cc.intern(parse_term("succ 0")))
+        job = Job.from_dict({"kind": "normalize", "term_b64": b64, "wire": 2})
+        assert Job.from_dict(json.loads(json.dumps(job.to_dict()))) == job
+
+    def test_old_text_jsonl_corpus_still_executes(self, tmp_path):
+        # A corpus written before the binary wire existed: plain text specs,
+        # no wire field anywhere.  It must load and run unchanged.
+        specs = job_corpus(seed=11, count=3)
+        assert all("wire" not in spec and "term_b64" not in spec for spec in specs)
+        corpus = tmp_path / "old.jsonl"
+        corpus.write_text("".join(json.dumps(spec) + "\n" for spec in specs))
+        loaded = [
+            Job.from_dict(json.loads(line))
+            for line in corpus.read_text().splitlines()
+        ]
+        assert all(job.wire == 1 for job in loaded)
+        report = execute_jobs(loaded)
+        assert report.ok
+
+    def test_binary_and_text_payloads_byte_identical(self):
+        # Every program-carrying kind, plus deterministic failures: the
+        # binary twin of a text stream yields the same canonical documents
+        # once the binary-only ``*_b64`` payload echoes are set aside.
+        text_specs = [
+            {"id": "j0", "kind": "parse", "program": r"\ (A : Type) (x : A). x"},
+            {"id": "j1", "kind": "check", "program": r"\ (A : Type) (x : A). x"},
+            {"id": "j2", "kind": "normalize", "program": r"(\ (x : Nat). succ x) 41"},
+            {"id": "j3", "kind": "compile", "program": r"\ (x : Nat). x"},
+            {"id": "j4", "kind": "run", "program": r"(\ (x : Nat). succ x) 41"},
+            {
+                "id": "j5",
+                "kind": "link",
+                "program": "n",
+                "interface": [["n", "Nat"]],
+                "imports": {"n": "41"},
+            },
+            {"id": "j6", "kind": "check", "program": "0 0"},  # type error
+            {"id": "j7", "kind": "normalize", "program": r"(\ (x : Nat). succ x) 41", "fuel": 0},
+        ]
+        binary = binary_specs(text_specs)
+        assert all(
+            spec["wire"] == 2 and spec["term_b64"] and "program" not in spec
+            for spec in binary
+        )
+        text_docs = execute_jobs(text_specs).canonical()
+        binary_docs = execute_jobs(binary).canonical()
+
+        def strip(document):
+            if "payload" not in document:
+                return document  # failed jobs carry only the error half
+            payload = {
+                key: value
+                for key, value in document["payload"].items()
+                if not key.endswith("_b64")
+            }
+            return {**document, "payload": payload}
+
+        assert [strip(doc) for doc in binary_docs] == text_docs
+        # And the binary echoes decode back to exactly the text rendering.
+        normalize_doc = next(doc for doc in binary_docs if doc["id"] == "j2")
+        check = Session(name="wire-echo")
+        with check.activate():
+            echoed = term_from_b64(CCL, normalize_doc["payload"]["normal_b64"])
+            assert cc.pretty(cc.intern(echoed)) == normalize_doc["payload"]["normal"]
+
+    def test_binary_specs_passthrough(self):
+        specs = [
+            {"kind": "reset"},
+            {"kind": "sleep", "seconds": 0.0},
+        ]
+        assert binary_specs(specs) == specs
