@@ -24,7 +24,13 @@ via ``-e/--expr``:
   ``--engine {subst,nbe}`` picks the worker engine,
   ``--wire binary`` re-encodes program jobs onto the binary DAG wire,
   ``--memo-store PATH`` attaches the persistent memo tier (shared across
-  workers, surviving restarts).
+  workers, surviving restarts), ``--chaos-seed N`` runs the batch under a
+  small seeded fault plan (deterministic worker kills, store errors, wire
+  corruption — the robustness harness of ``repro.service.faults``).
+* ``store``     — maintain a persistent memo store: ``stat`` reports row
+  and seal-validity counts, ``scrub`` rebuilds the file from its
+  validly-sealed rows (salvaging a torn store), ``compact`` deletes
+  invalid rows in place and vacuums.
 
 Every program-level subcommand (``check``, ``normalize``, ``compile``,
 ``run``, ``link``) accepts ``--json``: the structured result (type, steps,
@@ -41,6 +47,9 @@ Examples::
     python -m repro compile program.cc
     python -m repro batch jobs.jsonl --workers 4 --json
     python -m repro batch --gen-seed 7 --gen-builds 2 --workers 2
+    python -m repro batch --gen-seed 7 --workers 2 --chaos-seed 11
+    python -m repro store stat memo.sqlite
+    python -m repro store scrub memo.sqlite --json
 """
 
 from __future__ import annotations
@@ -205,6 +214,38 @@ def _read_job_specs(args: argparse.Namespace) -> list[dict]:
     )
 
 
+def _chaos_plan(specs: list[dict], seed: int) -> "object":
+    """A small default fault plan over the stream (``batch --chaos-seed``).
+
+    Scaled to the stream: roughly one job in eight is faulted, spread over
+    transient kills, one poison, store errors, and wire corruption.  Job
+    ids are pre-assigned positionally here so the schedule is a pure
+    function of (stream, seed).
+    """
+    from repro.service.faults import FaultPlan
+    from repro.service.jobs import PROGRAM_KINDS
+
+    for index, spec in enumerate(specs):
+        spec.setdefault("id", f"job-{index}")
+    job_ids = [spec["id"] for spec in specs]
+    budget = max(1, len(job_ids) // 8)
+    corruptible = [
+        spec["id"]
+        for spec in specs
+        if spec.get("kind") in PROGRAM_KINDS and (spec.get("program") or spec.get("term_b64"))
+    ]
+    return FaultPlan.generate(
+        seed,
+        job_ids,
+        kills=budget,
+        poisons=1,
+        store_read_errors=budget,
+        store_write_errors=budget,
+        corruptions=budget,
+        corruptible_ids=corruptible,
+    )
+
+
 def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
     from repro import api
 
@@ -214,12 +255,16 @@ def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
             from repro.gen.jobs import binary_specs
 
             specs = binary_specs(specs)
+        plan = None
+        if args.chaos_seed is not None:
+            plan = _chaos_plan(specs, args.chaos_seed)
         report = api.execute_jobs(
             specs,
             workers=args.workers,
             engine=args.engine,
             job_timeout=args.job_timeout,
             memo_store=args.memo_store,
+            fault_plan=plan,
         )
     except (ValueError, json.JSONDecodeError) as error:
         # Malformed job specs (bad JSON, unknown kinds/fields) get the
@@ -242,6 +287,18 @@ def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
         print(f"-- {len(report.results)} job(s) in {report.elapsed_seconds:.3f}s "
               f"({args.workers} worker(s)); {stats}")
     return 0 if report.ok else 1
+
+
+def _cmd_store(session: Session, args: argparse.Namespace) -> int:
+    from repro.wire.persist import store_compact, store_scrub, store_stat
+
+    action = {"stat": store_stat, "scrub": store_scrub, "compact": store_compact}
+    document = action[args.action](args.path)
+    if args.json:
+        return _emit_json(document)
+    for key, value in document.items():
+        print(f"{key:<10}: {value}")
+    return 0
 
 
 def _cmd_decompile(session: Session, args: argparse.Namespace) -> int:
@@ -369,6 +426,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="attach a persistent memo store (SQLite) shared across workers and restarts",
     )
+    batch.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run under a small seeded fault plan (deterministic chaos testing)",
+    )
     batch.add_argument("--gen-seed", type=int, default=0, help="generated-corpus seed")
     batch.add_argument(
         "--gen-builds", type=int, default=1, help="independent build streams to generate"
@@ -380,6 +444,22 @@ def main(argv: list[str] | None = None) -> int:
         "--gen-passes", type=int, default=2, help="warm passes per generated build"
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect or repair a persistent memo store (stat/scrub/compact)",
+    )
+    store.add_argument(
+        "action",
+        choices=("stat", "scrub", "compact"),
+        help="stat: report row/seal counts; scrub: rebuild from validly-sealed "
+        "rows (salvages a torn file); compact: delete invalid rows and vacuum",
+    )
+    store.add_argument("path", help="path of the SQLite memo store")
+    store.add_argument(
+        "--json", action="store_true", help="emit the maintenance report as JSON"
+    )
+    store.set_defaults(handler=_cmd_store)
 
     args = parser.parse_args(argv)
     session = Session(name="cli")

@@ -594,6 +594,7 @@ def execute_jobs(
     fuel: int | None = None,
     session: Session | None = None,
     memo_store: Any = None,
+    fault_plan: Any = None,
     **dispatcher_options: Any,
 ) -> BatchReport:
     """Execute a stream of service jobs, pooled or solo.
@@ -613,17 +614,29 @@ def execute_jobs(
     bootstrap.  Either way results stay byte-identical to a store-less
     run — entries replay recorded fuel and render α-canonically.
 
+    ``fault_plan`` (a :class:`~repro.service.faults.FaultPlan` or its wire
+    dict) runs the batch under deterministic fault injection — chaos
+    testing only.  Solo, an injector is activated around the executor loop
+    (worker-kill faults are inert in-process); pooled, the plan ships to
+    every worker.  The report's ``stats["chaos"]`` carries the plan
+    summary either way.
+
     ``dispatcher_options`` are forwarded to the :class:`Dispatcher`
     (``max_pending``, ``job_timeout``, ``max_attempts``, …).
     """
+    from contextlib import nullcontext
+
+    from repro.service.faults import FaultInjector, FaultPlan
     from repro.service.jobs import Job
 
     specs = [job if isinstance(job, Job) else Job.from_dict(job) for job in jobs]
     for index, spec in enumerate(specs):
         if spec.id is None:
             specs[index] = Job.from_dict({**spec.to_dict(), "id": f"job-{index}"})
+    plan = FaultPlan.coerce(fault_plan)
     start = time.perf_counter()
     if workers <= 0:
+        from repro.service.faults import activate as activate_faults
         from repro.wire.persist import PersistentMemoStore
 
         solo = session if session is not None else Session(
@@ -638,8 +651,10 @@ def execute_jobs(
                 store = PersistentMemoStore(memo_store)
                 opened_here = True
             solo.attach_memo_store(store)
+        chaos = nullcontext() if plan is None else activate_faults(FaultInjector(plan))
         try:
-            results = tuple(solo.execute(spec) for spec in specs)
+            with chaos:
+                results = tuple(solo.execute(spec) for spec in specs)
         finally:
             if store is not None:
                 solo.detach_memo_store()
@@ -654,6 +669,8 @@ def execute_jobs(
             stats["persist"] = store.stats()
             if opened_here:
                 store.close()
+        if plan is not None:
+            stats["chaos"] = plan.summary()
         return BatchReport(
             results=results,
             stats=stats,
@@ -666,11 +683,15 @@ def execute_jobs(
 
     if memo_store is not None:
         dispatcher_options["memo_store"] = str(memo_store)
+    if plan is not None:
+        dispatcher_options["fault_plan"] = plan
     with Dispatcher(
         workers=workers, engine=engine, fuel=fuel, **dispatcher_options
     ) as pool:
         results = tuple(pool.run_batch(specs))
         stats = pool.stats().to_dict()
+        if plan is not None:
+            stats["chaos"] = plan.summary(pool.max_attempts)
     return BatchReport(
         results=results,
         stats=stats,

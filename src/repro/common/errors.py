@@ -72,6 +72,18 @@ class WireError(ReproError):
     """The binary term codec rejected a request (e.g. an unencodable term)."""
 
 
+class StoreError(ReproError):
+    """The persistent memo store could not be opened or maintained.
+
+    Raised for failures the caller must act on — a missing parent
+    directory, a corrupt database header, a read-only filesystem — with
+    the store *path* in the message instead of a raw sqlite3 traceback.
+    Runtime read/write errors on an already-open store are deliberately
+    *not* raised: they are counted, the circuit breaker absorbs them, and
+    the session degrades to in-memory memoization.
+    """
+
+
 class WireDecodeError(WireError):
     """A binary term buffer was malformed, truncated, or corrupt.
 

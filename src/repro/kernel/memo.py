@@ -224,7 +224,13 @@ class NormalizationCache:
             tier = self.persistent
             if tier is None:
                 return None
-            found = tier.load(kind, term, token)
+            # Persistence is an accelerator: any tier failure is a counted
+            # miss, never an exception on the normalization hot path.
+            try:
+                found = tier.load(kind, term, token)
+            except Exception:
+                tier.errors += 1
+                found = None
             if found is None:
                 return None
             result, steps = found
@@ -242,7 +248,10 @@ class NormalizationCache:
         self._entries[(id(term), kind, token)] = (term, result, steps)
         tier = self.persistent
         if tier is not None:
-            tier.save(kind, term, token, result, steps)
+            try:
+                tier.save(kind, term, token, result, steps)
+            except Exception:
+                tier.errors += 1
 
     def clear(self) -> None:
         self._entries.clear()

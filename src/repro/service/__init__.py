@@ -21,7 +21,14 @@ parallel across independent programs.  Operationally:
   loop, health and stats reporting;
 * :mod:`repro.service.dispatcher` — the pool: bounded queue,
   round-robin-with-affinity sharding, crash detection with requeue onto a
-  fresh worker, per-job timeouts, graceful shutdown, aggregated stats.
+  fresh worker, per-job timeouts, graceful shutdown, aggregated stats —
+  and the hardened failure domains: poison-job quarantine (dead-letter
+  documents), exponential respawn backoff with deterministic jitter, and
+  a per-slot crash-loop breaker;
+* :mod:`repro.service.faults` — the seeded deterministic fault-injection
+  harness (:class:`~repro.service.faults.FaultPlan`): worker kills, hung
+  jobs, persistent-tier errors, and wire corruption scheduled at exact
+  jobs, reproducible from one seed, zero-cost when off.
 
 The CLI front end is ``python -m repro batch``; the programmatic front end
 is :func:`repro.api.execute_jobs`, which runs the same executor pooled
@@ -30,6 +37,16 @@ is :func:`repro.api.execute_jobs`, which runs the same executor pooled
 
 from repro.service.dispatcher import Dispatcher, PoolStats
 from repro.service.executor import execute_job
+from repro.service.faults import Fault, FaultInjector, FaultPlan
 from repro.service.jobs import Job, JobResult
 
-__all__ = ["Dispatcher", "Job", "JobResult", "PoolStats", "execute_job"]
+__all__ = [
+    "Dispatcher",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "Job",
+    "JobResult",
+    "PoolStats",
+    "execute_job",
+]

@@ -28,11 +28,37 @@ payloads, because every term renders α-canonically and every step count
 replays from the fuel caches.  Per-job timeouts reuse the same machinery:
 an overdue worker is killed and handled as a death with a known culprit.
 
+**Failure domains.**  Worker death is contained at three escalating
+levels, all deterministic in everything but timing:
+
+* *Quarantine* — the in-flight job is the culprit; when its attempts are
+  exhausted it completes as a structured **dead-letter** document
+  (``error["dead_letter"] is True``, counted under ``exhausted``) instead
+  of consuming another worker.  A slot whose crashes *streak* past
+  ``suspect_after`` is treated as facing a poison stream: each new culprit
+  dead-letters immediately, so a sequence of poison jobs cannot serially
+  recycle the pool one ``max_attempts`` cycle at a time.
+* *Backoff* — a dead slot is not refilled instantly: respawn waits an
+  exponentially growing delay (``respawn_backoff`` doubling per streak up
+  to ``respawn_backoff_cap``) with deterministic jitter derived from the
+  slot and generation, never from a random source.  The collector thread
+  never sleeps for it; due respawns fire from the health scan.
+* *Breaker* — ``max_slot_respawns`` consecutive crashes of one slot trip a
+  crash-loop breaker: the slot is marked broken, every job stranded on it
+  dead-letters with ``CrashLoopBreaker``, new keys shard around it, and
+  the batch completes cleanly on the surviving slots (all slots broken is
+  a hard ``RuntimeError`` — nothing could make progress).
+
 **Stats.**  Pool-level aggregation sums per-worker counters without double
 counting: each worker's session *is* its process-default state (the
 bootstrap guarantees it), so the legacy-shim counters and the session
 counters are one set of numbers, and the dispatcher keeps exactly one
 cumulative snapshot per worker generation (the latest) and sums those.
+The same latest-snapshot rule aggregates the workers' persistent-tier
+counters into ``PoolStats.persist``, and per-slot health (generation,
+liveness, crash streak, breaker state, heartbeat age) is surfaced under
+``PoolStats.slots`` — workers post idle heartbeats precisely so this view
+stays fresh between jobs.
 """
 
 from __future__ import annotations
@@ -44,15 +70,28 @@ import queue as queue_module
 import threading
 import time
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Any, Iterable, Mapping
 
 from repro.kernel.state import validate_engine
+from repro.service.faults import FaultPlan
 from repro.service.jobs import Job, JobResult
 from repro.service.worker import worker_main
 
 __all__ = ["Dispatcher", "PoolStats"]
 
 _POOL_IDS = itertools.count(1)
+
+
+def _jitter(slot: int, generation: int) -> float:
+    """Deterministic respawn jitter in [0.75, 1.25) — no random source.
+
+    Derived from the (slot, generation) being replaced, so concurrent dead
+    slots desynchronize their refills without timing ever depending on
+    process state; two runs of the same failure history back off the same.
+    """
+    digest = blake2b(f"{slot}:{generation}".encode("ascii"), digest_size=2).digest()
+    return 0.75 + int.from_bytes(digest, "little") / 65536 * 0.5
 
 
 @dataclass
@@ -66,8 +105,11 @@ class PoolStats:
     requeued: int = 0
     restarts: int = 0
     timeouts: int = 0
+    exhausted: int = 0
     jobs_per_slot: dict[int, int] = field(default_factory=dict)
     cache_hits: dict[str, int] = field(default_factory=dict)
+    persist: dict[str, Any] | None = None
+    slots: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -78,8 +120,11 @@ class PoolStats:
             "requeued": self.requeued,
             "restarts": self.restarts,
             "timeouts": self.timeouts,
+            "exhausted": self.exhausted,
             "jobs_per_slot": {str(slot): n for slot, n in sorted(self.jobs_per_slot.items())},
             "cache_hits": dict(self.cache_hits),
+            "persist": None if self.persist is None else dict(self.persist),
+            "slots": {slot: dict(health) for slot, health in sorted(self.slots.items())},
         }
 
 
@@ -92,6 +137,7 @@ class _Pending:
     sequence: int
     attempts: int = 0
     begun_at: float | None = None
+    timed_out: bool = False
     done: threading.Event = field(default_factory=threading.Event)
     result: JobResult | None = None
 
@@ -129,6 +175,16 @@ class Dispatcher:
             attaches at bootstrap (None disables the tier).  Workers open
             independent connections and batch their own write-backs, so
             the tier adds no cross-process locking to the job hot path.
+        fault_plan: a :class:`~repro.service.faults.FaultPlan` (or its wire
+            dict) every worker installs at bootstrap — chaos testing only.
+        respawn_backoff: base delay before refilling a dead slot; doubles
+            per consecutive crash of that slot, capped at
+            ``respawn_backoff_cap``, with deterministic jitter.
+        suspect_after: consecutive crashes of one slot after which each new
+            culprit dead-letters immediately (poison-stream fast fail).
+        max_slot_respawns: consecutive crashes of one slot that trip its
+            crash-loop breaker — the slot is abandoned, its stranded jobs
+            dead-letter, and the batch finishes on the surviving slots.
     """
 
     def __init__(
@@ -142,6 +198,11 @@ class Dispatcher:
         start_method: str | None = None,
         name: str | None = None,
         memo_store: str | None = None,
+        fault_plan: FaultPlan | Mapping[str, Any] | None = None,
+        respawn_backoff: float = 0.05,
+        respawn_backoff_cap: float = 2.0,
+        suspect_after: int = 3,
+        max_slot_respawns: int = 8,
     ) -> None:
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
@@ -149,6 +210,8 @@ class Dispatcher:
             raise ValueError("max_pending must be at least the worker count")
         if max_attempts < 1:
             raise ValueError("max_attempts must be positive")
+        if suspect_after < 1 or max_slot_respawns < 1:
+            raise ValueError("suspect_after and max_slot_respawns must be positive")
         validate_engine(engine)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -160,6 +223,14 @@ class Dispatcher:
         self.max_pending = max_pending
         self.job_timeout = job_timeout
         self.max_attempts = max_attempts
+        self.fault_plan = FaultPlan.coerce(fault_plan)
+        self._fault_plan_spec = (
+            None if self.fault_plan is None else self.fault_plan.to_dict()
+        )
+        self.respawn_backoff = respawn_backoff
+        self.respawn_backoff_cap = respawn_backoff_cap
+        self.suspect_after = suspect_after
+        self.max_slot_respawns = max_slot_respawns
         self._mp = multiprocessing.get_context(start_method)
         self._results = self._mp.Queue()
         self._lock = threading.Lock()
@@ -168,8 +239,13 @@ class Dispatcher:
         self._key_slots: dict[str, int] = {}
         self._handles: list[_WorkerHandle] = []
         self._hit_snapshots: dict[tuple[int, int], dict[str, int]] = {}
+        self._persist_snapshots: dict[tuple[int, int], dict[str, Any]] = {}
         self._jobs_per_slot: dict[int, int] = {}
         self._pings: dict[Any, threading.Event] = {}
+        self._crash_streak: dict[int, int] = {}
+        self._respawn_at: dict[int, float] = {}
+        self._broken: set[int] = set()
+        self._last_seen: dict[int, float] = {}
         self._counts = {
             "submitted": 0,
             "completed": 0,
@@ -177,6 +253,7 @@ class Dispatcher:
             "requeued": 0,
             "restarts": 0,
             "timeouts": 0,
+            "exhausted": 0,
         }
         self._sequence = itertools.count()
         self._round_robin = itertools.count()
@@ -209,13 +286,24 @@ class Dispatcher:
         """
         key = job.shard_key
         if key is None:
-            return next(self._round_robin) % len(self._handles)
+            return self._next_slot()
         slot = self._key_slots.get(key)
-        if slot is None:
-            slot = self._key_slots.setdefault(
-                key, next(self._round_robin) % len(self._handles)
-            )
+        if slot is None or slot in self._broken:
+            # New key — or a key whose slot tripped its crash-loop breaker:
+            # the stream migrates to a healthy slot (cold caches, same bytes).
+            slot = self._key_slots[key] = self._next_slot()
         return slot
+
+    def _next_slot(self) -> int:
+        """The next non-broken slot in rotation."""
+        for _ in range(len(self._handles)):
+            slot = next(self._round_robin) % len(self._handles)
+            if slot not in self._broken:
+                return slot
+        raise RuntimeError(
+            "every worker slot has tripped its crash-loop breaker; "
+            "the pool cannot make progress"
+        )
 
     # -- submission -----------------------------------------------------------
 
@@ -239,7 +327,13 @@ class Dispatcher:
             pending = _Pending(job=job, slot=slot, sequence=sequence)
             self._pending[job.id] = pending
             self._counts["submitted"] += 1
-            self._send(self._handles[slot], pending)
+            if slot in self._respawn_at:
+                # The slot is between workers (backoff running); the job is
+                # registered and will ride the respawn's requeue instead of
+                # landing on the dead worker's abandoned queue.
+                pass
+            else:
+                self._send(self._handles[slot], pending)
         return pending
 
     def run_batch(self, jobs: Iterable[Job | Mapping[str, Any]]) -> list[JobResult]:
@@ -289,10 +383,38 @@ class Dispatcher:
             for snapshot in self._hit_snapshots.values():
                 for cache, count in snapshot.items():
                     hits[cache] = hits.get(cache, 0) + count
+            # Same rule for the persistent tier: each generation is its own
+            # process with its own store connection, so summing the latest
+            # snapshot of every generation counts each op exactly once.
+            persist: dict[str, Any] | None = None
+            if self._persist_snapshots:
+                persist = {}
+                breakers_open = 0
+                for snapshot in self._persist_snapshots.values():
+                    for counter, value in snapshot.items():
+                        if counter == "breaker":
+                            breakers_open += value == "open"
+                        elif isinstance(value, (int, float)):
+                            persist[counter] = persist.get(counter, 0) + value
+                persist["breakers_open"] = breakers_open
+            now = time.monotonic()
+            slots: dict[str, dict[str, Any]] = {}
+            for handle in self._handles:
+                seen = self._last_seen.get(handle.slot)
+                slots[str(handle.slot)] = {
+                    "generation": handle.generation,
+                    "alive": handle.process.is_alive(),
+                    "crash_streak": self._crash_streak.get(handle.slot, 0),
+                    "broken": handle.slot in self._broken,
+                    "respawn_pending": handle.slot in self._respawn_at,
+                    "last_seen_seconds": None if seen is None else round(now - seen, 3),
+                }
             return PoolStats(
                 workers=len(self._handles),
                 jobs_per_slot=dict(self._jobs_per_slot),
                 cache_hits=hits,
+                persist=persist,
+                slots=slots,
                 **self._counts,
             )
 
@@ -304,6 +426,7 @@ class Dispatcher:
             if self._closing:
                 return
             self._closing = True
+            self._respawn_at.clear()
             self._space.notify_all()
             handles = list(self._handles)
         stop = json.dumps({"op": "stop"})
@@ -314,6 +437,11 @@ class Dispatcher:
                 pass
         deadline = time.monotonic() + timeout
         for handle in handles:
+            # A slot that died and never respawned (backoff pending when the
+            # pool closed, or crash-loop broken) has no worker to say "bye" —
+            # waiting for one would burn the whole deadline.
+            if not handle.process.is_alive():
+                continue
             handle.bye.wait(max(0.0, deadline - time.monotonic()))
         for handle in handles:
             handle.process.join(max(0.05, deadline - time.monotonic()))
@@ -353,6 +481,7 @@ class Dispatcher:
                 self.engine,
                 self.fuel,
                 self.memo_store,
+                self._fault_plan_spec,
             ),
             name=worker_name,
             daemon=True,
@@ -363,7 +492,15 @@ class Dispatcher:
     def _send(self, handle: _WorkerHandle, pending: _Pending) -> None:
         """Put one job on a worker queue (caller holds the lock)."""
         pending.begun_at = None
-        handle.queue.put(json.dumps({"op": "job", "spec": pending.job.to_dict()}))
+        handle.queue.put(
+            json.dumps(
+                {
+                    "op": "job",
+                    "spec": pending.job.to_dict(),
+                    "attempt": pending.attempts,
+                }
+            )
+        )
 
     def _collect(self) -> None:
         """Collector thread: drain results, watch health, enforce timeouts.
@@ -388,10 +525,13 @@ class Dispatcher:
                 last_health = time.monotonic()
             message = json.loads(raw)
             op = message.get("op")
+            self._note_seen(message)
             if op == "begin":
                 self._on_begin(message)
             elif op == "result":
                 self._on_result(message)
+            elif op == "hb":
+                self._store_snapshot(message)
             elif op == "pong":
                 event = self._pings.get(message.get("token"))
                 if event is not None:
@@ -406,14 +546,27 @@ class Dispatcher:
                     ):
                         handle.bye.set()
 
+    def _note_seen(self, message: Mapping[str, Any]) -> None:
+        """Track heartbeat freshness per slot (current generation only)."""
+        slot, generation = message.get("slot"), message.get("generation")
+        if slot is None:
+            return
+        with self._lock:
+            if 0 <= slot < len(self._handles) and self._handles[slot].generation == generation:
+                self._last_seen[slot] = time.monotonic()
+
     def _store_snapshot(self, message: Mapping[str, Any]) -> None:
-        """Record a worker generation's cumulative hit counters (latest wins)."""
+        """Record a worker generation's cumulative counters (latest wins)."""
         hits = message.get("hits")
-        if hits is None:
+        persist = message.get("persist")
+        if hits is None and persist is None:
             return
         key = (message.get("slot"), message.get("generation"))
         with self._lock:
-            self._hit_snapshots[key] = dict(hits)
+            if hits is not None:
+                self._hit_snapshots[key] = dict(hits)
+            if persist is not None:
+                self._persist_snapshots[key] = dict(persist)
 
     def _on_begin(self, message: Mapping[str, Any]) -> None:
         slot, generation = message.get("slot"), message.get("generation")
@@ -429,10 +582,18 @@ class Dispatcher:
         self._store_snapshot(message)
         document = message["result"]
         with self._space:
+            slot, generation = message.get("slot"), message.get("generation")
+            if (
+                slot is not None
+                and 0 <= slot < len(self._handles)
+                and self._handles[slot].generation == generation
+            ):
+                # A completed job from the *current* worker proves the slot
+                # healthy again: its crash streak is over.
+                self._crash_streak[slot] = 0
             pending = self._pending.pop(document["id"], None)
             if pending is None or pending.done.is_set():
                 return  # duplicate (a retired worker's late result): drop
-            slot = message.get("slot")
             self._jobs_per_slot[slot] = self._jobs_per_slot.get(slot, 0) + 1
             result = JobResult.from_dict(document)
             result.meta["attempts"] = pending.attempts + 1
@@ -444,7 +605,7 @@ class Dispatcher:
             self._space.notify_all()
 
     def _watch_health(self) -> None:
-        """Respawn dead workers; kill overdue ones (handled as deaths)."""
+        """Kill overdue jobs, absorb deaths, fire due respawns."""
         now = time.monotonic()
         if self.job_timeout is not None:
             overdue: list[int] = []
@@ -455,32 +616,73 @@ class Dispatcher:
                         and now - pending.begun_at > self.job_timeout
                         and self._handles[pending.slot].process.is_alive()
                     ):
+                        pending.timed_out = True
                         overdue.append(pending.slot)
             for slot in set(overdue):
                 self._counts["timeouts"] += 1
                 self._handles[slot].process.kill()
                 self._handles[slot].process.join(2.0)
         for slot, handle in enumerate(list(self._handles)):
-            if not handle.process.is_alive() and not self._closing:
-                if handle.bye.is_set():
-                    continue  # exited gracefully
-                self._recover_slot(slot)
+            if (
+                not handle.process.is_alive()
+                and not self._closing
+                and not handle.bye.is_set()
+                and slot not in self._broken
+                and slot not in self._respawn_at
+            ):
+                self._on_worker_death(slot)
+        if self._respawn_at and not self._closing:
+            now = time.monotonic()
+            for slot, due_at in list(self._respawn_at.items()):
+                if now >= due_at:
+                    self._respawn_slot(slot)
 
-    def _recover_slot(self, slot: int) -> None:
-        """Refill a dead slot with a fresh worker and requeue its jobs.
+    def _dead_letter_locked(
+        self, pending: _Pending, error_type: str, message: str, exhausted: bool
+    ) -> None:
+        """Complete a quarantined job as a structured dead-letter document.
+
+        The document is deterministic: type, message, and attempt count
+        are pure functions of the job's failure history and the pool
+        configuration — never of timing or slot assignment.
+        """
+        self._pending.pop(pending.job.id, None)
+        pending.result = JobResult(
+            id=pending.job.id or "?",
+            ok=False,
+            error={
+                "type": error_type,
+                "message": message,
+                "dead_letter": True,
+                "attempts": pending.attempts,
+            },
+            meta={"slot": pending.slot, "attempts": pending.attempts},
+        )
+        self._counts["completed"] += 1
+        self._counts["failed"] += 1
+        if exhausted:
+            self._counts["exhausted"] += 1
+        pending.done.set()
+
+    def _on_worker_death(self, slot: int) -> None:
+        """Contain one worker death: blame, quarantine, schedule the refill.
 
         The job that was in flight (its ``begin`` arrived, its result never
         did) is the culprit: one attempt is consumed, and when attempts run
-        out it completes as a failed result.  Every other unfinished job of
-        the slot is requeued unchanged — the fresh worker starts cold, but
-        cold caches change timing only: payloads and fuel-replay step
-        counts are byte-identical to an uninterrupted run.
+        out — or the slot's crash streak marks it a poison stream — it
+        completes as a dead-letter document.  Everything else stranded on
+        the slot stays pending and is requeued when the slot respawns after
+        its backoff; cold caches change timing only, payloads and
+        fuel-replay step counts are byte-identical to an uninterrupted run.
+        A streak reaching ``max_slot_respawns`` trips the crash-loop
+        breaker instead: the slot is abandoned and all its jobs dead-letter.
         """
         with self._space:
             dead = self._handles[slot]
-            replacement = self._spawn(slot, dead.generation + 1)
-            self._handles[slot] = replacement
-            self._counts["restarts"] += 1
+            if dead.process.is_alive():  # pragma: no cover - lost the race
+                return
+            streak = self._crash_streak.get(slot, 0) + 1
+            self._crash_streak[slot] = streak
             stranded = sorted(
                 (p for p in self._pending.values() if p.slot == slot and not p.done.is_set()),
                 key=lambda p: p.sequence,
@@ -493,29 +695,79 @@ class Dispatcher:
             culprit = next((p for p in stranded if p.begun_at is not None), None)
             if culprit is None and stranded:
                 culprit = stranded[0]
-            for pending in stranded:
-                if pending is culprit:
-                    pending.attempts += 1
-                    pending.begun_at = None
-                    if pending.attempts >= self.max_attempts:
-                        self._pending.pop(pending.job.id, None)
-                        pending.result = JobResult(
-                            id=pending.job.id or "?",
-                            ok=False,
-                            error={
-                                "type": "WorkerCrash",
-                                "message": (
-                                    f"worker died while executing this job "
-                                    f"({pending.attempts} attempt(s))"
-                                ),
-                            },
-                            meta={"slot": slot, "attempts": pending.attempts},
+            if culprit is not None:
+                culprit.attempts += 1
+                culprit.begun_at = None
+                if culprit.attempts >= self.max_attempts:
+                    if culprit.timed_out:
+                        self._dead_letter_locked(
+                            culprit,
+                            "JobTimeout",
+                            f"job exceeded the {self.job_timeout}s timeout "
+                            f"({culprit.attempts} attempt(s))",
+                            exhausted=True,
                         )
-                        self._counts["completed"] += 1
-                        self._counts["failed"] += 1
-                        pending.done.set()
+                    else:
+                        self._dead_letter_locked(
+                            culprit,
+                            "WorkerCrash",
+                            f"worker died while executing this job "
+                            f"({culprit.attempts} attempt(s))",
+                            exhausted=True,
+                        )
+                elif streak > self.suspect_after:
+                    # Poison-stream fast fail: the slot is crashing job
+                    # after job, so each new culprit stops burning workers
+                    # immediately instead of cycling through max_attempts.
+                    self._dead_letter_locked(
+                        culprit,
+                        "WorkerCrash",
+                        f"worker died while executing this job and the slot's "
+                        f"crash streak exceeded {self.suspect_after}; quarantined "
+                        f"after {culprit.attempts} attempt(s)",
+                        exhausted=True,
+                    )
+            if streak >= self.max_slot_respawns:
+                # Crash-loop breaker: abandon the slot, fail its remaining
+                # jobs cleanly, and let the batch finish elsewhere.
+                self._broken.add(slot)
+                self._respawn_at.pop(slot, None)
+                for pending in stranded:
+                    if pending.done.is_set():
                         continue
+                    self._dead_letter_locked(
+                        pending,
+                        "CrashLoopBreaker",
+                        f"worker slot crash-looped {streak} times and was "
+                        f"abandoned; job not retried",
+                        exhausted=False,
+                    )
+            else:
+                backoff = min(
+                    self.respawn_backoff_cap,
+                    self.respawn_backoff * (2 ** (streak - 1)),
+                )
+                self._respawn_at[slot] = time.monotonic() + backoff * _jitter(
+                    slot, dead.generation
+                )
+            self._space.notify_all()
+        dead.process.join(0.1)
+
+    def _respawn_slot(self, slot: int) -> None:
+        """Refill a dead slot (its backoff has elapsed) and requeue its jobs."""
+        with self._space:
+            if slot not in self._respawn_at:  # pragma: no cover - raced
+                return
+            del self._respawn_at[slot]
+            dead = self._handles[slot]
+            replacement = self._spawn(slot, dead.generation + 1)
+            self._handles[slot] = replacement
+            self._counts["restarts"] += 1
+            stranded = sorted(
+                (p for p in self._pending.values() if p.slot == slot and not p.done.is_set()),
+                key=lambda p: p.sequence,
+            )
+            for pending in stranded:
                 self._counts["requeued"] += 1
                 self._send(replacement, pending)
             self._space.notify_all()
-        dead.process.join(0.1)

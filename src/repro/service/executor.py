@@ -24,16 +24,26 @@ Determinism across shard assignments comes from two mechanisms:
 Failures of kernel work (parse errors, type errors, fuel exhaustion, link
 errors) are *results*, not exceptions: they travel the wire as the
 deterministic ``error`` half of the result document.
+
+Fault injection (:mod:`repro.service.faults`) hooks in exactly here,
+because here is where solo and pooled execution coincide: when an injector
+is active the job is first run through ``mutate`` (scheduled wire
+corruption — the resulting decode/parse failure is a deterministic error
+document like any other), stalled by ``stall_seconds`` (scheduled hangs),
+and dispatched inside ``store_window`` (scheduled persistent-tier
+read/write errors).  Worker kills live in ``worker.py`` — there is no
+process to kill solo.  The off path costs one module-global ``None`` check.
 """
 
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import TYPE_CHECKING, Any
 
 from repro import cc, cccc
 from repro.common.errors import ReproError
+from repro.service import faults
 from repro.service.jobs import Job, JobResult
 from repro.surface import parse_term
 
@@ -104,11 +114,19 @@ def _fuel_override(session: "Session", fuel: int | None):
 
 def execute_job(session: "Session", job: Job) -> JobResult:
     """Run ``job`` against ``session``; never raises for kernel failures."""
+    injector = faults.active()
+    store_window = nullcontext()
+    if injector is not None:
+        job = injector.mutate(job)
+        stall = injector.stall_seconds(job.id)
+        if stall:
+            time.sleep(stall)
+        store_window = injector.store_window(job.id)
     job_id = job.id if job.id is not None else job.kind
     started = time.perf_counter()
     hits_before = session.state.hit_counts()
     try:
-        with _fuel_override(session, job.fuel):
+        with _fuel_override(session, job.fuel), store_window:
             payload = _dispatch(session, job)
         ok, error = True, {}
     except ReproError as failure:

@@ -33,6 +33,12 @@ A **result** is split in two, and the split is load-bearing:
 * ``meta`` is the *telemetry* half — worker name, attempt number,
   per-job cache-hit deltas, wall time.  It legitimately varies run to run
   and feeds the dispatcher's aggregated pool stats.
+
+Dead letters keep the split: a job quarantined by the dispatcher (crash
+attempts exhausted, crash-loop breaker) completes as the *error* half of a
+result — ``error["dead_letter"]`` is True and the type/message/attempts
+are pure functions of the failure history, so even quarantine documents
+are byte-identical across same-plan chaos runs.
 """
 
 from __future__ import annotations

@@ -24,24 +24,39 @@ Protocol (worker → dispatcher on the result queue):
   the job's result document plus the session's *cumulative* hit counters
   (the dispatcher keeps the latest snapshot per worker generation);
 * ``{"op": "pong", "token", ...}`` — health-check reply;
+* ``{"op": "hb", ...}`` — idle heartbeat (posted when the job queue stays
+  empty for a beat), carrying the same cumulative counters as a result;
 * ``{"op": "bye", ...}`` — graceful-shutdown acknowledgement with final
   counters.
 
+Every post also carries ``"persist"``: the persistent tier's in-memory
+counters (None when no store is attached), so the dispatcher can aggregate
+store health — errors, breaker trips, buffer drops — across the pool
+without ever touching the workers' SQLite connections.
+
 A ``crash`` job acknowledges ``begin`` and then hard-exits the process
 (``os._exit``) — no result, no cleanup — which is exactly the failure the
-dispatcher's requeue-on-fresh-worker machinery exists for.
+dispatcher's requeue-on-fresh-worker machinery exists for.  A chaos plan
+(``fault_plan``, see :mod:`repro.service.faults`) turns *scheduled* jobs
+into exactly that failure: an injected kill dies after the begin-ack with
+the tier's unflushed write-buffer still in memory, so recovery is
+exercised against genuinely lost cache warmth.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import queue
 from typing import Any
 
 from repro.service.executor import execute_job
 from repro.service.jobs import Job
 
 __all__ = ["worker_main"]
+
+#: Seconds of empty job queue before an idle worker posts a heartbeat.
+_HEARTBEAT_SECONDS = 2.0
 
 
 def worker_main(
@@ -53,6 +68,7 @@ def worker_main(
     engine: str,
     fuel: int | None,
     memo_store: str | None = None,
+    fault_plan: dict[str, Any] | None = None,
 ) -> None:
     """The worker process entry point (top-level, so ``spawn`` can import it).
 
@@ -62,6 +78,11 @@ def worker_main(
     transactions — flushed at a size threshold and on graceful shutdown.
     A crash loses only unflushed cache warmth, never correctness: the
     store is an append-only cache of fuel-replaying, content-keyed entries.
+
+    ``fault_plan`` is a :class:`~repro.service.faults.FaultPlan` wire dict;
+    when present the worker installs a process-wide
+    :class:`~repro.service.faults.FaultInjector` so the executor (and the
+    store underneath it) fire the scheduled faults.
     """
     from repro.api import Session
     from repro.kernel.state import bootstrap_worker_state
@@ -69,6 +90,13 @@ def worker_main(
     state = bootstrap_worker_state(name, engine=engine, fuel=fuel, memo_store=memo_store)
     session = Session(_state=state)
     jobs_done = 0
+
+    injector = None
+    if fault_plan:
+        from repro.service import faults
+
+        injector = faults.FaultInjector(faults.FaultPlan.from_dict(fault_plan))
+        faults.install(injector)
 
     def flush_tier() -> None:
         if state.persistent is not None:
@@ -78,10 +106,19 @@ def worker_main(
         document.setdefault("slot", slot)
         document.setdefault("generation", generation)
         document.setdefault("worker", name)
+        document.setdefault(
+            "persist",
+            state.persistent.counters() if state.persistent is not None else None,
+        )
         result_queue.put(json.dumps(document))
 
     while True:
-        message = json.loads(job_queue.get())
+        try:
+            raw = job_queue.get(timeout=_HEARTBEAT_SECONDS)
+        except queue.Empty:
+            post({"op": "hb", "jobs": jobs_done, "hits": state.hit_counts()})
+            continue
+        message = json.loads(raw)
         op = message.get("op")
         if op == "stop":
             flush_tier()
@@ -102,12 +139,16 @@ def worker_main(
             post({"op": "error", "message": f"unknown op {op!r}"})
             continue
         job = Job.from_dict(message["spec"])
+        if injector is not None:
+            injector.begin(job.id, message.get("attempt", 0))
         post({"op": "begin", "id": job.id})
-        if job.kind == "crash":
+        if job.kind == "crash" or (injector is not None and injector.kill(job.id)):
             # Flush the begin-ack before dying: ``put`` hands the message
             # to a feeder thread, and ``os._exit`` would race it.  (A real
             # SIGKILL *can* lose the ack — the dispatcher's recovery blames
             # the queue head in that case, so the retry loop stays bounded.)
+            # The tier is deliberately NOT flushed: an injected kill must
+            # lose its unflushed store entries, like any real crash.
             result_queue.close()
             result_queue.join_thread()
             os._exit(3)

@@ -30,19 +30,55 @@ and flush them as one ``INSERT OR IGNORE`` append transaction at a size
 threshold and at detach/shutdown — so the normalization hot path never
 blocks on a cross-process lock, and a crash between flushes loses nothing
 but uncommitted cache warmth.
+
+Failure domain: persistence is an *accelerator*, never a dependency.  A
+store that cannot be **opened** raises a typed :class:`StoreError` (the
+caller asked for it by path and must know); once open, every runtime
+``sqlite3.Error`` is counted in ``stats()["errors"]`` and absorbed — a
+read error is a miss, a write error keeps the buffer for retry.  Enough
+*consecutive* errors trip a circuit breaker: the store stops issuing SQL
+(reads miss, flushes park), probing once every ``probe_interval`` ops so a
+recovered disk re-closes it.  The ``_pending`` buffer is bounded; when a
+permanently-failing flush would grow it past ``max_pending_entries`` the
+oldest entries are dropped (and counted) — losing cache warmth, never
+correctness.  The result is a degradation ladder the session walks without
+ever changing a payload byte::
+
+    healthy store  ←  circuit open (in-memory + pending buffer only)  ←  detached
+
+:func:`store_stat` / :func:`store_scrub` / :func:`store_compact` are the
+offline maintenance half (surfaced as ``python -m repro store …``): they
+verify every row's seal and salvage the validly-sealed ones out of a torn
+file.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import threading
 from hashlib import blake2b
-from typing import Any
+from typing import Any, Callable
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, StoreError
 from repro.wire.codec import content_hash, decode_term, encode_term
 
-__all__ = ["FUEL_DISCIPLINE", "PersistentMemoStore", "PersistentTier"]
+__all__ = [
+    "FUEL_DISCIPLINE",
+    "PersistentMemoStore",
+    "PersistentTier",
+    "StoreError",
+    "store_compact",
+    "store_scrub",
+    "store_stat",
+]
+
+#: Fault-injection seam (:mod:`repro.service.faults`).  When a chaos plan
+#: arms store faults for the running job, this holds a callable taking
+#: ``"read"`` or ``"write"`` that raises ``sqlite3.OperationalError`` for
+#: the scheduled kinds; it is ``None`` — one attribute load, no call — in
+#: every production run.
+FAULT_HOOK: Callable[[str], None] | None = None
 
 #: The fuel-discipline version baked into every key.  Bump when the meaning
 #: of recorded steps changes (cost model, replay semantics): old entries
@@ -83,24 +119,70 @@ class PersistentMemoStore:
         read_only: bool = False,
         flush_threshold: int = 256,
         timeout: float = 30.0,
+        max_pending_entries: int = 4096,
+        breaker_threshold: int = 5,
+        probe_interval: int = 64,
     ) -> None:
         self.path = str(path)
         self.read_only = read_only
         self.flush_threshold = flush_threshold
+        self.max_pending_entries = max_pending_entries
+        self.breaker_threshold = breaker_threshold
+        self.probe_interval = probe_interval
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.flushes = 0
+        self.errors = 0
+        self.dropped = 0
+        self.trips = 0
+        self.consecutive_errors = 0
+        self._breaker_open = False
+        self._ops_since_trip = 0
         self._lock = threading.RLock()
         self._pending: dict[bytes, tuple[int, bytes]] = {}
-        self._conn = sqlite3.connect(self.path, timeout=timeout, check_same_thread=False)
-        if read_only:
-            self._conn.execute("PRAGMA query_only=ON")
-        else:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.execute(_SCHEMA)
-            self._conn.commit()
+        try:
+            self._conn = sqlite3.connect(
+                self.path, timeout=timeout, check_same_thread=False
+            )
+            if read_only:
+                self._conn.execute("PRAGMA query_only=ON")
+            else:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+                self._conn.execute(_SCHEMA)
+                self._conn.commit()
+        except sqlite3.Error as err:
+            raise StoreError(f"cannot open memo store at {self.path}: {err}") from err
+
+    # -- circuit breaker ------------------------------------------------------
+
+    def _sqlite_ok(self) -> None:
+        self.consecutive_errors = 0
+        self._breaker_open = False
+
+    def _sqlite_error(self) -> None:
+        self.errors += 1
+        self.consecutive_errors += 1
+        if not self._breaker_open and self.consecutive_errors >= self.breaker_threshold:
+            self._breaker_open = True
+            self.trips += 1
+            self._ops_since_trip = 0
+
+    def _breaker_blocks(self) -> bool:
+        """Should the open breaker skip this SQLite op?
+
+        While open, one op in every ``probe_interval`` is let through as a
+        probe; a probe that succeeds re-closes the breaker.  Counted in
+        *ops*, never wall-clock, so chaos runs stay deterministic.
+        """
+        if not self._breaker_open:
+            return False
+        self._ops_since_trip += 1
+        if self._ops_since_trip >= self.probe_interval:
+            self._ops_since_trip = 0
+            return False
+        return True
 
     def get(self, key: bytes) -> tuple[int, bytes] | None:
         """The sealed ``(steps, result)`` for ``key``, or None.
@@ -114,12 +196,23 @@ class PersistentMemoStore:
             if found is not None:
                 self.hits += 1
                 return found
+            if self._breaker_blocks():
+                self.misses += 1
+                return None
             try:
+                hook = FAULT_HOOK
+                if hook is not None:
+                    hook("read")
                 row = self._conn.execute(
                     "SELECT steps, result, seal FROM memo WHERE key = ?", (key,)
                 ).fetchone()
             except sqlite3.Error:
-                row = None  # e.g. a read-only handle on a not-yet-created store
+                # e.g. a read-only handle on a not-yet-created store, or a
+                # disk gone bad mid-run: counted, reported as a miss.
+                self._sqlite_error()
+                self.misses += 1
+                return None
+            self._sqlite_ok()
             if row is None:
                 self.misses += 1
                 return None
@@ -131,14 +224,25 @@ class PersistentMemoStore:
             return steps, result
 
     def put(self, key: bytes, steps: int, result: bytes) -> None:
-        """Buffer one entry; flushed in a batch at the size threshold."""
+        """Buffer one entry; flushed in a batch at the size threshold.
+
+        The buffer is bounded: if flushing keeps failing (or never happens
+        — a read-only handle), the oldest entries are dropped and counted
+        rather than growing memory without bound.
+        """
         with self._lock:
             if key in self._pending:
                 return
             self._pending[key] = (steps, result)
             self.writes += 1
-            if not self.read_only and len(self._pending) >= self.flush_threshold:
+            # A fault window forces the flush attempt so injected write
+            # errors fire at the scheduled job, not at a threshold crossing.
+            hook = FAULT_HOOK
+            if not self.read_only and (
+                len(self._pending) >= self.flush_threshold or hook is not None
+            ):
                 self._flush_locked()
+            self._shed_locked()
 
     def flush(self) -> None:
         """Append every buffered entry in one transaction (no-op read-only)."""
@@ -149,43 +253,76 @@ class PersistentMemoStore:
     def _flush_locked(self) -> None:
         if not self._pending:
             return
+        if self._breaker_blocks():
+            return  # breaker open: park the buffer, no SQL issued
         rows = [
             (key, steps, result, _seal(key, steps, result))
             for key, (steps, result) in self._pending.items()
         ]
         try:
+            hook = FAULT_HOOK
+            if hook is not None:
+                hook("write")
             self._conn.executemany(
                 "INSERT OR IGNORE INTO memo (key, steps, result, seal) VALUES (?, ?, ?, ?)",
                 rows,
             )
             self._conn.commit()
         except sqlite3.Error:
+            self._sqlite_error()
             return  # keep the buffer; the next flush retries
+        self._sqlite_ok()
         self._pending.clear()
         self.flushes += 1
+
+    def _shed_locked(self) -> None:
+        """Drop oldest buffered entries past the bound (cache warmth, not data)."""
+        while len(self._pending) > self.max_pending_entries:
+            del self._pending[next(iter(self._pending))]
+            self.dropped += 1
 
     def close(self) -> None:
         """Flush and close the connection."""
         with self._lock:
             if not self.read_only:
                 self._flush_locked()
-            self._conn.close()
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                self.errors += 1
 
-    def stats(self) -> dict[str, int]:
+    def counters(self) -> dict[str, Any]:
+        """The pure in-memory counters — cheap enough for per-message posts.
+
+        ``stats()`` adds the SQL-backed ``entries`` count; workers report
+        these instead so health telemetry never issues SELECTs.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
             "flushes": self.flushes,
-            "entries": len(self),
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "trips": self.trips,
+            "breaker": "open" if self._breaker_open else "closed",
+            "pending": len(self._pending),
         }
 
+    def stats(self) -> dict[str, Any]:
+        document = self.counters()
+        document["entries"] = len(self)
+        return document
+
     def __len__(self) -> int:
+        # Telemetry only: suppressed errors are counted but deliberately do
+        # not feed the breaker, so reading stats() never shifts its state.
         with self._lock:
             try:
                 (count,) = self._conn.execute("SELECT COUNT(*) FROM memo").fetchone()
             except sqlite3.Error:
-                count = 0
+                self.errors += 1
+                return len(self._pending)
             return count + sum(1 for key in self._pending if not self._known(key))
 
     def _known(self, key: bytes) -> bool:
@@ -197,6 +334,7 @@ class PersistentMemoStore:
                 is not None
             )
         except sqlite3.Error:
+            self.errors += 1
             return False
 
 
@@ -210,7 +348,16 @@ class PersistentTier:
     tokens, term objects) and the store's content-keyed world.
     """
 
-    __slots__ = ("store", "_state", "_languages", "_ctx_keys", "hits", "stores", "skipped")
+    __slots__ = (
+        "store",
+        "_state",
+        "_languages",
+        "_ctx_keys",
+        "hits",
+        "stores",
+        "skipped",
+        "errors",
+    )
 
     def __init__(self, store: PersistentMemoStore, state: Any) -> None:
         self.store = store
@@ -220,6 +367,7 @@ class PersistentTier:
         self.hits = 0
         self.stores = 0
         self.skipped = 0
+        self.errors = 0
 
     def _language(self, kind: str) -> Any:
         """The Language a memo kind belongs to (``"cc.nf"`` → cc), or None."""
@@ -312,9 +460,149 @@ class PersistentTier:
         self.store.put(key, steps, encode_term(lang, result))
         self.stores += 1
 
-    def stats(self) -> dict[str, int]:
-        document = self.store.stats()
-        document.update(
-            {"tier_hits": self.hits, "tier_stores": self.stores, "tier_skipped": self.skipped}
-        )
+    def _tier_counters(self) -> dict[str, int]:
+        return {
+            "tier_hits": self.hits,
+            "tier_stores": self.stores,
+            "tier_skipped": self.skipped,
+            "tier_errors": self.errors,
+        }
+
+    def counters(self) -> dict[str, Any]:
+        document = self.store.counters()
+        document.update(self._tier_counters())
         return document
+
+    def stats(self) -> dict[str, Any]:
+        document = self.store.stats()
+        document.update(self._tier_counters())
+        return document
+
+
+# --------------------------------------------------------------------------
+# Offline maintenance: python -m repro store {stat,scrub,compact} PATH
+# --------------------------------------------------------------------------
+
+
+def _open_for_maintenance(path: Any) -> sqlite3.Connection:
+    """A raw connection whose ``memo`` table is actually readable."""
+    target = str(path)
+    if not os.path.exists(target):
+        raise StoreError(f"cannot open memo store at {target}: no such file")
+    try:
+        conn = sqlite3.connect(target)
+    except sqlite3.Error as err:  # pragma: no cover - connect rarely fails
+        raise StoreError(f"cannot open memo store at {target}: {err}") from err
+    try:
+        conn.execute("SELECT COUNT(*) FROM memo").fetchone()
+    except sqlite3.Error as err:
+        conn.close()
+        raise StoreError(f"cannot read memo store at {target}: {err}") from err
+    return conn
+
+
+def _salvage(conn: sqlite3.Connection, path: Any) -> tuple[list[tuple], int]:
+    """Every validly-sealed row, plus the count of rows scanned.
+
+    Keys are listed first, then each row is fetched under its own guard,
+    so one torn page costs only the rows on it — everything still readable
+    *and* sealed is salvaged.
+    """
+    try:
+        keys = [key for (key,) in conn.execute("SELECT key FROM memo").fetchall()]
+    except sqlite3.Error as err:
+        raise StoreError(f"cannot read memo store at {path}: {err}") from err
+    valid: list[tuple] = []
+    for key in keys:
+        try:
+            row = conn.execute(
+                "SELECT steps, result, seal FROM memo WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            continue
+        if row is None:
+            continue
+        steps, result, seal = row
+        if seal == _seal(key, steps, result):
+            valid.append((key, steps, result, seal))
+    return valid, len(keys)
+
+
+def store_stat(path: Any) -> dict[str, Any]:
+    """Inspect a store: row counts, seal validity, file size.  Read-only."""
+    conn = _open_for_maintenance(path)
+    try:
+        valid, scanned = _salvage(conn, path)
+    finally:
+        conn.close()
+    return {
+        "path": str(path),
+        "size_bytes": os.path.getsize(str(path)),
+        "entries": scanned,
+        "valid": len(valid),
+        "invalid": scanned - len(valid),
+    }
+
+
+def store_scrub(path: Any) -> dict[str, Any]:
+    """Rebuild a (possibly torn) store from its validly-sealed rows.
+
+    Salvages every row whose seal verifies into a fresh database, then
+    atomically replaces the original (stale ``-wal``/``-shm`` sidecars are
+    removed so SQLite cannot replay torn pages over the rebuilt file).
+    Raises :class:`StoreError` when the file is not a database at all.
+    """
+    source = _open_for_maintenance(path)
+    try:
+        valid, scanned = _salvage(source, path)
+    finally:
+        source.close()
+    rebuilt = str(path) + ".scrub"
+    if os.path.exists(rebuilt):
+        os.unlink(rebuilt)
+    replacement = sqlite3.connect(rebuilt)
+    try:
+        replacement.execute(_SCHEMA)
+        replacement.executemany(
+            "INSERT OR IGNORE INTO memo (key, steps, result, seal) VALUES (?, ?, ?, ?)",
+            valid,
+        )
+        replacement.commit()
+    finally:
+        replacement.close()
+    os.replace(rebuilt, str(path))
+    for sidecar in (str(path) + "-wal", str(path) + "-shm"):
+        if os.path.exists(sidecar):
+            os.unlink(sidecar)
+    return {
+        "path": str(path),
+        "scanned": scanned,
+        "salvaged": len(valid),
+        "discarded": scanned - len(valid),
+    }
+
+
+def store_compact(path: Any) -> dict[str, Any]:
+    """Delete invalidly-sealed rows in place and reclaim the space."""
+    conn = _open_for_maintenance(path)
+    try:
+        valid, scanned = _salvage(conn, path)
+        keep = {key for key, _steps, _result, _seal in valid}
+        try:
+            doomed = [
+                (key,)
+                for (key,) in conn.execute("SELECT key FROM memo").fetchall()
+                if key not in keep
+            ]
+            conn.executemany("DELETE FROM memo WHERE key = ?", doomed)
+            conn.commit()
+            conn.execute("VACUUM")
+        except sqlite3.Error as err:
+            raise StoreError(f"cannot compact memo store at {path}: {err}") from err
+    finally:
+        conn.close()
+    return {
+        "path": str(path),
+        "entries": len(keep),
+        "removed": scanned - len(keep),
+    }

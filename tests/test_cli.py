@@ -219,3 +219,68 @@ class TestArgumentHandling:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestChaosBatch:
+    def test_chaos_seed_injects_a_deterministic_plan(self, capsys):
+        argv = [
+            "batch", "--gen-seed", "5", "--gen-builds", "2", "--gen-count", "2",
+            "--gen-passes", "1", "--workers", "2", "--chaos-seed", "11", "--json",
+        ]
+        # The generated plan always includes one poison job, so the batch
+        # reports failure — but with a structured dead-letter document, not
+        # a hang or a crashed pool.
+        assert main(list(argv)) == 1
+        document = json.loads(capsys.readouterr().out)
+        chaos = document["stats"]["chaos"]
+        assert chaos["seed"] == 11
+        assert chaos["faults"] > 0
+        letters = [
+            result for result in document["results"]
+            if not result["ok"] and result["error"].get("dead_letter")
+        ]
+        assert letters and document["stats"]["exhausted"] == len(letters)
+        # Same seed, same corpus: the second run draws the identical plan
+        # and diverges on the identical jobs.
+        assert main(list(argv)) == 1
+        second = json.loads(capsys.readouterr().out)
+        assert second["stats"]["chaos"] == chaos
+        assert second["stats"]["exhausted"] == document["stats"]["exhausted"]
+
+
+class TestStoreMaintenance:
+    def _seeded_store(self, tmp_path):
+        path = tmp_path / "memo.sqlite"
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"id": "a", "kind": "normalize", "program": "(\\\\ (x : Nat). succ x) 41"}\n'
+        )
+        assert main(["batch", "--memo-store", str(path), str(jobs)]) == 0
+        return path
+
+    def test_store_stat_plain_and_json(self, tmp_path, capsys):
+        path = self._seeded_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stat", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "valid" in out
+        assert main(["store", "stat", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["entries"] == document["valid"] > 0
+        assert document["invalid"] == 0
+
+    def test_store_scrub_and_compact(self, tmp_path, capsys):
+        path = self._seeded_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "scrub", str(path), "--json"]) == 0
+        scrub = json.loads(capsys.readouterr().out)
+        assert scrub["salvaged"] == scrub["scanned"] > 0
+        assert scrub["discarded"] == 0
+        assert main(["store", "compact", str(path), "--json"]) == 0
+        compact = json.loads(capsys.readouterr().out)
+        assert compact["removed"] == 0 and compact["entries"] > 0
+
+    def test_store_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["store", "stat", str(tmp_path / "missing.sqlite")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "missing.sqlite" in err

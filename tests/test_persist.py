@@ -238,3 +238,209 @@ class TestRestartDifferential:
             assert len(check) > 0
         finally:
             check.close()
+
+
+class TestFailureHardening:
+    """The store's failure domain: counted errors, breaker, bounded buffer."""
+
+    def _store(self, tmp_path, **kwargs):
+        return PersistentMemoStore(tmp_path / "memo.sqlite", **kwargs)
+
+    def test_sqlite_errors_are_counted_not_raised(self, tmp_path):
+        from repro.wire import persist
+
+        store = self._store(tmp_path, flush_threshold=1)
+        calls = {"n": 0}
+
+        def hook(op):
+            calls["n"] += 1
+            raise sqlite3.OperationalError("injected")
+
+        persist.FAULT_HOOK = hook
+        try:
+            store.put(b"k" * 24, 1, b"v")       # flush fails, buffer kept
+            assert store.get(b"k" * 24) == (1, b"v")  # pending still serves it
+            assert store.get(b"x" * 24) is None  # read fails -> counted miss
+        finally:
+            persist.FAULT_HOOK = None
+        assert store.errors >= 2
+        assert calls["n"] >= 2
+        assert store.counters()["errors"] == store.errors
+        # With the hook gone the buffered entry flushes cleanly.
+        store.flush()
+        assert store.counters()["pending"] == 0
+        store.close()
+
+    def test_breaker_trips_then_probe_recloses(self, tmp_path):
+        from repro.wire import persist
+
+        store = self._store(
+            tmp_path, flush_threshold=10_000, breaker_threshold=3, probe_interval=4
+        )
+        persist.FAULT_HOOK = lambda op: (_ for _ in ()).throw(
+            sqlite3.OperationalError("injected")
+        )
+        try:
+            for index in range(3):
+                assert store.get(str(index).encode() * 8) is None
+        finally:
+            persist.FAULT_HOOK = None
+        assert store.trips == 1
+        assert store.counters()["breaker"] == "open"
+        # While open, reads are misses without touching SQLite; after
+        # probe_interval ops one probe goes through, succeeds, and recloses.
+        for index in range(10, 20):
+            store.get(str(index).encode() * 8)
+        assert store.counters()["breaker"] == "closed"
+        store.close()
+
+    def test_pending_buffer_is_bounded(self, tmp_path):
+        store = self._store(
+            tmp_path, read_only=True, flush_threshold=10_000, max_pending_entries=8
+        )
+        for index in range(20):
+            store.put(f"{index:03d}".encode() * 8, index, b"v")
+        assert store.counters()["pending"] == 8
+        assert store.dropped == 12
+        # The newest entries survive; the oldest were shed.
+        assert store.get(b"019" * 8) == (19, b"v")
+        assert store.get(b"000" * 8) is None
+        store.close()
+
+    def test_store_open_failure_is_a_typed_error_with_the_path(self, tmp_path):
+        from repro.common.errors import StoreError
+
+        bogus = tmp_path / "not-a-directory" / "nested" / "memo.sqlite"
+        with pytest.raises(StoreError) as excinfo:
+            PersistentMemoStore(bogus)
+        assert str(bogus) in str(excinfo.value)
+
+    def test_breaker_trip_mid_batch_degrades_without_divergence(self, tmp_path):
+        # Trip the store breaker partway through a batch: the run must
+        # complete byte-identical to a storeless run (in-memory memo only)
+        # and report the trip in its stats.
+        from repro.service.faults import Fault, FaultPlan
+
+        jobs = [
+            {"id": f"j{index}", "kind": "normalize",
+             "program": rf"(\ (x : Nat). succ x) {index}"}
+            for index in range(8)
+        ]
+        faults = [
+            Fault(kind, f"j{index}", attempts=-1)
+            for index in range(2, 8)
+            for kind in ("store_read_error", "store_write_error")
+        ]
+        bare = execute_jobs(jobs)
+        report = execute_jobs(
+            jobs, memo_store=tmp_path / "memo.sqlite", fault_plan=FaultPlan(faults)
+        )
+        assert report.canonical() == bare.canonical()
+        persisted = report.stats["persist"]
+        assert persisted["errors"] > 0
+        assert persisted["trips"] >= 1
+
+
+class TestTornStoreRecovery:
+    """``python -m repro store`` maintenance: stat, scrub, compact."""
+
+    def _populate(self, path):
+        store = PersistentMemoStore(path)
+        session = Session(name="maintenance-populate")
+        session.attach_memo_store(store)
+        with session.activate():
+            session.normalize(cc.intern(parse_term(REDEX)))
+        session.detach_memo_store()
+        store.close()
+
+    def test_stat_reports_valid_and_invalid_rows(self, tmp_path):
+        from repro.wire.persist import store_stat
+
+        path = tmp_path / "memo.sqlite"
+        self._populate(path)
+        report = store_stat(path)
+        assert report["entries"] == report["valid"] > 0
+        assert report["invalid"] == 0
+
+    def test_scrub_salvages_valid_rows_from_a_torn_store(self, tmp_path):
+        from repro.wire.persist import store_scrub, store_stat
+
+        path = tmp_path / "memo.sqlite"
+        self._populate(path)
+        before = store_stat(path)
+        # Tear the store: corrupt one row's seal and one row's payload.
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE memo SET seal = zeroblob(16) WHERE key = "
+            "(SELECT key FROM memo LIMIT 1)"
+        )
+        connection.commit()
+        connection.close()
+        report = store_scrub(path)
+        assert report["scanned"] == before["entries"]
+        assert report["discarded"] == 1
+        assert report["salvaged"] == before["entries"] - 1
+        after = store_stat(path)
+        assert after["entries"] == after["valid"] == report["salvaged"]
+        # The scrubbed store still serves byte-identical warm runs.
+        scrubbed = PersistentMemoStore(path)
+        warm = Session(name="maintenance-warm")
+        warm.attach_memo_store(scrubbed)
+        with warm.activate():
+            result = warm.normalize(cc.intern(parse_term(REDEX)))
+        warm.detach_memo_store()
+        scrubbed.close()
+        cold = Session(name="maintenance-cold")
+        with cold.activate():
+            expected = cold.normalize(cc.intern(parse_term(REDEX)))
+        assert cc.pretty(cc.intern(result.value)) == cc.pretty(cc.intern(expected.value))
+        assert result.steps == expected.steps
+
+    def test_compact_removes_torn_rows_in_place(self, tmp_path):
+        from repro.wire.persist import store_compact, store_stat
+
+        path = tmp_path / "memo.sqlite"
+        self._populate(path)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE memo SET result = x'00' WHERE key = "
+            "(SELECT key FROM memo LIMIT 1)"
+        )
+        connection.commit()
+        connection.close()
+        report = store_compact(path)
+        assert report["removed"] == 1
+        assert store_stat(path)["invalid"] == 0
+
+    def test_maintenance_on_garbage_is_a_typed_error(self, tmp_path):
+        from repro.common.errors import StoreError
+        from repro.wire.persist import store_scrub, store_stat
+
+        garbage = tmp_path / "garbage.sqlite"
+        garbage.write_bytes(b"this is not a database")
+        with pytest.raises(StoreError):
+            store_stat(garbage)
+        with pytest.raises(StoreError):
+            store_scrub(tmp_path / "missing.sqlite")
+
+    def test_killed_worker_leaves_no_torn_rows(self, tmp_path):
+        # Satellite contract: a worker killed with unflushed buffered
+        # entries must leave the shared store fully valid (lost entries are
+        # fine — torn rows are not), and a warm rerun over the survivor
+        # store is byte-identical to the crashed run.
+        from repro.service.faults import Fault, FaultPlan
+        from repro.wire.persist import store_stat
+
+        path = tmp_path / "memo.sqlite"
+        jobs = [
+            {"id": f"j{index}", "kind": "normalize", "program": REDEX, "key": "one"}
+            for index in range(4)
+        ]
+        plan = FaultPlan([Fault("kill", "j2", attempts=1)])
+        chaos = execute_jobs(
+            jobs, workers=1, memo_store=path, fault_plan=plan, max_attempts=3
+        )
+        report = store_stat(path)
+        assert report["invalid"] == 0  # no torn rows, ever
+        warm = execute_jobs(jobs, workers=1, memo_store=path)
+        assert warm.canonical() == chaos.canonical()

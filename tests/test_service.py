@@ -383,3 +383,129 @@ class TestGenJobStreams:
         solo = api.execute_jobs(interleaved, workers=0)
         pooled = api.execute_jobs(interleaved, workers=2)
         assert pooled.canonical() == solo.canonical()
+
+
+class TestFailureDomains:
+    """The hardened failure domains: quarantine, backoff, breaker, health."""
+
+    def test_poison_job_dead_letters_and_survivors_match_solo(self):
+        # A job that kills its worker on *every* attempt must exhaust
+        # max_attempts and complete as a structured dead-letter document —
+        # while every other job in the batch stays byte-identical to solo.
+        from repro.service.faults import Fault, FaultPlan
+
+        survivors = [
+            {"id": f"s{index}", "kind": "normalize", "program": REDEX, "key": "fine"}
+            for index in range(4)
+        ]
+        jobs = survivors + [
+            {"id": "poison", "kind": "normalize", "program": REDEX, "key": "bad"}
+        ]
+        solo = {doc["id"]: doc for doc in api.execute_jobs(survivors).canonical()}
+        plan = FaultPlan([Fault("kill", "poison", attempts=-1)], seed=2)
+        with Dispatcher(workers=2, max_attempts=3, fault_plan=plan,
+                        respawn_backoff=0.01, respawn_backoff_cap=0.1) as pool:
+            results = pool.run_batch(jobs)
+            stats = pool.stats()
+        by_id = {result.id: result for result in results}
+        letter = by_id["poison"]
+        assert not letter.ok
+        assert letter.error["dead_letter"] is True
+        assert letter.error["type"] == "WorkerCrash"
+        assert letter.error["attempts"] == 3
+        for job in survivors:
+            assert by_id[job["id"]].canonical() == solo[job["id"]]
+        # Quarantine bounds the damage: at most max_attempts respawns for
+        # the poison (the final crash's respawn may still be pending when
+        # the batch drains), not one per queued job behind it.
+        assert stats.exhausted == 1
+        assert 2 <= stats.restarts <= 3
+
+    def test_suspect_streak_fast_fails_new_culprits(self):
+        # After suspect_after consecutive crashes of one slot, each new
+        # culprit dead-letters immediately instead of burning max_attempts
+        # worth of respawns per job — a poison *stream* cannot serially
+        # recycle the pool.
+        from repro.service.faults import Fault, FaultPlan
+
+        poisons = [f"p{index}" for index in range(4)]
+        plan = FaultPlan([Fault("kill", job_id, attempts=-1) for job_id in poisons])
+        jobs = [
+            {"id": job_id, "kind": "normalize", "program": REDEX, "key": "stream"}
+            for job_id in poisons
+        ]
+        with Dispatcher(workers=1, max_attempts=3, fault_plan=plan,
+                        respawn_backoff=0.01, respawn_backoff_cap=0.1,
+                        suspect_after=2, max_slot_respawns=50) as pool:
+            results = pool.run_batch(jobs)
+            stats = pool.stats()
+        assert all(not result.ok and result.error["dead_letter"] is True
+                   for result in results)
+        # The first culprit exhausts 3 attempts (3 crashes); from then on the
+        # streak exceeds suspect_after, so each later culprit costs a single
+        # crash instead of max_attempts respawns.
+        crashes = 3 + (len(poisons) - 1)
+        assert crashes - 1 <= stats.restarts <= crashes
+        assert stats.exhausted == len(poisons)
+
+    def test_crash_loop_breaker_abandons_the_slot_cleanly(self):
+        from repro.service.faults import Fault, FaultPlan
+
+        plan = FaultPlan([Fault("kill", "p", attempts=-1)])
+        with Dispatcher(workers=1, max_attempts=100, fault_plan=plan,
+                        respawn_backoff=0.01, respawn_backoff_cap=0.05,
+                        suspect_after=100, max_slot_respawns=3) as pool:
+            results = pool.run_batch([
+                {"id": "p", "kind": "normalize", "program": REDEX},
+                {"id": "stranded", "kind": "normalize", "program": REDEX},
+            ])
+            stats = pool.stats()
+            # Every slot is broken: the pool refuses new work instead of
+            # accepting jobs it can never run.
+            with pytest.raises(RuntimeError):
+                pool.submit({"id": "next", "kind": "normalize", "program": REDEX})
+        assert all(result.error["type"] == "CrashLoopBreaker" for result in results)
+        assert stats.restarts == 2  # max_slot_respawns - 1: the breaker stops the churn
+        assert stats.slots["0"]["broken"] is True
+
+    def test_timeout_exhaustion_is_a_dead_letter(self):
+        with Dispatcher(workers=1, job_timeout=0.4, max_attempts=1,
+                        respawn_backoff=0.01) as pool:
+            results = pool.run_batch([
+                {"id": "slow", "kind": "sleep", "seconds": 30.0},
+                {"id": "after", "kind": "normalize", "program": REDEX},
+            ])
+            stats = pool.stats()
+        by_id = {result.id: result for result in results}
+        assert by_id["slow"].error["type"] == "JobTimeout"
+        assert by_id["slow"].error["dead_letter"] is True
+        assert by_id["after"].ok
+        assert stats.exhausted == 1
+        assert stats.to_dict()["exhausted"] == 1
+
+    def test_stats_surface_slot_health_and_persist(self):
+        with Dispatcher(workers=2) as pool:
+            pool.run_batch([{"id": "j", "kind": "normalize", "program": REDEX}])
+            stats = pool.stats()
+        assert set(stats.slots) == {"0", "1"}
+        for health in stats.slots.values():
+            assert health["alive"] is True
+            assert health["broken"] is False
+            assert health["crash_streak"] == 0
+        assert stats.to_dict()["slots"] == stats.slots
+
+    def test_transient_kill_retries_to_byte_identical_payload(self):
+        # One injected crash, then the requeued attempt succeeds on the
+        # fresh worker — and the payload is byte-identical to solo.
+        from repro.service.faults import Fault, FaultPlan
+
+        jobs = [{"id": "flaky", "kind": "normalize", "program": REDEX}]
+        solo = api.execute_jobs(jobs).canonical()
+        plan = FaultPlan([Fault("kill", "flaky", attempts=1)])
+        with Dispatcher(workers=1, max_attempts=3, fault_plan=plan,
+                        respawn_backoff=0.01) as pool:
+            results = pool.run_batch(jobs)
+            stats = pool.stats()
+        assert [result.canonical() for result in results] == solo
+        assert stats.restarts == 1
+        assert stats.exhausted == 0
