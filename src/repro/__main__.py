@@ -26,7 +26,15 @@ via ``-e/--expr``:
   ``--memo-store PATH`` attaches the persistent memo tier (shared across
   workers, surviving restarts), ``--chaos-seed N`` runs the batch under a
   small seeded fault plan (deterministic worker kills, store errors, wire
-  corruption — the robustness harness of ``repro.service.faults``).
+  corruption — the robustness harness of ``repro.service.faults``);
+  ``--connect HOST:PORT`` streams the batch to a running ``serve``
+  endpoint instead (``--chaos-seed`` then schedules *client-side*
+  connection drops/stalls/truncations, healed by reconnect-and-resubmit).
+* ``serve``     — run the streaming service endpoint: an NDJSON socket
+  server over an elastic worker pool (``--min-workers``/``--max-workers``)
+  with admission control (``--conn-window``, ``--max-inflight``),
+  per-client fair share and fuel quotas (``--fuel-quota``), per-job
+  deadlines, and graceful drain on SIGTERM (zero accepted-and-lost).
 * ``store``     — maintain a persistent memo store: ``stat`` reports row
   and seal-validity counts, ``scrub`` rebuilds the file from its
   validly-sealed rows (salvaging a torn store), ``compact`` deletes
@@ -48,6 +56,8 @@ Examples::
     python -m repro batch jobs.jsonl --workers 4 --json
     python -m repro batch --gen-seed 7 --gen-builds 2 --workers 2
     python -m repro batch --gen-seed 7 --workers 2 --chaos-seed 11
+    python -m repro serve --port 7420 --min-workers 1 --max-workers 4
+    python -m repro batch --gen-seed 7 --connect 127.0.0.1:7420
     python -m repro store stat memo.sqlite
     python -m repro store scrub memo.sqlite --json
 """
@@ -246,6 +256,25 @@ def _chaos_plan(specs: list[dict], seed: int) -> "object":
     )
 
 
+def _conn_chaos_plan(specs: list[dict], seed: int) -> "object":
+    """A connection-fault-only plan for ``batch --connect --chaos-seed``.
+
+    Applied *client-side* (self-inflicted drops, stalls, truncations at
+    exact job coordinates); reconnect-and-resubmit heals every one, so the
+    results must be byte-identical to an unfaulted run — which is exactly
+    what this mode exists to prove.
+    """
+    from repro.service.faults import FaultPlan
+
+    for index, spec in enumerate(specs):
+        spec.setdefault("id", f"job-{index}")
+    job_ids = [spec["id"] for spec in specs]
+    budget = max(1, len(job_ids) // 8)
+    return FaultPlan.generate(
+        seed, job_ids, conn_drops=budget, conn_stalls=budget, conn_truncates=budget
+    )
+
+
 def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
     from repro import api
 
@@ -255,17 +284,29 @@ def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
             from repro.gen.jobs import binary_specs
 
             specs = binary_specs(specs)
-        plan = None
-        if args.chaos_seed is not None:
-            plan = _chaos_plan(specs, args.chaos_seed)
-        report = api.execute_jobs(
-            specs,
-            workers=args.workers,
-            engine=args.engine,
-            job_timeout=args.job_timeout,
-            memo_store=args.memo_store,
-            fault_plan=plan,
-        )
+        if args.connect is not None:
+            plan = None
+            if args.chaos_seed is not None:
+                plan = _conn_chaos_plan(specs, args.chaos_seed)
+            report = api.execute_jobs(
+                specs,
+                connect=args.connect,
+                engine=args.engine,
+                fault_plan=plan,
+                client_options={"window": args.window},
+            )
+        else:
+            plan = None
+            if args.chaos_seed is not None:
+                plan = _chaos_plan(specs, args.chaos_seed)
+            report = api.execute_jobs(
+                specs,
+                workers=args.workers,
+                engine=args.engine,
+                job_timeout=args.job_timeout,
+                memo_store=args.memo_store,
+                fault_plan=plan,
+            )
     except (ValueError, json.JSONDecodeError) as error:
         # Malformed job specs (bad JSON, unknown kinds/fields) get the
         # CLI's one-line error contract, not a traceback.
@@ -287,6 +328,29 @@ def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
         print(f"-- {len(report.results)} job(s) in {report.elapsed_seconds:.3f}s "
               f"({args.workers} worker(s)); {stats}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(session: Session, args: argparse.Namespace) -> int:
+    from repro.service.endpoint import serve as serve_endpoint
+
+    plan = None
+    if args.chaos_plan is not None:
+        with open(args.chaos_plan, encoding="utf-8") as handle:
+            plan = json.load(handle)
+    serve_endpoint(
+        args.host,
+        args.port,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        engine=args.engine,
+        job_timeout=args.job_timeout,
+        memo_store=args.memo_store,
+        conn_window=args.conn_window,
+        max_inflight=args.max_inflight,
+        fuel_quota=args.fuel_quota,
+        fault_plan=plan,
+    )
+    return 0
 
 
 def _cmd_store(session: Session, args: argparse.Namespace) -> int:
@@ -433,6 +497,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run under a small seeded fault plan (deterministic chaos testing)",
     )
+    batch.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="stream the batch to a running 'serve' endpoint instead of "
+        "executing locally (--workers/--job-timeout are then the server's)",
+    )
+    batch.add_argument(
+        "--window",
+        type=int,
+        default=32,
+        help="jobs the --connect client keeps in flight at once",
+    )
     batch.add_argument("--gen-seed", type=int, default=0, help="generated-corpus seed")
     batch.add_argument(
         "--gen-builds", type=int, default=1, help="independent build streams to generate"
@@ -444,6 +521,67 @@ def main(argv: list[str] | None = None) -> int:
         "--gen-passes", type=int, default=2, help="warm passes per generated build"
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming service endpoint over an elastic worker pool",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7420, help="bind port (0 = pick free)")
+    serve.add_argument(
+        "--min-workers", type=int, default=1, help="worker slots the pool starts with"
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="elastic ceiling (default: min-workers, i.e. a fixed pool)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="nbe",
+        help="normalization engine every worker session boots with",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="seconds one job may run before its worker is recycled",
+    )
+    serve.add_argument(
+        "--memo-store",
+        metavar="PATH",
+        default=None,
+        help="shared persistent memo store (new workers start warm from it)",
+    )
+    serve.add_argument(
+        "--conn-window",
+        type=int,
+        default=32,
+        help="accepted-but-unfinished jobs per connection before reads pause",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=128,
+        help="endpoint-wide hard admission limit; past it jobs are shed "
+        "with Overloaded documents",
+    )
+    serve.add_argument(
+        "--fuel-quota",
+        type=int,
+        default=None,
+        help="per-client fuel clamp threaded into the kernel checkers",
+    )
+    serve.add_argument(
+        "--chaos-plan",
+        metavar="PATH",
+        default=None,
+        help="JSON FaultPlan file: worker faults go to the pool, "
+        "connection faults fire at result delivery (chaos testing)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     store = commands.add_parser(
         "store",

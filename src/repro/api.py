@@ -595,6 +595,8 @@ def execute_jobs(
     session: Session | None = None,
     memo_store: Any = None,
     fault_plan: Any = None,
+    connect: str | None = None,
+    client_options: Any = None,
     **dispatcher_options: Any,
 ) -> BatchReport:
     """Execute a stream of service jobs, pooled or solo.
@@ -621,13 +623,23 @@ def execute_jobs(
     every worker.  The report's ``stats["chaos"]`` carries the plan
     summary either way.
 
+    ``connect`` ("HOST:PORT") streams the batch to a running service
+    endpoint (``python -m repro serve``) through the bundled windowed
+    client instead of executing locally; ``workers``/``engine`` are then
+    the server's business, and ``fault_plan`` applies its
+    *connection-category* faults client-side (self-inflicted drops,
+    stalls, truncations — the reconnect/resubmit machinery heals them, so
+    results stay byte-identical).  ``client_options`` is a dict forwarded
+    to :class:`~repro.service.client.ServiceClient` (``window``,
+    ``max_retries``, ``timeout``, …).
+
     ``dispatcher_options`` are forwarded to the :class:`Dispatcher`
     (``max_pending``, ``job_timeout``, ``max_attempts``, …).
     """
     from contextlib import nullcontext
 
     from repro.service.faults import FaultInjector, FaultPlan
-    from repro.service.jobs import Job
+    from repro.service.jobs import Job, JobResult
 
     specs = [job if isinstance(job, Job) else Job.from_dict(job) for job in jobs]
     for index, spec in enumerate(specs):
@@ -635,6 +647,34 @@ def execute_jobs(
             specs[index] = Job.from_dict({**spec.to_dict(), "id": f"job-{index}"})
     plan = FaultPlan.coerce(fault_plan)
     start = time.perf_counter()
+    if connect is not None:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient.from_address(
+            connect, fault_plan=plan, **(client_options or {})
+        ) as client:
+            documents = client.run_batch(specs)
+            stats_poll = client.stats()
+        results = tuple(JobResult.from_dict(document) for document in documents)
+        stats = {
+            "connect": connect,
+            "client": {
+                "reconnects": client.reconnects,
+                "resubmitted": client.resubmitted,
+                "shed_retries": client.shed_retries,
+            },
+            **stats_poll.get("meta", {}).get("stats", {}),
+        }
+        if plan is not None:
+            stats["chaos"] = plan.summary()
+        pool_workers = stats.get("pool", {}).get("workers", 0)
+        return BatchReport(
+            results=results,
+            stats=stats,
+            workers=pool_workers,
+            engine=engine,
+            elapsed_seconds=time.perf_counter() - start,
+        )
     if workers <= 0:
         from repro.service.faults import activate as activate_faults
         from repro.wire.persist import PersistentMemoStore

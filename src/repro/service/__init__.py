@@ -27,26 +27,42 @@ parallel across independent programs.  Operationally:
   a per-slot crash-loop breaker;
 * :mod:`repro.service.faults` — the seeded deterministic fault-injection
   harness (:class:`~repro.service.faults.FaultPlan`): worker kills, hung
-  jobs, persistent-tier errors, and wire corruption scheduled at exact
-  jobs, reproducible from one seed, zero-cost when off.
+  jobs, persistent-tier errors, wire corruption, and connection faults
+  (dropped/stalled/truncated deliveries) scheduled at exact jobs,
+  reproducible from one seed, zero-cost when off;
+* :mod:`repro.service.endpoint` — the socket front door: an asyncio
+  NDJSON server with admission control (windowed backpressure, hard-limit
+  shedding), per-client fair share, deadlines, graceful drain, and
+  elastic pool scaling (:class:`~repro.service.dispatcher.ElasticSupervisor`);
+* :mod:`repro.service.client` — the bundled windowed client: retry with
+  deterministic backoff jitter, reconnect-and-resubmit keyed by job id.
 
-The CLI front end is ``python -m repro batch``; the programmatic front end
-is :func:`repro.api.execute_jobs`, which runs the same executor pooled
-(``workers > 0``) or solo (``workers = 0``).
+The CLI front ends are ``python -m repro batch`` (local pool, or
+``--connect HOST:PORT`` against a running server) and ``python -m repro
+serve``; the programmatic front end is :func:`repro.api.execute_jobs`,
+which runs the same executor pooled (``workers > 0``), solo
+(``workers = 0``), or remotely (``connect=...``).
 """
 
-from repro.service.dispatcher import Dispatcher, PoolStats
+from repro.service.client import ServiceClient
+from repro.service.dispatcher import Dispatcher, ElasticSupervisor, PoolStats
+from repro.service.endpoint import Endpoint, EndpointServer, serve_background
 from repro.service.executor import execute_job
 from repro.service.faults import Fault, FaultInjector, FaultPlan
 from repro.service.jobs import Job, JobResult
 
 __all__ = [
     "Dispatcher",
+    "ElasticSupervisor",
+    "Endpoint",
+    "EndpointServer",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "Job",
     "JobResult",
     "PoolStats",
+    "ServiceClient",
     "execute_job",
+    "serve_background",
 ]

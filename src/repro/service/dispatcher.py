@@ -49,6 +49,23 @@ levels, all deterministic in everything but timing:
   the batch completes cleanly on the surviving slots (all slots broken is
   a hard ``RuntimeError`` — nothing could make progress).
 
+**Elasticity.**  The slot array is no longer fixed: :meth:`Dispatcher.grow`
+adds a worker slot (reviving the lowest retired slot as a new generation —
+a scale event is just a controlled respawn — or appending a brand-new one)
+and :meth:`Dispatcher.shrink` retires the highest active slot: new keys
+shard around it immediately, its pending jobs finish where they are, and
+once empty it is stopped gracefully.  Because every worker attaches the
+shared persistent memo store at bootstrap, a freshly grown slot starts
+*warm* from the fleet's accumulated entries.  :class:`ElasticSupervisor`
+drives both from queue-depth watermarks.
+
+**Deadlines.**  A job carrying ``deadline`` (wall-clock seconds, measured
+from acceptance) never goes silent: an expired job completes as a
+structured ``JobTimeout`` dead-letter document — an overdue *running* job
+recycles its worker exactly like a pool-level timeout, an expired *queued*
+job is dead-lettered in place — and the document's type/message are pure
+functions of the job spec, never of timing.
+
 **Stats.**  Pool-level aggregation sums per-worker counters without double
 counting: each worker's session *is* its process-default state (the
 bootstrap guarantees it), so the legacy-shim counters and the session
@@ -78,7 +95,7 @@ from repro.service.faults import FaultPlan
 from repro.service.jobs import Job, JobResult
 from repro.service.worker import worker_main
 
-__all__ = ["Dispatcher", "PoolStats"]
+__all__ = ["Dispatcher", "ElasticSupervisor", "PoolStats"]
 
 _POOL_IDS = itertools.count(1)
 
@@ -99,6 +116,8 @@ class PoolStats:
     """Aggregated pool-level statistics, JSON-ready via :meth:`to_dict`."""
 
     workers: int = 0
+    active: int = 0
+    pending: int = 0
     submitted: int = 0
     completed: int = 0
     failed: int = 0
@@ -106,6 +125,8 @@ class PoolStats:
     restarts: int = 0
     timeouts: int = 0
     exhausted: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
     jobs_per_slot: dict[int, int] = field(default_factory=dict)
     cache_hits: dict[str, int] = field(default_factory=dict)
     persist: dict[str, Any] | None = None
@@ -114,6 +135,8 @@ class PoolStats:
     def to_dict(self) -> dict[str, Any]:
         return {
             "workers": self.workers,
+            "active": self.active,
+            "pending": self.pending,
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -121,6 +144,8 @@ class PoolStats:
             "restarts": self.restarts,
             "timeouts": self.timeouts,
             "exhausted": self.exhausted,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
             "jobs_per_slot": {str(slot): n for slot, n in sorted(self.jobs_per_slot.items())},
             "cache_hits": dict(self.cache_hits),
             "persist": None if self.persist is None else dict(self.persist),
@@ -138,6 +163,9 @@ class _Pending:
     attempts: int = 0
     begun_at: float | None = None
     timed_out: bool = False
+    deadline_at: float | None = None
+    deadline_hit: bool = False
+    on_done: Any = None
     done: threading.Event = field(default_factory=threading.Event)
     result: JobResult | None = None
 
@@ -245,6 +273,8 @@ class Dispatcher:
         self._crash_streak: dict[int, int] = {}
         self._respawn_at: dict[int, float] = {}
         self._broken: set[int] = set()
+        self._retiring: set[int] = set()
+        self._retired: set[int] = set()
         self._last_seen: dict[int, float] = {}
         self._counts = {
             "submitted": 0,
@@ -254,10 +284,13 @@ class Dispatcher:
             "restarts": 0,
             "timeouts": 0,
             "exhausted": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
         }
         self._sequence = itertools.count()
         self._round_robin = itertools.count()
         self._closing = False
+        self._draining = False
         for slot in range(workers):
             self._handles.append(self._spawn(slot, generation=0))
         self._collector = threading.Thread(
@@ -288,32 +321,46 @@ class Dispatcher:
         if key is None:
             return self._next_slot()
         slot = self._key_slots.get(key)
-        if slot is None or slot in self._broken:
-            # New key — or a key whose slot tripped its crash-loop breaker:
-            # the stream migrates to a healthy slot (cold caches, same bytes).
+        if slot is None or self._unavailable(slot):
+            # New key — or a key whose slot tripped its crash-loop breaker
+            # or was retired by a scale-down: the stream migrates to a
+            # healthy slot (cold caches, same bytes).
             slot = self._key_slots[key] = self._next_slot()
         return slot
 
+    def _unavailable(self, slot: int) -> bool:
+        """Slots no new work may land on: broken, retiring, or retired."""
+        return slot in self._broken or slot in self._retiring or slot in self._retired
+
     def _next_slot(self) -> int:
-        """The next non-broken slot in rotation."""
+        """The next available slot in rotation."""
         for _ in range(len(self._handles)):
             slot = next(self._round_robin) % len(self._handles)
-            if slot not in self._broken:
+            if not self._unavailable(slot):
                 return slot
         raise RuntimeError(
-            "every worker slot has tripped its crash-loop breaker; "
-            "the pool cannot make progress"
+            "no worker slot is available (crash-loop breakers or retirement "
+            "took every slot); the pool cannot make progress"
         )
 
     # -- submission -----------------------------------------------------------
 
-    def submit(self, job: Job | Mapping[str, Any]) -> _Pending:
-        """Queue one job; blocks while ``max_pending`` jobs are unfinished."""
+    def submit(self, job: Job | Mapping[str, Any], on_done: Any = None) -> _Pending:
+        """Queue one job; blocks while ``max_pending`` jobs are unfinished.
+
+        ``on_done`` is an optional completion callback invoked (with the
+        finished ``_Pending``) the moment the job completes — result, dead
+        letter, or shutdown document alike.  It runs on the collector
+        thread under the dispatcher lock, so it must be non-blocking (the
+        service endpoint passes a ``call_soon_threadsafe`` trampoline).
+        """
         if not isinstance(job, Job):
             job = Job.from_dict(job)
         with self._space:
             if self._closing:
                 raise RuntimeError("dispatcher is shut down")
+            if self._draining:
+                raise RuntimeError("dispatcher is draining; not accepting jobs")
             sequence = next(self._sequence)
             if job.id is None:
                 job = Job.from_dict({**job.to_dict(), "id": f"job-{sequence}"})
@@ -323,8 +370,19 @@ class Dispatcher:
                 self._space.wait()
                 if self._closing:
                     raise RuntimeError("dispatcher is shut down")
+                if self._draining:
+                    raise RuntimeError("dispatcher is draining; not accepting jobs")
             slot = self.slot_for(job)
-            pending = _Pending(job=job, slot=slot, sequence=sequence)
+            pending = _Pending(
+                job=job,
+                slot=slot,
+                sequence=sequence,
+                deadline_at=(
+                    None if job.deadline is None
+                    else time.monotonic() + job.deadline
+                ),
+                on_done=on_done,
+            )
             self._pending[job.id] = pending
             self._counts["submitted"] += 1
             if slot in self._respawn_at:
@@ -341,12 +399,106 @@ class Dispatcher:
 
         Results come back in submission order regardless of which workers
         finished first — the stable shape batch clients (and the
-        determinism differential) want.
+        determinism differential) want.  If a later ``submit`` raises (a
+        duplicate job id, a shutdown racing the batch), the already
+        submitted prefix is not abandoned: its jobs are waited out — every
+        accepted job still resolves to a result document — before the
+        failure propagates.
         """
-        pendings = [self.submit(job) for job in jobs]
+        pendings: list[_Pending] = []
+        try:
+            for job in jobs:
+                pendings.append(self.submit(job))
+        except BaseException:
+            for pending in pendings:
+                pending.done.wait()
+            raise
         for pending in pendings:
             pending.done.wait()
         return [pending.result for pending in pendings]  # type: ignore[misc]
+
+    # -- elasticity -----------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Unfinished jobs currently held by the dispatcher."""
+        with self._lock:
+            return len(self._pending)
+
+    def active_workers(self) -> int:
+        """Slots new work can land on (not broken, retiring, or retired)."""
+        with self._lock:
+            return sum(
+                1 for slot in range(len(self._handles)) if not self._unavailable(slot)
+            )
+
+    def grow(self) -> int | None:
+        """Add one worker slot; returns its index, or None if refused.
+
+        Prefers reviving the lowest retired slot at a fresh generation — a
+        scale-up is just a controlled respawn, so all the existing
+        crash-containment machinery applies to it — and appends a
+        brand-new slot otherwise.  The new worker attaches the shared
+        persistent memo store at bootstrap, so it starts warm.
+        """
+        with self._space:
+            if self._closing or self._draining:
+                return None
+            if self._retired:
+                slot = min(self._retired)
+                self._retired.discard(slot)
+                dead = self._handles[slot]
+                self._handles[slot] = self._spawn(slot, dead.generation + 1)
+                self._crash_streak[slot] = 0
+                self._last_seen.pop(slot, None)
+            else:
+                slot = len(self._handles)
+                self._handles.append(self._spawn(slot, generation=0))
+            self._counts["scale_ups"] += 1
+            self._space.notify_all()
+            return slot
+
+    def shrink(self) -> int | None:
+        """Retire the highest active slot; returns its index, or None.
+
+        New keys shard around the slot immediately; its pending jobs
+        finish where they are (warm caches), and once the slot is empty it
+        is stopped gracefully.  Refuses to retire the last active slot.
+        """
+        with self._space:
+            if self._closing:
+                return None
+            candidates = [
+                slot
+                for slot in range(len(self._handles))
+                if not self._unavailable(slot)
+            ]
+            if len(candidates) <= 1:
+                return None
+            slot = max(candidates)
+            self._retiring.add(slot)
+            self._counts["scale_downs"] += 1
+            self._maybe_finish_retire_locked(slot)
+            self._space.notify_all()
+            return slot
+
+    def _maybe_finish_retire_locked(self, slot: int) -> None:
+        """Complete a scale-down once a retiring slot has no pending work."""
+        if slot not in self._retiring:
+            return
+        if any(
+            p.slot == slot and not p.done.is_set() for p in self._pending.values()
+        ):
+            return
+        self._retiring.discard(slot)
+        self._retired.add(slot)
+        self._respawn_at.pop(slot, None)
+        self._crash_streak.pop(slot, None)
+        handle = self._handles[slot]
+        if handle.process.is_alive():
+            try:
+                handle.queue.put(json.dumps({"op": "stop"}))
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
 
     # -- health ---------------------------------------------------------------
 
@@ -406,11 +558,18 @@ class Dispatcher:
                     "alive": handle.process.is_alive(),
                     "crash_streak": self._crash_streak.get(handle.slot, 0),
                     "broken": handle.slot in self._broken,
+                    "retiring": handle.slot in self._retiring,
+                    "retired": handle.slot in self._retired,
                     "respawn_pending": handle.slot in self._respawn_at,
                     "last_seen_seconds": None if seen is None else round(now - seen, 3),
                 }
+            active = sum(
+                1 for slot in range(len(self._handles)) if not self._unavailable(slot)
+            )
             return PoolStats(
                 workers=len(self._handles),
+                active=active,
+                pending=len(self._pending),
                 jobs_per_slot=dict(self._jobs_per_slot),
                 cache_hits=hits,
                 persist=persist,
@@ -419,6 +578,39 @@ class Dispatcher:
             )
 
     # -- shutdown -------------------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop accepting, flush every accepted job, then shut down.
+
+        Zero accepted-and-lost by construction: every job in the pending
+        table either completes normally (crash recovery and dead-lettering
+        included) or — past the drain deadline — completes as a
+        ``DrainTimeout`` dead-letter document.  Either way its completion
+        callback fires; nothing accepted goes silent.
+        """
+        with self._space:
+            if self._closing:
+                return
+            self._draining = True
+            self._space.notify_all()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._pending:
+                    break
+            time.sleep(0.01)
+        with self._space:
+            for pending in list(self._pending.values()):
+                if not pending.done.is_set():
+                    self._dead_letter_locked(
+                        pending,
+                        "DrainTimeout",
+                        f"dispatcher drained before the job completed "
+                        f"(drain timeout {timeout}s)",
+                        exhausted=False,
+                    )
+            self._space.notify_all()
+        self.shutdown()
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop every worker gracefully; escalate to kill on the deadline."""
@@ -461,7 +653,7 @@ class Dispatcher:
                         },
                         meta={"slot": pending.slot, "attempts": pending.attempts},
                     )
-                    pending.done.set()
+                    self._complete_locked(pending)
             self._pending.clear()
 
     # -- internals ------------------------------------------------------------
@@ -489,6 +681,20 @@ class Dispatcher:
         process.start()
         return _WorkerHandle(slot, generation, worker_name, process, jobs)
 
+    def _complete_locked(self, pending: _Pending) -> None:
+        """Mark ``pending`` finished and fire its completion callback.
+
+        Caller holds the lock.  The callback runs on the collector (or
+        shutdown) thread and must be non-blocking; a callback exception is
+        swallowed so a client bug can never kill the collector.
+        """
+        pending.done.set()
+        if pending.on_done is not None:
+            try:
+                pending.on_done(pending)
+            except Exception:  # pragma: no cover - client callback bug
+                pass
+
     def _send(self, handle: _WorkerHandle, pending: _Pending) -> None:
         """Put one job on a worker queue (caller holds the lock)."""
         pending.begun_at = None
@@ -507,12 +713,15 @@ class Dispatcher:
 
         Health runs on the idle branch *and* at a bounded interval while
         results are flowing — a continuous stream from healthy workers
-        must not starve the detection of a dead or overdue one.
+        must not starve the detection of a dead or overdue one.  The 20ms
+        tick bounds failure-detection latency: a killed worker costs one
+        tick to notice plus its respawn backoff, so recovery time is
+        dominated by the (configurable) backoff, not by polling.
         """
         last_health = time.monotonic()
         while True:
             try:
-                raw = self._results.get(timeout=0.05)
+                raw = self._results.get(timeout=0.02)
             except queue_module.Empty:
                 if self._closing and all(h.bye.is_set() or not h.process.is_alive()
                                          for h in self._handles):
@@ -520,7 +729,7 @@ class Dispatcher:
                 self._watch_health()
                 last_health = time.monotonic()
                 continue
-            if time.monotonic() - last_health > 0.05:
+            if time.monotonic() - last_health > 0.02:
                 self._watch_health()
                 last_health = time.monotonic()
             message = json.loads(raw)
@@ -601,36 +810,70 @@ class Dispatcher:
             self._counts["completed"] += 1
             if not result.ok:
                 self._counts["failed"] += 1
-            pending.done.set()
+            self._complete_locked(pending)
+            if pending.slot in self._retiring:
+                self._maybe_finish_retire_locked(pending.slot)
             self._space.notify_all()
 
     def _watch_health(self) -> None:
-        """Kill overdue jobs, absorb deaths, fire due respawns."""
+        """Kill overdue jobs, expire deadlines, absorb deaths, fire respawns."""
         now = time.monotonic()
-        if self.job_timeout is not None:
-            overdue: list[int] = []
-            with self._lock:
-                for pending in self._pending.values():
-                    if (
-                        pending.begun_at is not None
-                        and now - pending.begun_at > self.job_timeout
-                        and self._handles[pending.slot].process.is_alive()
-                    ):
+        overdue: list[int] = []
+        with self._space:
+            for pending in list(self._pending.values()):
+                if pending.done.is_set() or pending.timed_out:
+                    continue
+                past_deadline = (
+                    pending.deadline_at is not None and now > pending.deadline_at
+                )
+                past_timeout = (
+                    self.job_timeout is not None
+                    and pending.begun_at is not None
+                    and now - pending.begun_at > self.job_timeout
+                )
+                if pending.begun_at is not None and (past_timeout or past_deadline):
+                    if self._handles[pending.slot].process.is_alive():
+                        # Overdue while running: recycle the worker exactly
+                        # like a pool-level timeout — the death handler sees
+                        # the marked culprit, so no innocent job is blamed.
                         pending.timed_out = True
+                        pending.deadline_hit = past_deadline
                         overdue.append(pending.slot)
-            for slot in set(overdue):
-                self._counts["timeouts"] += 1
-                self._handles[slot].process.kill()
-                self._handles[slot].process.join(2.0)
+                elif past_deadline:
+                    # Expired while queued (behind other work, or waiting out
+                    # a respawn backoff): dead-letter in place; the worker
+                    # never sees it, and any late duplicate result is dropped.
+                    # Attempts pin to 1 so the document is a pure function of
+                    # the job spec, not of where the overrun caught the job.
+                    self._counts["timeouts"] += 1
+                    pending.attempts = 1
+                    self._dead_letter_locked(
+                        pending,
+                        "JobTimeout",
+                        f"job missed its {pending.job.deadline}s deadline",
+                        exhausted=True,
+                    )
+                    if pending.slot in self._retiring:
+                        self._maybe_finish_retire_locked(pending.slot)
+                    self._space.notify_all()
+        for slot in set(overdue):
+            self._counts["timeouts"] += 1
+            self._handles[slot].process.kill()
+            self._handles[slot].process.join(2.0)
         for slot, handle in enumerate(list(self._handles)):
             if (
                 not handle.process.is_alive()
                 and not self._closing
                 and not handle.bye.is_set()
                 and slot not in self._broken
+                and slot not in self._retired
                 and slot not in self._respawn_at
             ):
                 self._on_worker_death(slot)
+        if self._retiring and not self._closing:
+            with self._space:
+                for slot in list(self._retiring):
+                    self._maybe_finish_retire_locked(slot)
         if self._respawn_at and not self._closing:
             now = time.monotonic()
             for slot, due_at in list(self._respawn_at.items()):
@@ -662,7 +905,7 @@ class Dispatcher:
         self._counts["failed"] += 1
         if exhausted:
             self._counts["exhausted"] += 1
-        pending.done.set()
+        self._complete_locked(pending)
 
     def _on_worker_death(self, slot: int) -> None:
         """Contain one worker death: blame, quarantine, schedule the refill.
@@ -695,7 +938,19 @@ class Dispatcher:
             culprit = next((p for p in stranded if p.begun_at is not None), None)
             if culprit is None and stranded:
                 culprit = stranded[0]
-            if culprit is not None:
+            if culprit is not None and culprit.deadline_hit:
+                # A missed per-job deadline never retries: the document
+                # (type, message, pinned attempt count) is a pure function
+                # of the job spec, so the error half stays byte-identical
+                # across runs however the overrun interleaved with crashes.
+                culprit.attempts = 1
+                self._dead_letter_locked(
+                    culprit,
+                    "JobTimeout",
+                    f"job missed its {culprit.job.deadline}s deadline",
+                    exhausted=True,
+                )
+            elif culprit is not None:
                 culprit.attempts += 1
                 culprit.begun_at = None
                 if culprit.attempts >= self.max_attempts:
@@ -771,3 +1026,76 @@ class Dispatcher:
                 self._counts["requeued"] += 1
                 self._send(replacement, pending)
             self._space.notify_all()
+
+
+class ElasticSupervisor(threading.Thread):
+    """Scale a dispatcher's worker pool on queue-depth watermarks.
+
+    Polls queue depth against the active worker count every ``interval``
+    seconds: above ``high_watermark`` pending jobs per worker it calls
+    :meth:`Dispatcher.grow` (up to ``max_workers``); below
+    ``low_watermark`` it calls :meth:`Dispatcher.shrink` (down to
+    ``min_workers``).  A ``cooldown`` between scale events keeps a bursty
+    stream from thrashing the pool — growth is cheap (a revived slot warms
+    from the shared persistent memo store) but not free.  Scale events are
+    appended to :attr:`events` as ``(direction, slot, depth)`` tuples and
+    counted in the pool stats (``scale_ups`` / ``scale_downs``).
+
+    Scaling changes *capacity and timing only*: sharding stays
+    deterministic in arrival order, and deterministic payloads never
+    depend on slot assignment at all, so an elastic pool produces the
+    same bytes as a fixed one.
+    """
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        high_watermark: float = 2.0,
+        low_watermark: float = 0.5,
+        interval: float = 0.05,
+        cooldown: float = 0.2,
+    ) -> None:
+        if min_workers < 1 or max_workers < min_workers:
+            raise ValueError("need 1 <= min_workers <= max_workers")
+        if low_watermark >= high_watermark:
+            raise ValueError("low_watermark must sit below high_watermark")
+        super().__init__(name=f"{dispatcher.name}-elastic", daemon=True)
+        self.dispatcher = dispatcher
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.interval = interval
+        self.cooldown = cooldown
+        self.events: list[tuple[str, int, int]] = []
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        """Stop the supervision loop and wait for the thread to exit."""
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=5.0)
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        last_scale = 0.0
+        while not self._halt.wait(self.interval):
+            try:
+                depth = self.dispatcher.queue_depth()
+                active = self.dispatcher.active_workers()
+            except Exception:
+                return  # the pool was torn down under us; nothing to supervise
+            now = time.monotonic()
+            if active == 0 or now - last_scale < self.cooldown:
+                continue
+            if depth > self.high_watermark * active and active < self.max_workers:
+                slot = self.dispatcher.grow()
+                if slot is not None:
+                    self.events.append(("up", slot, depth))
+                    last_scale = now
+            elif depth < self.low_watermark * active and active > self.min_workers:
+                slot = self.dispatcher.shrink()
+                if slot is not None:
+                    self.events.append(("down", slot, depth))
+                    last_scale = now

@@ -141,6 +141,11 @@ def execute_job(session: "Session", job: Job) -> JobResult:
             name: hits_after[name] - hits_before.get(name, 0) for name in hits_after
         },
     }
+    if ok and job.kind == "stats":
+        meta["stats"] = {
+            "cache_stats": session.cache_stats(),
+            "hit_counts": dict(hits_after),
+        }
     return JobResult(id=job_id, ok=ok, payload=payload, error=error, meta=meta)
 
 
@@ -157,6 +162,14 @@ def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
         if tier is not None:
             session.state.attach_memo_store(tier.store)
         return {"reset": True}
+    if job.kind == "stats":
+        # The deterministic payload is a constant: a telemetry poll must be
+        # able to ride any job stream without perturbing the byte-identical
+        # pooled-vs-solo differentials.  The actual numbers (session cache
+        # stats here; aggregated PoolStats when an endpoint answers the
+        # poll itself) travel in the result's telemetry half — see
+        # ``execute_job``, which stamps ``meta["stats"]``.
+        return {"stats": True}
     if job.kind == "sleep":
         time.sleep(job.seconds)
         return {"slept": job.seconds}

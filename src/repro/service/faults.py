@@ -32,6 +32,17 @@ Fault kinds and where they fire:
   ``program``).  The decoder/lexer rejects it with a deterministic error
   document; like poison jobs, corrupted jobs are *expected* to diverge
   from the fault-free run, and :meth:`FaultPlan.divergent_ids` names them.
+* ``conn_drop`` / ``conn_stall`` / ``conn_truncate`` — **connection**
+  faults, fired by the service endpoint at the exact (connection, job)
+  coordinate where a result is about to be delivered: the connection is
+  aborted before the result line (``drop``), the delivery stalls for
+  ``seconds`` (``stall``), or half the line is written and the connection
+  closed mid-document (``truncate``).  The client's reconnect-and-resubmit
+  machinery recovers every one of them — results stay byte-identical, so
+  connection faults never enter :meth:`FaultPlan.divergent_ids`.  Delivery
+  attempts are counted separately from dispatch attempts (a resubmitted
+  job is a fresh delivery), and generated plans keep connection faults
+  transient (``attempts=1``) so retries terminate.
 
 The hook is zero-cost when off: the executor and the store consult one
 module-level slot (:func:`active`, :data:`~repro.wire.persist.FAULT_HOOK`)
@@ -50,6 +61,7 @@ from typing import Any, Iterable, Mapping
 from repro.service.jobs import Job
 
 __all__ = [
+    "CONNECTION_KINDS",
     "FAULT_KINDS",
     "Fault",
     "FaultInjector",
@@ -66,7 +78,14 @@ FAULT_KINDS = (
     "store_read_error",
     "store_write_error",
     "wire_corrupt",
+    "conn_drop",
+    "conn_stall",
+    "conn_truncate",
 )
+
+#: The connection-category kinds: fired at result-delivery time by the
+#: service endpoint, recovered by the client's resubmit machinery.
+CONNECTION_KINDS = frozenset({"conn_drop", "conn_stall", "conn_truncate"})
 
 
 @dataclass(frozen=True)
@@ -139,7 +158,11 @@ class FaultPlan:
         store_read_errors: int = 0,
         store_write_errors: int = 0,
         corruptions: int = 0,
+        conn_drops: int = 0,
+        conn_stalls: int = 0,
+        conn_truncates: int = 0,
         delay_seconds: float = 0.05,
+        stall_seconds: float = 0.05,
         corruptible_ids: Iterable[str] | None = None,
     ) -> "FaultPlan":
         """A seeded schedule over ``job_ids``; each job gets at most one fault.
@@ -149,7 +172,12 @@ class FaultPlan:
         ``kill`` faults with ``attempts=-1`` (they die on every attempt and
         must dead-letter); plain ``kills`` are transient (first attempt
         only).  ``corruptible_ids`` restricts ``wire_corrupt`` victims
-        (e.g. to the jobs that actually carry a payload).
+        (e.g. to the jobs that actually carry a payload).  The connection
+        categories (``conn_drops``/``conn_stalls``/``conn_truncates``) draw
+        from the same single-seed stream, after the worker/store/wire
+        categories, and are always transient — a dropped or truncated
+        delivery is retried by the client, so connection faults never
+        extend :meth:`divergent_ids`.
         """
         rng = random.Random(seed)
         pool = list(dict.fromkeys(job_ids))  # stable order, no duplicates
@@ -178,6 +206,12 @@ class FaultPlan:
             corrupt_pool = [job_id for job_id in corrupt_pool if job_id in allowed]
         for job_id in draw(corruptions, corrupt_pool):
             faults.append(Fault("wire_corrupt", job_id, attempts=-1))
+        for job_id in draw(conn_drops, list(pool)):
+            faults.append(Fault("conn_drop", job_id, attempts=1))
+        for job_id in draw(conn_stalls, list(pool)):
+            faults.append(Fault("conn_stall", job_id, attempts=1, seconds=stall_seconds))
+        for job_id in draw(conn_truncates, list(pool)):
+            faults.append(Fault("conn_truncate", job_id, attempts=1))
         return cls(faults, seed=seed)
 
     # -- queries --------------------------------------------------------------
@@ -213,13 +247,24 @@ class FaultPlan:
             if any(fault.kind == "wire_corrupt" for fault in faults)
         )
 
+    def connection_ids(self) -> frozenset[str]:
+        """Jobs whose result *delivery* is faulted (drop/stall/truncate)."""
+        return frozenset(
+            job_id
+            for job_id, faults in self._by_job.items()
+            if any(fault.kind in CONNECTION_KINDS for fault in faults)
+        )
+
     def divergent_ids(self, max_attempts: int) -> frozenset[str]:
         """Jobs whose *payloads* legitimately differ from a fault-free run.
 
         Poison jobs end as dead-letter documents; corrupted jobs end as
         decode/parse error documents.  Every other faulted job (transient
-        kills, delays, store errors) must still be byte-identical to the
-        fault-free solo run — that is the harness's whole point.
+        kills, delays, store errors, and every connection-category fault —
+        dropped, stalled, or truncated deliveries are resubmitted by the
+        client) must still be byte-identical to the fault-free solo run —
+        that is the harness's whole point, and why this set is *complete*:
+        anything outside it diverging is a bug.
         """
         return self.poisoned_ids(max_attempts) | self.corrupted_ids()
 
@@ -289,6 +334,7 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._attempts: dict[str, int] = {}
+        self._deliveries: dict[str, int] = {}
         #: (kind, job_id, attempt) for every fault that actually fired —
         #: telemetry for tests; never part of a deterministic payload.
         self.fired: list[tuple[str, str, int]] = []
@@ -357,6 +403,27 @@ class FaultInjector:
                 job.program[:position] + "\x07" + job.program[position + 1 :]
             )
         return Job.from_dict(spec)
+
+    # -- endpoint-level (connection) faults -----------------------------------
+
+    def delivery_fault(self, job_id: str | None) -> Fault | None:
+        """The connection fault to apply to this job's result delivery.
+
+        Called by the service endpoint exactly once per delivery attempt —
+        the call *is* the attempt counter, separate from dispatch attempts:
+        a resubmitted job (same id, fresh connection) is delivery attempt 1
+        and a transient fault (``attempts=1``) no longer fires, which is
+        what makes client reconnect-and-resubmit terminate.
+        """
+        if job_id is None:
+            return None
+        attempt = self._deliveries.get(job_id, 0)
+        self._deliveries[job_id] = attempt + 1
+        for fault in self.plan.for_job(job_id):
+            if fault.kind in CONNECTION_KINDS and fault.fires_on(attempt):
+                self.fired.append((fault.kind, fault.job_id, attempt))
+                return fault
+        return None
 
     def store_window(self, job_id: str | None):
         """Context manager arming store faults for this job's duration.

@@ -14,6 +14,12 @@ the spec down the worker pipe, so nothing richer can leak through):
 * ``reset`` — return the executing session to its cold deterministic zero
   (the classic start-of-build ``reset_fresh_counter`` discipline; with
   affinity keys this cools exactly one worker instead of the whole pool);
+* ``stats`` — telemetry poll: the deterministic payload is the constant
+  ``{"stats": true}`` (so a stats job can ride any stream without breaking
+  the byte-identical differentials) and the *telemetry* travels in ``meta``
+  — the executing session's cache statistics in-process, and the full
+  aggregated :class:`~repro.service.dispatcher.PoolStats` document when a
+  service endpoint answers the poll itself (``/metrics``-style);
 * ``sleep`` / ``crash`` — chaos kinds for health checks and the
   worker-failure test suite (a worker executing ``crash`` dies hard; the
   in-process executor merely fails the job).
@@ -21,6 +27,12 @@ the spec down the worker pipe, so nothing richer can leak through):
 ``key`` is the **affinity key**: jobs sharing a key are dispatched to the
 same worker slot, so a stream of related jobs keeps hitting that worker's
 warm memo caches.  Jobs without a key are sharded round-robin.
+
+``deadline`` is the job's **wall-clock budget** in seconds, measured from
+dispatcher acceptance.  An expired job never goes silent: it completes as
+a structured ``JobTimeout`` dead-letter document (an overdue worker is
+recycled exactly like a pool-level timeout), and the service endpoint maps
+client-supplied per-job deadlines onto this field.
 
 A **result** is split in two, and the split is load-bearing:
 
@@ -58,6 +70,7 @@ JOB_KINDS = (
     "run",
     "link",
     "reset",
+    "stats",
     "sleep",
     "crash",
 )
@@ -92,11 +105,14 @@ class Job:
     seconds: float = 0.0  # sleep
     wire: int = 1  # wire-format version this spec speaks
     term_b64: str | None = None  # binary DAG program (wire >= 2)
+    deadline: float | None = None  # wall-clock seconds the job may spend in the pool
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             expected = ", ".join(JOB_KINDS)
             raise ValueError(f"unknown job kind {self.kind!r} (expected one of {expected})")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("'deadline' must be positive (wall-clock seconds)")
         if self.wire not in WIRE_VERSIONS:
             expected = ", ".join(str(version) for version in WIRE_VERSIONS)
             raise ValueError(
@@ -137,6 +153,8 @@ class Job:
             spec["wire"] = self.wire
         if self.term_b64 is not None:
             spec["term_b64"] = self.term_b64
+        if self.deadline is not None:
+            spec["deadline"] = self.deadline
         return spec
 
     @classmethod
@@ -155,6 +173,7 @@ class Job:
             "seconds",
             "wire",
             "term_b64",
+            "deadline",
         }
         unknown = set(spec) - known
         if unknown:
@@ -177,6 +196,7 @@ class Job:
             seconds=spec.get("seconds", 0.0),
             wire=spec.get("wire", 1),
             term_b64=spec.get("term_b64"),
+            deadline=spec.get("deadline"),
         )
 
 

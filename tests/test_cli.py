@@ -248,6 +248,65 @@ class TestChaosBatch:
         assert second["stats"]["exhausted"] == document["stats"]["exhausted"]
 
 
+class TestServeConnect:
+    def test_batch_connect_streams_through_a_live_endpoint(self, tmp_path, capsys):
+        from repro.service import serve_background
+
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            '{"id": "a", "kind": "normalize", "program": "(\\\\ (x : Nat). succ x) 41"}\n'
+            '{"id": "b", "kind": "check", "program": "0 0"}\n'
+        )
+        assert main(["batch", "--json", str(jobs)]) == 1  # b is ill-typed
+        solo = json.loads(capsys.readouterr().out)
+        with serve_background(min_workers=1) as server:
+            address = f"{server.host}:{server.port}"
+            assert main(["batch", "--json", "--connect", address, str(jobs)]) == 1
+        remote = json.loads(capsys.readouterr().out)
+        # The deterministic halves are byte-identical to the local run.
+        strip = lambda results: [
+            {k: v for k, v in doc.items() if k != "meta"} for doc in results
+        ]
+        assert strip(remote["results"]) == strip(solo["results"])
+        # The --json stats surface the pool *and* endpoint telemetry.
+        assert remote["stats"]["connect"] == address
+        assert remote["stats"]["client"]["reconnects"] == 0
+        assert remote["stats"]["pool"]["completed"] >= 2
+        assert remote["stats"]["endpoint"]["accepted"] >= 2
+
+    def test_batch_connect_with_chaos_seed_heals_to_identical_bytes(
+        self, tmp_path, capsys
+    ):
+        from repro.service import serve_background
+
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text(
+            "\n".join(
+                json.dumps(
+                    {"id": f"c{i}", "kind": "normalize",
+                     "program": "(\\ (x : Nat). succ x) 41"}
+                )
+                for i in range(8)
+            )
+            + "\n"
+        )
+        assert main(["batch", "--json", str(jobs)]) == 0
+        solo = json.loads(capsys.readouterr().out)
+        with serve_background(min_workers=1) as server:
+            address = f"{server.host}:{server.port}"
+            assert main(
+                ["batch", "--json", "--connect", address,
+                 "--chaos-seed", "13", str(jobs)]
+            ) == 0
+        chaotic = json.loads(capsys.readouterr().out)
+        strip = lambda results: [
+            {k: v for k, v in doc.items() if k != "meta"} for doc in results
+        ]
+        # Client-side connection chaos changes nothing but timing.
+        assert strip(chaotic["results"]) == strip(solo["results"])
+        assert chaotic["stats"]["chaos"]["seed"] == 13
+
+
 class TestStoreMaintenance:
     def _seeded_store(self, tmp_path):
         path = tmp_path / "memo.sqlite"

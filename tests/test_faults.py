@@ -125,6 +125,7 @@ class TestFaultPlan:
         plan = FaultPlan.generate(
             1, ids, kills=1, poisons=1, delays=1, store_read_errors=1,
             store_write_errors=1, corruptions=1,
+            conn_drops=1, conn_stalls=1, conn_truncates=1,
         )
         kinds = {entry["kind"] for entry in plan.to_dict()["faults"]}
         assert kinds == set(FAULT_KINDS)

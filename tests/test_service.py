@@ -44,6 +44,7 @@ def _mixed_jobs() -> list[dict]:
         {"id": "m8", "kind": "normalize", "program": REDEX, "fuel": 0, "key": "b"},
         {"id": "m9", "kind": "reset", "key": "a"},
         {"id": "m10", "kind": "normalize", "program": REDEX, "key": "a"},
+        {"id": "m11", "kind": "stats"},
     ]
 
 
@@ -102,6 +103,9 @@ class TestExecutor:
         assert by_id["m7"].error["type"] == "TypeCheckError"
         assert by_id["m8"].error["type"] == "NormalizationDepthExceeded"
         assert by_id["m9"].payload == {"reset": True}
+        # stats: constant deterministic payload, telemetry rides in meta.
+        assert by_id["m11"].payload == {"stats": True}
+        assert "cache_stats" in by_id["m11"].meta["stats"]
 
     def test_payloads_are_alpha_canonical(self):
         # α-variants of one program produce byte-identical payloads.
@@ -509,3 +513,227 @@ class TestFailureDomains:
         assert [result.canonical() for result in results] == solo
         assert stats.restarts == 1
         assert stats.exhausted == 0
+
+
+class TestRunBatchPartialFailure:
+    def test_failed_submit_still_resolves_the_accepted_prefix(self):
+        # Satellite contract: when a later submit raises (here a duplicate
+        # in-flight id), the already-accepted prefix is waited out — every
+        # accepted job resolves to a result — before the error propagates.
+        with Dispatcher(workers=1) as pool:
+            first = pool.submit({"id": "dup", "kind": "sleep", "seconds": 0.3})
+            with pytest.raises(ValueError, match="duplicate in-flight"):
+                pool.run_batch(
+                    [
+                        {"id": "p0", "kind": "normalize", "program": REDEX},
+                        {"id": "p1", "kind": "normalize", "program": REDEX},
+                        {"id": "dup", "kind": "normalize", "program": REDEX},
+                    ]
+                )
+            # The prefix was not abandoned: both jobs already resolved by
+            # the time run_batch raised (no sleeping on done events here).
+            with pool._lock:
+                settled = {
+                    pending.job.id
+                    for pending in pool._pending.values()
+                    if pending.done.is_set()
+                } | {"p0", "p1"} - set(pool._pending)
+            assert {"p0", "p1"} <= settled
+            assert first.done.wait(30.0) and first.result.ok
+
+
+class TestDispatcherDeadlines:
+    def test_queued_past_deadline_dead_letters_without_running(self):
+        # One worker is pinned by a sleeper; the queued job's deadline
+        # lapses before it ever starts and it dead-letters in place with
+        # the deterministic JobTimeout document (attempts pinned to 1).
+        with Dispatcher(workers=1) as pool:
+            slow = pool.submit({"id": "pin", "kind": "sleep", "seconds": 1.0, "key": "k"})
+            queued = pool.submit(
+                {"id": "q", "kind": "normalize", "program": REDEX, "key": "k",
+                 "deadline": 0.1}
+            )
+            assert queued.done.wait(30.0)
+            assert slow.done.wait(30.0)
+        assert not queued.result.ok
+        assert queued.result.error["type"] == "JobTimeout"
+        assert queued.result.error["message"] == "job missed its 0.1s deadline"
+        assert queued.result.error["attempts"] == 1
+        assert slow.result.ok  # the innocent sleeper is never blamed
+
+    def test_running_past_deadline_is_killed_and_dead_lettered(self):
+        with Dispatcher(workers=1) as pool:
+            late = pool.submit({"id": "late", "kind": "sleep", "seconds": 30.0,
+                                "deadline": 0.2})
+            after = pool.submit({"id": "after", "kind": "normalize", "program": REDEX})
+            assert late.done.wait(30.0) and after.done.wait(30.0)
+            stats = pool.stats()
+        assert not late.result.ok
+        assert late.result.error["type"] == "JobTimeout"
+        assert late.result.error["message"] == "job missed its 0.2s deadline"
+        assert late.result.error["attempts"] == 1
+        assert after.result.ok and after.result.payload["normal"] == "42"
+        assert stats.restarts >= 1  # the overdue worker was killed
+
+    def test_deadline_document_is_deterministic_across_paths(self):
+        # Queued-expired and running-expired produce the same canonical
+        # error halves for the same spec: a pure function of the job.
+        def run(pin_first: bool):
+            with Dispatcher(workers=1) as pool:
+                if pin_first:
+                    pool.submit({"id": "pin", "kind": "sleep", "seconds": 0.6,
+                                 "key": "k"})
+                doomed = pool.submit({"id": "d", "kind": "sleep", "seconds": 30.0,
+                                      "key": "k", "deadline": 0.2})
+                assert doomed.done.wait(30.0)
+                return doomed.result.canonical()
+
+        assert run(pin_first=True) == run(pin_first=False)
+
+
+class TestElasticity:
+    def test_grow_adds_capacity_and_shrink_retires_warmly(self):
+        with Dispatcher(workers=1) as pool:
+            assert pool.active_workers() == 1
+            slot = pool.grow()
+            assert slot == 1 and pool.active_workers() == 2
+            results = pool.run_batch(
+                [{"id": f"e{i}", "kind": "normalize", "program": REDEX,
+                  "key": f"k{i}"} for i in range(4)]
+            )
+            assert all(result.ok for result in results)
+            assert pool.shrink() == 1
+            assert pool.active_workers() == 1
+            assert pool.shrink() is None  # never retires the last slot
+            # Work keeps landing on the surviving slot.
+            [tail] = pool.run_batch(
+                [{"id": "tail", "kind": "normalize", "program": REDEX}]
+            )
+            assert tail.ok
+            stats = pool.stats()
+        assert stats.scale_ups == 1 and stats.scale_downs == 1
+        assert stats.slots["1"]["retired"] is True
+
+    def test_grow_revives_the_lowest_retired_slot(self):
+        with Dispatcher(workers=2) as pool:
+            assert pool.shrink() == 1
+            # Wait for the retirement to finish (no pending work → instant).
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if pool.stats().slots["1"]["retired"]:
+                    break
+                time.sleep(0.01)
+            assert pool.grow() == 1  # revived, not appended
+            assert pool.active_workers() == 2
+            [doc] = pool.run_batch(
+                [{"id": "r", "kind": "normalize", "program": REDEX}]
+            )
+            assert doc.ok
+
+    def test_shrinking_slot_finishes_its_pending_jobs(self):
+        with Dispatcher(workers=2) as pool:
+            # Key "b" shards to slot 1; give it work, then retire it.
+            keyed = [
+                pool.submit({"id": f"w{i}", "kind": "sleep", "seconds": 0.15,
+                             "key": "b"})
+                for i in range(2)
+            ]
+            slot = pool.shrink()
+            assert slot is not None
+            for pending in keyed:
+                assert pending.done.wait(30.0)
+                assert pending.result.ok  # finished on the retiring slot
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if pool.stats().slots[str(slot)]["retired"]:
+                    break
+                time.sleep(0.01)
+            assert pool.stats().slots[str(slot)]["retired"] is True
+
+    def test_supervisor_scales_up_under_burst_and_back_down(self):
+        from repro.service import ElasticSupervisor
+
+        with Dispatcher(workers=1, max_pending=64) as pool:
+            supervisor = ElasticSupervisor(
+                pool, min_workers=1, max_workers=3,
+                high_watermark=1.5, low_watermark=0.5,
+                interval=0.02, cooldown=0.05,
+            )
+            supervisor.start()
+            try:
+                results = pool.run_batch(
+                    [{"id": f"burst{i}", "kind": "sleep", "seconds": 0.1,
+                      "key": f"k{i}"} for i in range(12)]
+                )
+                assert all(result.ok for result in results)
+                # Idle now: wait for the supervisor to shed capacity again.
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if pool.stats().scale_downs >= 1:
+                        break
+                    time.sleep(0.02)
+                stats = pool.stats()
+            finally:
+                supervisor.stop()
+        assert stats.scale_ups >= 1
+        assert stats.scale_downs >= 1
+        directions = [direction for direction, _, _ in supervisor.events]
+        assert "up" in directions and "down" in directions
+
+    def test_supervisor_validates_watermarks(self):
+        from repro.service import ElasticSupervisor
+
+        with Dispatcher(workers=1) as pool:
+            with pytest.raises(ValueError, match="min_workers"):
+                ElasticSupervisor(pool, min_workers=3, max_workers=1)
+            with pytest.raises(ValueError, match="low_watermark"):
+                ElasticSupervisor(pool, high_watermark=1.0, low_watermark=1.0)
+
+
+class TestGracefulDrain:
+    def test_drain_under_backlog_answers_every_accepted_job(self):
+        # Satellite contract: submit more than max_pending, start a drain
+        # mid-stream, and every *accepted* job completes or dead-letters —
+        # zero accepted-and-lost — while late submits are refused loudly.
+        pool = Dispatcher(workers=2, max_pending=4)
+        accepted: list = []
+        refused: list[str] = []
+
+        def feed() -> None:
+            for index in range(16):
+                try:
+                    accepted.append(
+                        pool.submit({"id": f"dr{index}", "kind": "sleep",
+                                     "seconds": 0.05})
+                    )
+                except RuntimeError as err:
+                    refused.append(str(err))
+                    break
+
+        import threading
+
+        feeder = threading.Thread(target=feed)
+        feeder.start()
+        time.sleep(0.15)  # a few accepted, the feeder blocked on max_pending
+        pool.drain(timeout=30.0)
+        feeder.join(timeout=30.0)
+        assert accepted  # the stream was genuinely mid-flight
+        for pending in accepted:
+            assert pending.done.is_set(), "an accepted job went silent"
+            result = pending.result
+            assert result.ok or result.error["type"] in (
+                "DrainTimeout", "DispatcherShutdown"
+            )
+        assert refused and "draining" in refused[0]
+        with pytest.raises(RuntimeError):
+            pool.submit({"id": "late", "kind": "normalize", "program": REDEX})
+
+    def test_drain_timeout_dead_letters_the_stragglers(self):
+        pool = Dispatcher(workers=1)
+        slow = pool.submit({"id": "straggler", "kind": "sleep", "seconds": 30.0})
+        quick = pool.submit({"id": "quick", "kind": "normalize", "program": REDEX,
+                             "key": "other"})
+        pool.drain(timeout=0.5)
+        assert slow.done.is_set() and quick.done.is_set()
+        assert not slow.result.ok
+        assert slow.result.error["type"] in ("DrainTimeout", "DispatcherShutdown")
