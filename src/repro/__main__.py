@@ -9,9 +9,18 @@ via ``-e/--expr``:
 * ``normalize`` — fully normalize; ``--engine {subst,nbe}`` (default
   ``nbe``) selects the evaluator, for A/B timing from the shell.
 * ``compile``   — closure-convert (Figure 9); verify type preservation
-  (Theorem 5.6); print the CC-CC term and its type.
-* ``run``       — compile, hoist, execute on the CBV machine; print the
-  value and cost counters.
+  (Theorem 5.6); print the CC-CC term and its type.  ``--target py``
+  continues through hoisting into the compile-to-host backend and prints
+  the staged artifact (content hash, block count, encoded size); with
+  ``--memo-store`` the artifact is published to the shared persistent
+  tier for later ``run --target py`` processes to start warm from.
+* ``run``       — compile, hoist, execute; print the value and cost
+  counters.  ``--target {machine,py}`` picks the execution backend:
+  the abstract CBV machine (default) or the staged-Python backend,
+  which produces identical values and counters (that is the
+  differential the backend test suite enforces) but executes the
+  program as native host closures; ``--memo-store PATH`` attaches the
+  persistent tier so compiled artifacts survive restarts.
 * ``link``      — link a component against imports (Theorem 5.7):
   ``--assume 'n : Nat'`` declares the interface Γ, ``--import 'n=41'``
   supplies the closing substitution.
@@ -24,7 +33,9 @@ via ``-e/--expr``:
   ``--engine {subst,nbe}`` picks the worker engine,
   ``--wire binary`` re-encodes program jobs onto the binary DAG wire,
   ``--memo-store PATH`` attaches the persistent memo tier (shared across
-  workers, surviving restarts), ``--chaos-seed N`` runs the batch under a
+  workers, surviving restarts), ``--gen-kinds run,compile_py`` picks the
+  job-kind rotation of the generated corpus (e.g. an all-``compile_py``
+  stream for backend differentials), ``--chaos-seed N`` runs the batch under a
   small seeded fault plan (deterministic worker kills, store errors, wire
   corruption — the robustness harness of ``repro.service.faults``);
   ``--connect HOST:PORT`` streams the batch to a running ``serve``
@@ -51,6 +62,8 @@ Examples::
     python -m repro check -e '\\ (A : Type) (x : A). x'
     python -m repro check --json -e '\\ (A : Type) (x : A). x'
     python -m repro run --json -e '(\\ (x : Nat). succ x) 41'
+    python -m repro run --target py --memo-store memo.sqlite -e '(\\ (x : Nat). succ x) 41'
+    python -m repro compile --target py -e '\\ (x : Nat). x'
     python -m repro link -e 'n' --assume 'n : Nat' --import 'n=41'
     python -m repro compile program.cc
     python -m repro batch jobs.jsonl --workers 4 --json
@@ -150,7 +163,11 @@ def _cmd_normalize(session: Session, args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(session: Session, args: argparse.Namespace) -> int:
+    if args.memo_store is not None:
+        session.attach_memo_store(args.memo_store)
     result = session.compile(_read_source(args), verify=not args.no_verify)
+    if args.target == "py":
+        return _compile_to_py(session, args, result)
     if args.json:
         return _emit_json(result.to_dict())
     print(f"target      : {cccc.pretty(result.target)}")
@@ -160,8 +177,56 @@ def _cmd_compile(session: Session, args: argparse.Namespace) -> int:
     return 0
 
 
+def _compile_to_py(session: Session, args: argparse.Namespace, result) -> int:
+    """``compile --target py``: stage into the host backend, print the artifact."""
+    from repro.backend import (
+        ArtifactMeta,
+        artifact_key,
+        compile_program,
+        encode_artifact,
+        store_artifact,
+    )
+
+    with session.activate():
+        program = hoist(result.target)
+        compiled = compile_program(program)
+        meta = ArtifactMeta(
+            check_steps=result.check_steps,
+            verify_steps=result.verify_steps,
+            verified=result.verified,
+        )
+        source = cc.intern(result.compilation.source)
+        key = artifact_key(source, engine=session.engine, verify=not args.no_verify)
+        store_artifact(session.state, key, compiled, meta)
+        blob = encode_artifact(compiled.program, meta)
+    session.detach_memo_store()  # flush the artifact row (no-op when unattached)
+    document = {
+        "artifact": compiled.source_hash,
+        "key": key.hex(),
+        "code_blocks": compiled.code_count,
+        "size_bytes": len(blob),
+        "verified": result.verified,
+        "check_steps": result.check_steps,
+        "verify_steps": result.verify_steps,
+        "stored": args.memo_store is not None,
+    }
+    if args.json:
+        return _emit_json(document)
+    print(f"artifact    : {compiled.source_hash}")
+    print(f"key         : {key.hex()}")
+    print(f"code blocks : {compiled.code_count}")
+    print(f"size        : {len(blob)} bytes")
+    if args.memo_store is not None:
+        print(f"stored      : {args.memo_store}")
+    return 0
+
+
 def _cmd_run(session: Session, args: argparse.Namespace) -> int:
-    result = session.run(_read_source(args), verify=not args.no_verify)
+    if args.memo_store is not None:
+        session.attach_memo_store(args.memo_store)
+    engine = "compiled" if args.target == "py" else None
+    result = session.run(_read_source(args), verify=not args.no_verify, engine=engine)
+    session.detach_memo_store()  # flush artifact/memo rows (no-op when unattached)
     if args.json:
         return _emit_json(result.to_dict())
     shown = result.observation if result.observation is not None else type(result.value).__name__
@@ -171,6 +236,11 @@ def _cmd_run(session: Session, args: argparse.Namespace) -> int:
         f"cost         : {result.machine_steps} steps, {result.closure_allocs} closures,"
         f" {result.tuple_allocs} env cells, {result.projections} projections"
     )
+    print(
+        f"frames       : {result.env_allocs} env allocs, max width {result.max_env_size}"
+    )
+    if result.backend != "machine":
+        print(f"backend      : {result.backend} (artifact {result.artifact})")
     return 0
 
 
@@ -207,10 +277,21 @@ def _read_job_specs(args: argparse.Namespace) -> list[dict]:
         return [json.loads(line) for line in text.splitlines() if line.strip()]
     # Generated workload: N independent build streams, interleaved in the
     # round-robin arrival order a multiplexed service sees.
-    from repro.gen.jobs import build_stream, interleave
+    from repro.gen.jobs import _DEFAULT_KINDS, build_stream, interleave
+    from repro.service.jobs import PROGRAM_KINDS
 
     if args.gen_builds < 1:
         raise ReproError("--gen-builds must be at least 1")
+    kinds = _DEFAULT_KINDS
+    if args.gen_kinds is not None:
+        kinds = tuple(kind.strip() for kind in args.gen_kinds.split(",") if kind.strip())
+        bad = [kind for kind in kinds if kind not in PROGRAM_KINDS]
+        if not kinds or bad:
+            expected = ", ".join(sorted(PROGRAM_KINDS))
+            raise ReproError(
+                f"--gen-kinds must be a comma list of program kinds ({expected}); "
+                f"got {args.gen_kinds!r}"
+            )
     return interleave(
         build_stream(
             build,
@@ -219,6 +300,7 @@ def _read_job_specs(args: argparse.Namespace) -> list[dict]:
             passes=args.gen_passes,
             corpus_size=args.gen_count,
             engine=args.engine if args.engine != "nbe" else None,
+            kinds=kinds,
         )
         for build in range(args.gen_builds)
     )
@@ -410,6 +492,21 @@ def main(argv: list[str] | None = None) -> int:
                 action="store_true",
                 help="skip re-checking the output in CC-CC",
             )
+            sub.add_argument(
+                "--target",
+                choices=("machine", "py") if name == "run" else ("cccc", "py"),
+                default="machine" if name == "run" else "cccc",
+                help="py stages the hoisted program into host Python closures "
+                "(the compile-to-host backend); the default is the abstract "
+                "machine (run) / the CC-CC term (compile)",
+            )
+            sub.add_argument(
+                "--memo-store",
+                metavar="PATH",
+                default=None,
+                help="attach the persistent tier so compiled artifacts are "
+                "shared across processes and survive restarts",
+            )
         if name == "normalize":
             sub.add_argument(
                 "--engine",
@@ -519,6 +616,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch.add_argument(
         "--gen-passes", type=int, default=2, help="warm passes per generated build"
+    )
+    batch.add_argument(
+        "--gen-kinds",
+        metavar="KIND[,KIND...]",
+        default=None,
+        help="job-kind rotation for the generated corpus (program kinds only; "
+        "default: the mixed normalize/check/compile/run rotation)",
     )
     batch.set_defaults(handler=_cmd_batch)
 

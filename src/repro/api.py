@@ -42,6 +42,14 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro import cc, cccc
+from repro.backend import (
+    ArtifactMeta,
+    artifact_key,
+    compile_program,
+    load_artifact,
+    store_artifact,
+    validate_backend,
+)
 from repro.cc.reduce import normalize_subst
 from repro.closconv.pipeline import CompilationResult, compile_term
 from repro.kernel.budget import DEFAULT_FUEL, Budget
@@ -183,17 +191,39 @@ class CompileResult:
 
 @dataclass(frozen=True)
 class RunResult:
-    """A full pipeline execution: compile, hoist, run on the CBV machine."""
+    """A full pipeline execution: compile, hoist, run — machine or compiled.
 
-    compile_result: CompileResult
+    ``backend`` records which execution engine produced the value:
+    ``"machine"`` (the interpreting CBV oracle) or ``"compiled"`` (staged
+    host closures, :mod:`repro.backend`).  The cost counters mirror
+    :class:`~repro.machine.machine.MachineStats` on both backends — that
+    equality is the compiled backend's differential contract.  On a warm
+    artifact-cache hit the pipeline never re-compiles, so
+    ``compile_result`` is None there; the flat ``check_steps``/
+    ``verify_steps``/``verified`` fields (replayed from the artifact) are
+    the stable surface either way.
+    """
+
+    compile_result: CompileResult | None
     program: Program
+    source: cc.Term
     value: Any
     observation: Any
     machine_steps: int
     closure_allocs: int
     tuple_allocs: int
     projections: int
+    env_allocs: int
+    max_env_size: int
+    compile_steps: int
+    check_steps: int
+    verify_steps: int
+    verified: bool
+    engine: str
+    backend: str
     session: str
+    artifact: str | None = None
+    cache_hits: dict[str, int] = field(default_factory=dict)
     diagnostics: tuple[str, ...] = ()
 
     @property
@@ -202,23 +232,29 @@ class RunResult:
 
     def to_dict(self) -> dict[str, Any]:
         shown = self.observation if self.observation is not None else type(self.value).__name__
-        return {
-            "term": cc.pretty(self.compile_result.compilation.source),
+        document = {
+            "term": cc.pretty(self.source),
             "value": shown,
             "code_blocks": self.code_count,
             "machine_steps": self.machine_steps,
             "closure_allocs": self.closure_allocs,
             "tuple_allocs": self.tuple_allocs,
             "projections": self.projections,
-            "steps": self.compile_result.steps,
-            "check_steps": self.compile_result.check_steps,
-            "verify_steps": self.compile_result.verify_steps,
-            "verified": self.compile_result.verified,
-            "engine": self.compile_result.engine,
+            "env_allocs": self.env_allocs,
+            "max_env_size": self.max_env_size,
+            "steps": self.compile_steps,
+            "check_steps": self.check_steps,
+            "verify_steps": self.verify_steps,
+            "verified": self.verified,
+            "engine": self.engine,
+            "backend": self.backend,
             "session": self.session,
-            "cache_hits": dict(self.compile_result.cache_hits),
+            "cache_hits": dict(self.cache_hits),
             "diagnostics": list(self.diagnostics),
         }
+        if self.artifact is not None:
+            document["artifact"] = self.artifact
+        return document
 
 
 @dataclass(frozen=True)
@@ -459,8 +495,22 @@ class Session:
         program: str | cc.Term,
         ctx: cc.Context | None = None,
         verify: bool = True,
+        engine: str | None = None,
     ) -> RunResult:
-        """Compile, hoist, and execute ``program`` on the CBV machine."""
+        """Compile, hoist, and execute ``program``.
+
+        ``engine`` picks the execution backend: ``"machine"`` (default)
+        interprets on the CBV abstract machine; ``"compiled"`` stages the
+        hoisted program into host Python closures (:mod:`repro.backend`),
+        consulting the per-session and persistent artifact caches first —
+        a warm hit skips type checking, closure conversion, verification,
+        and hoisting entirely, replaying the cold run's recorded fuel so
+        its result document is byte-identical.  Values, error documents,
+        and every cost counter agree across backends.
+        """
+        backend = validate_backend(engine if engine is not None else "machine")
+        if backend == "compiled":
+            return self._run_compiled(program, ctx=ctx, verify=verify)
         with self.activate():
             compiled = self.compile(program, ctx=ctx, verify=verify)
             hoisted = hoist(compiled.target)
@@ -468,14 +518,99 @@ class Session:
             return RunResult(
                 compile_result=compiled,
                 program=hoisted,
+                source=compiled.compilation.source,
                 value=value,
                 observation=machine_observation(value),
                 machine_steps=stats.steps,
                 closure_allocs=stats.closure_allocs,
                 tuple_allocs=stats.tuple_allocs,
                 projections=stats.projections,
+                env_allocs=stats.env_allocs,
+                max_env_size=stats.max_env_size,
+                compile_steps=compiled.steps,
+                check_steps=compiled.check_steps,
+                verify_steps=compiled.verify_steps,
+                verified=compiled.verified,
+                engine=compiled.engine,
+                backend="machine",
                 session=self.name,
+                cache_hits=dict(compiled.cache_hits),
                 diagnostics=compiled.diagnostics,
+            )
+
+    def _run_compiled(
+        self,
+        program: str | cc.Term,
+        ctx: cc.Context | None,
+        verify: bool,
+    ) -> RunResult:
+        """The ``engine="compiled"`` half of :meth:`run`.
+
+        Artifacts are keyed on the interned source term plus the compile
+        options, so only closed programs (the empty context — every
+        service job, after :func:`repro.gen.jobs.close_over`) are cached;
+        an open-context run compiles fresh and skips the cache.  A warm
+        hit charges the artifact's recorded check/verify fuel into fresh
+        budgets, so a fuel-starved session fails at exactly the step a
+        cold compile would have.
+        """
+        with self.activate():
+            term = self._coerce(program)
+            source = cc.intern(term)
+            cacheable = ctx is None or len(ctx) == 0
+            key = (
+                artifact_key(source, engine=self.engine, verify=verify)
+                if cacheable
+                else None
+            )
+            before = self._state.hit_counts()
+            cached = load_artifact(self._state, key) if key is not None else None
+            if cached is not None:
+                compiled_program, meta = cached
+                compile_result = None
+                # Replay the recorded fuel: same budgets, same order, same
+                # exhaustion point as the cold compile.
+                check_budget = self.budget()
+                check_budget.charge(meta.check_steps)
+                verify_budget = self.budget()
+                verify_budget.charge(meta.verify_steps)
+            else:
+                compile_result = self.compile(term, ctx=ctx, verify=verify)
+                hoisted = hoist(compile_result.target)
+                compiled_program = compile_program(hoisted)
+                meta = ArtifactMeta(
+                    check_steps=compile_result.check_steps,
+                    verify_steps=compile_result.verify_steps,
+                    verified=compile_result.verified,
+                )
+                if key is not None:
+                    store_artifact(self._state, key, compiled_program, meta)
+            value, stats = compiled_program.execute()
+            return RunResult(
+                compile_result=compile_result,
+                program=compiled_program.program,
+                source=source,
+                value=value,
+                observation=machine_observation(value),
+                machine_steps=stats.steps,
+                closure_allocs=stats.closure_allocs,
+                tuple_allocs=stats.tuple_allocs,
+                projections=stats.projections,
+                env_allocs=stats.env_allocs,
+                max_env_size=stats.max_env_size,
+                compile_steps=meta.check_steps + meta.verify_steps,
+                check_steps=meta.check_steps,
+                verify_steps=meta.verify_steps,
+                verified=meta.verified,
+                engine=self.engine,
+                backend="compiled",
+                session=self.name,
+                artifact=compiled_program.source_hash,
+                cache_hits=self._hit_delta(before),
+                diagnostics=(
+                    f"compiled {compiled_program.code_count} code block(s) "
+                    f"to host closures (artifact {compiled_program.source_hash})",
+                ),
             )
 
     def link(

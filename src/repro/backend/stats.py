@@ -1,0 +1,97 @@
+"""Cost counters for compiled runs, mirroring :class:`MachineStats`.
+
+The compiled backend's whole claim is that staging changes *where* the
+work happens (a closure tree built once per code block, then host-speed
+execution), not *how much* work the cost model sees.  Accattoli et al.
+("Closure Conversion, Flat Environments, and the Complexity of Abstract
+Machines") make the abstract-machine counters — transition steps,
+environment allocations, environment width — the unit of account for that
+claim, so :class:`CompiledStats` carries exactly the fields of
+:class:`repro.machine.machine.MachineStats` and the differential suite
+compares them field for field.
+
+Inside a compiled run the counters live in one flat list (indexed by the
+``C_*`` constants below) so the staged closures pay a list subscript per
+increment instead of an attribute lookup; :meth:`CompiledStats.from_counters`
+lifts the list into the structured form when the run completes.
+
+``max_frame_size`` is derived, not counted: the machine updates it with
+``len(env)`` on every transition, but every environment it ever enters is
+one it allocated (``_frame`` or a ``let`` extension) — except the empty
+environment ``main`` starts in — so the running maximum equals
+``max_env_size`` whenever any environment was allocated, and ``0``
+otherwise.  Deriving it keeps the hot path one update shorter without
+changing a single reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.machine.machine import MachineStats
+
+__all__ = [
+    "C_CLOSURES",
+    "C_ENVS",
+    "C_LOOKUPS",
+    "C_MAX_ENV",
+    "C_PROJECTIONS",
+    "C_STEPS",
+    "C_TUPLES",
+    "COUNTER_SLOTS",
+    "CompiledStats",
+]
+
+#: Slot indices of the per-run counter list the staged closures mutate.
+C_STEPS = 0  # machine transitions (one per node visit + one per β-entry)
+C_CLOSURES = 1  # ⟨⟨code, env⟩⟩ objects built
+C_TUPLES = 2  # pairs / environment-tuple cells built
+C_PROJECTIONS = 3  # fst/snd dereferences
+C_LOOKUPS = 4  # static code-table fetches
+C_ENVS = 5  # environment frames built (activation records + lets)
+C_MAX_ENV = 6  # widest environment ever built
+COUNTER_SLOTS = 7
+
+
+@dataclass(frozen=True)
+class CompiledStats:
+    """Cost counters for one compiled run — field-compatible with the oracle."""
+
+    steps: int = 0
+    closure_allocs: int = 0
+    tuple_allocs: int = 0
+    projections: int = 0
+    code_lookups: int = 0
+    max_frame_size: int = 0
+    env_allocs: int = 0
+    max_env_size: int = 0
+
+    @classmethod
+    def from_counters(cls, counters: list[int]) -> "CompiledStats":
+        """Lift the flat counter list of one run into the structured form."""
+        env_allocs = counters[C_ENVS]
+        max_env = counters[C_MAX_ENV]
+        return cls(
+            steps=counters[C_STEPS],
+            closure_allocs=counters[C_CLOSURES],
+            tuple_allocs=counters[C_TUPLES],
+            projections=counters[C_PROJECTIONS],
+            code_lookups=counters[C_LOOKUPS],
+            max_frame_size=max_env if env_allocs else 0,
+            env_allocs=env_allocs,
+            max_env_size=max_env,
+        )
+
+    def to_machine(self) -> MachineStats:
+        """The same counts as a (mutable) :class:`MachineStats`."""
+        return MachineStats(**self.as_dict())
+
+    def as_dict(self) -> dict[str, int]:
+        return {entry.name: getattr(self, entry.name) for entry in fields(self)}
+
+    def matches(self, machine: MachineStats) -> bool:
+        """Field-for-field agreement with an oracle run's counters."""
+        return all(
+            getattr(self, entry.name) == getattr(machine, entry.name)
+            for entry in fields(self)
+        )

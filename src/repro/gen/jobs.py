@@ -163,6 +163,7 @@ def build_stream(
     corpus_size: int = 4,
     config: GenConfig | None = None,
     engine: str | None = None,
+    kinds: tuple[str, ...] = _DEFAULT_KINDS,
 ) -> list[dict[str, Any]]:
     """One independent component build, as a job stream.
 
@@ -176,7 +177,7 @@ def build_stream(
     """
     key = f"build-{build}"
     jobs = list(corpus) if corpus is not None else job_corpus(
-        seed, count=corpus_size, config=config, engine=engine, key=key
+        seed, count=corpus_size, config=config, kinds=kinds, engine=engine, key=key
     )
     stream: list[dict[str, Any]] = []
     for iteration in range(iterations):

@@ -73,7 +73,29 @@ def hoist(term: cccc.Term) -> Program:
     """Lift every code literal in ``term`` into a top-level table."""
     hoister = _Hoister()
     main = _hoist(term, hoister)
+    if __debug__:
+        _check_earlier_labels(hoister.table)
     return Program(hoister.table, main)
+
+
+def _check_earlier_labels(table: dict[str, cccc.CodeLam]) -> None:
+    """Cheap debug guard on the earlier-labels invariant.
+
+    Every table consumer replays under it (``unhoist``, ``program_context``,
+    the machine's lazy code lookup, the backend's staging pass): code
+    blocks are closed before hoisting, so a hoisted entry's free variables
+    are exactly the labels it references — and innermost-first hoisting
+    means those labels were all allocated *before* its own.
+    """
+    earlier: set[str] = set()
+    for label, code in table.items():
+        stray = cccc.free_vars(code) - earlier
+        if stray:
+            raise AssertionError(
+                f"hoist invariant broken: block {label!r} references "
+                f"non-earlier label(s) {sorted(stray)}"
+            )
+        earlier.add(label)
 
 
 def _hoist(root: cccc.Term, hoister: _Hoister) -> cccc.Term:

@@ -149,6 +149,34 @@ def execute_job(session: "Session", job: Job) -> JobResult:
     return JobResult(id=job_id, ok=ok, payload=payload, error=error, meta=meta)
 
 
+def _run_payload(result: Any) -> dict[str, Any]:
+    """The deterministic payload both run backends share.
+
+    Built from the flat :class:`~repro.api.RunResult` fields (never
+    ``compile_result``, which is None on a warm artifact hit), so a warm
+    pooled run renders byte-for-byte what a cold solo run renders.
+    """
+    shown = (
+        result.observation
+        if result.observation is not None
+        else type(result.value).__name__
+    )
+    return {
+        "term": _canon_cc(result.source),
+        "value": shown,
+        "code_blocks": result.code_count,
+        "machine_steps": result.machine_steps,
+        "closure_allocs": result.closure_allocs,
+        "tuple_allocs": result.tuple_allocs,
+        "projections": result.projections,
+        "env_allocs": result.env_allocs,
+        "max_env_size": result.max_env_size,
+        "verified": result.verified,
+        "compile_steps": result.compile_steps,
+        "backend": result.backend,
+    }
+
+
 def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
     """The kind table: one wire job → one deterministic payload dict."""
     if job.kind == "reset":
@@ -229,22 +257,16 @@ def _dispatch(session: "Session", job: Job) -> dict[str, Any]:
             return payload
         if job.kind == "run":
             result = session.run(term, verify=job.verify)
-            shown = (
-                result.observation
-                if result.observation is not None
-                else type(result.value).__name__
-            )
-            return {
-                "term": _canon_cc(result.compile_result.compilation.source),
-                "value": shown,
-                "code_blocks": result.code_count,
-                "machine_steps": result.machine_steps,
-                "closure_allocs": result.closure_allocs,
-                "tuple_allocs": result.tuple_allocs,
-                "projections": result.projections,
-                "verified": result.compile_result.verified,
-                "compile_steps": result.compile_result.steps,
-            }
+            return _run_payload(result)
+        if job.kind == "compile_py":
+            # The differential contract: this payload equals the machine
+            # "run" payload for the same spec once the two backend-only
+            # keys ("backend", "artifact") are dropped — values, counters,
+            # fuel, and error documents alike.
+            result = session.run(term, verify=job.verify, engine="compiled")
+            payload = _run_payload(result)
+            payload["artifact"] = result.artifact
+            return payload
         if job.kind == "link":
             ctx = cc.Context.empty()
             for name, type_text in job.interface:

@@ -9,7 +9,11 @@ the spec down the worker pipe, so nothing richer can leak through):
 
 ``kind`` selects the session entrypoint.  The service kinds mirror
 :class:`repro.api.Session` — ``parse`` / ``check`` / ``normalize`` /
-``compile`` / ``run`` / ``link`` — plus three service-level kinds:
+``compile`` / ``run`` / ``compile_py`` / ``link`` (``compile_py`` is
+``run`` through the compile-to-host backend: the program is staged into
+cached Python closures and its payload matches the machine ``run``
+payload exactly, plus the backend name and artifact hash) — plus three
+service-level kinds:
 
 * ``reset`` — return the executing session to its cold deterministic zero
   (the classic start-of-build ``reset_fresh_counter`` discipline; with
@@ -68,6 +72,7 @@ JOB_KINDS = (
     "normalize",
     "compile",
     "run",
+    "compile_py",
     "link",
     "reset",
     "stats",
@@ -76,7 +81,9 @@ JOB_KINDS = (
 )
 
 #: Kinds that require a program (as surface text or a binary term).
-PROGRAM_KINDS = frozenset({"parse", "check", "normalize", "compile", "run", "link"})
+PROGRAM_KINDS = frozenset(
+    {"parse", "check", "normalize", "compile", "run", "compile_py", "link"}
+)
 _PROGRAM_KINDS = PROGRAM_KINDS  # historical name
 
 #: Wire-format versions this build speaks.  Version 1 is the original

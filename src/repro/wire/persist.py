@@ -95,6 +95,21 @@ CREATE TABLE IF NOT EXISTS memo (
 ) WITHOUT ROWID
 """
 
+#: Compiled-backend artifacts (:mod:`repro.backend.artifact`) share the
+#: store file in a second table with the same sealed row shape: ``key`` is
+#: the artifact key (content hash of the source program + compile options),
+#: ``steps`` the recorded check+verify fuel the cold compile spent, and
+#: ``result`` the encoded artifact.  Same seal, same failure domain, same
+#: breaker — an artifact row that fails its seal is a miss, never trusted.
+_ARTIFACT_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifact (
+    key     BLOB PRIMARY KEY,
+    steps   INTEGER NOT NULL,
+    result  BLOB NOT NULL,
+    seal    BLOB NOT NULL
+) WITHOUT ROWID
+"""
+
 
 def _seal(key: bytes, steps: int, result: bytes) -> bytes:
     sealer = blake2b(digest_size=16, key=_SEAL_KEY)
@@ -136,11 +151,15 @@ class PersistentMemoStore:
         self.errors = 0
         self.dropped = 0
         self.trips = 0
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+        self.artifact_writes = 0
         self.consecutive_errors = 0
         self._breaker_open = False
         self._ops_since_trip = 0
         self._lock = threading.RLock()
         self._pending: dict[bytes, tuple[int, bytes]] = {}
+        self._pending_artifacts: dict[bytes, tuple[int, bytes]] = {}
         try:
             self._conn = sqlite3.connect(
                 self.path, timeout=timeout, check_same_thread=False
@@ -151,6 +170,7 @@ class PersistentMemoStore:
                 self._conn.execute("PRAGMA journal_mode=WAL")
                 self._conn.execute("PRAGMA synchronous=NORMAL")
                 self._conn.execute(_SCHEMA)
+                self._conn.execute(_ARTIFACT_SCHEMA)
                 self._conn.commit()
         except sqlite3.Error as err:
             raise StoreError(f"cannot open memo store at {self.path}: {err}") from err
@@ -244,6 +264,58 @@ class PersistentMemoStore:
                 self._flush_locked()
             self._shed_locked()
 
+    def get_artifact(self, key: bytes) -> tuple[int, bytes] | None:
+        """The sealed ``(steps, blob)`` of a compiled artifact, or None.
+
+        Same discipline as :meth:`get` — buffer first, seal verified, every
+        SQLite error counted and absorbed as a miss — over the ``artifact``
+        table.  A pre-artifact store file opened read-only simply has no
+        such table; the resulting read error is likewise a counted miss.
+        """
+        with self._lock:
+            found = self._pending_artifacts.get(key)
+            if found is not None:
+                self.artifact_hits += 1
+                return found
+            if self._breaker_blocks():
+                self.artifact_misses += 1
+                return None
+            try:
+                hook = FAULT_HOOK
+                if hook is not None:
+                    hook("read")
+                row = self._conn.execute(
+                    "SELECT steps, result, seal FROM artifact WHERE key = ?", (key,)
+                ).fetchone()
+            except sqlite3.Error:
+                self._sqlite_error()
+                self.artifact_misses += 1
+                return None
+            self._sqlite_ok()
+            if row is None:
+                self.artifact_misses += 1
+                return None
+            steps, result, seal = row
+            if seal != _seal(key, steps, result):
+                self.artifact_misses += 1
+                return None
+            self.artifact_hits += 1
+            return steps, result
+
+    def put_artifact(self, key: bytes, steps: int, blob: bytes) -> None:
+        """Buffer one compiled artifact; flushed with the memo batch."""
+        with self._lock:
+            if key in self._pending_artifacts:
+                return
+            self._pending_artifacts[key] = (steps, blob)
+            self.artifact_writes += 1
+            hook = FAULT_HOOK
+            if not self.read_only and (
+                len(self._pending_artifacts) >= self.flush_threshold or hook is not None
+            ):
+                self._flush_locked()
+            self._shed_locked()
+
     def flush(self) -> None:
         """Append every buffered entry in one transaction (no-op read-only)."""
         with self._lock:
@@ -251,7 +323,7 @@ class PersistentMemoStore:
                 self._flush_locked()
 
     def _flush_locked(self) -> None:
-        if not self._pending:
+        if not self._pending and not self._pending_artifacts:
             return
         if self._breaker_blocks():
             return  # breaker open: park the buffer, no SQL issued
@@ -259,26 +331,41 @@ class PersistentMemoStore:
             (key, steps, result, _seal(key, steps, result))
             for key, (steps, result) in self._pending.items()
         ]
+        artifact_rows = [
+            (key, steps, result, _seal(key, steps, result))
+            for key, (steps, result) in self._pending_artifacts.items()
+        ]
         try:
             hook = FAULT_HOOK
             if hook is not None:
                 hook("write")
-            self._conn.executemany(
-                "INSERT OR IGNORE INTO memo (key, steps, result, seal) VALUES (?, ?, ?, ?)",
-                rows,
-            )
+            if rows:
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO memo (key, steps, result, seal) VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+            if artifact_rows:
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO artifact (key, steps, result, seal)"
+                    " VALUES (?, ?, ?, ?)",
+                    artifact_rows,
+                )
             self._conn.commit()
         except sqlite3.Error:
             self._sqlite_error()
-            return  # keep the buffer; the next flush retries
+            return  # keep the buffers; the next flush retries
         self._sqlite_ok()
         self._pending.clear()
+        self._pending_artifacts.clear()
         self.flushes += 1
 
     def _shed_locked(self) -> None:
         """Drop oldest buffered entries past the bound (cache warmth, not data)."""
         while len(self._pending) > self.max_pending_entries:
             del self._pending[next(iter(self._pending))]
+            self.dropped += 1
+        while len(self._pending_artifacts) > self.max_pending_entries:
+            del self._pending_artifacts[next(iter(self._pending_artifacts))]
             self.dropped += 1
 
     def close(self) -> None:
@@ -305,8 +392,12 @@ class PersistentMemoStore:
             "errors": self.errors,
             "dropped": self.dropped,
             "trips": self.trips,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+            "artifact_writes": self.artifact_writes,
             "breaker": "open" if self._breaker_open else "closed",
             "pending": len(self._pending),
+            "artifact_pending": len(self._pending_artifacts),
         }
 
     def stats(self) -> dict[str, Any]:
@@ -501,22 +592,41 @@ def _open_for_maintenance(path: Any) -> sqlite3.Connection:
     return conn
 
 
-def _salvage(conn: sqlite3.Connection, path: Any) -> tuple[list[tuple], int]:
-    """Every validly-sealed row, plus the count of rows scanned.
+def _has_table(conn: sqlite3.Connection, table: str) -> bool:
+    """Whether ``table`` exists (pre-artifact store files lack ``artifact``)."""
+    try:
+        return (
+            conn.execute(
+                "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = ?",
+                (table,),
+            ).fetchone()
+            is not None
+        )
+    except sqlite3.Error:
+        return False
+
+
+def _salvage(
+    conn: sqlite3.Connection, path: Any, table: str = "memo"
+) -> tuple[list[tuple], int]:
+    """Every validly-sealed row of ``table``, plus the count of rows scanned.
 
     Keys are listed first, then each row is fetched under its own guard,
     so one torn page costs only the rows on it — everything still readable
-    *and* sealed is salvaged.
+    *and* sealed is salvaged.  Both store tables (``memo``, ``artifact``)
+    share the sealed row shape, so one salvage covers either.
     """
     try:
-        keys = [key for (key,) in conn.execute("SELECT key FROM memo").fetchall()]
+        keys = [
+            key for (key,) in conn.execute(f"SELECT key FROM {table}").fetchall()
+        ]
     except sqlite3.Error as err:
         raise StoreError(f"cannot read memo store at {path}: {err}") from err
     valid: list[tuple] = []
     for key in keys:
         try:
             row = conn.execute(
-                "SELECT steps, result, seal FROM memo WHERE key = ?", (key,)
+                f"SELECT steps, result, seal FROM {table} WHERE key = ?", (key,)
             ).fetchone()
         except sqlite3.Error:
             continue
@@ -528,11 +638,19 @@ def _salvage(conn: sqlite3.Connection, path: Any) -> tuple[list[tuple], int]:
     return valid, len(keys)
 
 
+def _salvage_artifacts(conn: sqlite3.Connection, path: Any) -> tuple[list[tuple], int]:
+    """Salvage the ``artifact`` table, tolerating its absence in old files."""
+    if not _has_table(conn, "artifact"):
+        return [], 0
+    return _salvage(conn, path, table="artifact")
+
+
 def store_stat(path: Any) -> dict[str, Any]:
     """Inspect a store: row counts, seal validity, file size.  Read-only."""
     conn = _open_for_maintenance(path)
     try:
         valid, scanned = _salvage(conn, path)
+        artifacts, artifact_scanned = _salvage_artifacts(conn, path)
     finally:
         conn.close()
     return {
@@ -541,6 +659,9 @@ def store_stat(path: Any) -> dict[str, Any]:
         "entries": scanned,
         "valid": len(valid),
         "invalid": scanned - len(valid),
+        "artifact_entries": artifact_scanned,
+        "artifact_valid": len(artifacts),
+        "artifact_invalid": artifact_scanned - len(artifacts),
     }
 
 
@@ -555,6 +676,7 @@ def store_scrub(path: Any) -> dict[str, Any]:
     source = _open_for_maintenance(path)
     try:
         valid, scanned = _salvage(source, path)
+        artifacts, artifact_scanned = _salvage_artifacts(source, path)
     finally:
         source.close()
     rebuilt = str(path) + ".scrub"
@@ -563,9 +685,14 @@ def store_scrub(path: Any) -> dict[str, Any]:
     replacement = sqlite3.connect(rebuilt)
     try:
         replacement.execute(_SCHEMA)
+        replacement.execute(_ARTIFACT_SCHEMA)
         replacement.executemany(
             "INSERT OR IGNORE INTO memo (key, steps, result, seal) VALUES (?, ?, ?, ?)",
             valid,
+        )
+        replacement.executemany(
+            "INSERT OR IGNORE INTO artifact (key, steps, result, seal) VALUES (?, ?, ?, ?)",
+            artifacts,
         )
         replacement.commit()
     finally:
@@ -576,9 +703,9 @@ def store_scrub(path: Any) -> dict[str, Any]:
             os.unlink(sidecar)
     return {
         "path": str(path),
-        "scanned": scanned,
-        "salvaged": len(valid),
-        "discarded": scanned - len(valid),
+        "scanned": scanned + artifact_scanned,
+        "salvaged": len(valid) + len(artifacts),
+        "discarded": (scanned - len(valid)) + (artifact_scanned - len(artifacts)),
     }
 
 
@@ -587,7 +714,9 @@ def store_compact(path: Any) -> dict[str, Any]:
     conn = _open_for_maintenance(path)
     try:
         valid, scanned = _salvage(conn, path)
+        artifacts, artifact_scanned = _salvage_artifacts(conn, path)
         keep = {key for key, _steps, _result, _seal in valid}
+        keep_artifacts = {key for key, _steps, _result, _seal in artifacts}
         try:
             doomed = [
                 (key,)
@@ -595,6 +724,13 @@ def store_compact(path: Any) -> dict[str, Any]:
                 if key not in keep
             ]
             conn.executemany("DELETE FROM memo WHERE key = ?", doomed)
+            if _has_table(conn, "artifact"):
+                doomed_artifacts = [
+                    (key,)
+                    for (key,) in conn.execute("SELECT key FROM artifact").fetchall()
+                    if key not in keep_artifacts
+                ]
+                conn.executemany("DELETE FROM artifact WHERE key = ?", doomed_artifacts)
             conn.commit()
             conn.execute("VACUUM")
         except sqlite3.Error as err:
@@ -603,6 +739,6 @@ def store_compact(path: Any) -> dict[str, Any]:
         conn.close()
     return {
         "path": str(path),
-        "entries": len(keep),
-        "removed": scanned - len(keep),
+        "entries": len(keep) + len(keep_artifacts),
+        "removed": (scanned - len(keep)) + (artifact_scanned - len(keep_artifacts)),
     }

@@ -1,0 +1,354 @@
+"""Differential tests for the compile-to-host backend.
+
+The backend's whole correctness story is *agreement with the machine
+oracle*: for every program, the staged Python closures must produce the
+same value (α-canonical egress), the same error documents, and the same
+cost counters as ``machine/machine.py`` — which stays verbatim as the
+oracle.  These tests enforce that contract over the shared theorem-test
+corpus, generated service workloads, the error paths, and the artifact
+cache (round trips, corruption, warm-equals-cold across sessions and
+across a shared worker pool).
+"""
+
+import pytest
+
+from repro import api, cc, cccc
+from repro.backend import (
+    ArtifactMeta,
+    artifact_key,
+    compile_program,
+    decode_artifact,
+    encode_artifact,
+    load_artifact,
+    store_artifact,
+    validate_backend,
+)
+from repro.backend.stats import CompiledStats
+from repro.closconv import compile_term
+from repro.common.errors import WireDecodeError
+from repro.gen.jobs import close_over, job_corpus
+from repro.machine import MachineError, hoist, machine_observation, run
+from tests.corpus import (
+    CLOSED_GROUND_PROGRAMS,
+    CORPUS,
+    closed_ground_ids,
+    corpus_ids,
+)
+
+_STAT_FIELDS = (
+    "steps",
+    "closure_allocs",
+    "tuple_allocs",
+    "projections",
+    "code_lookups",
+    "max_frame_size",
+    "env_allocs",
+    "max_env_size",
+)
+
+
+def _stats_dict(stats) -> dict:
+    return {name: getattr(stats, name) for name in _STAT_FIELDS}
+
+
+def _compile_closed(term: cc.Term):
+    """Closed CC term → hoisted machine program (no verification)."""
+    return hoist(compile_term(cc.Context.empty(), term, verify=False).target)
+
+
+def _differential(program) -> None:
+    """Machine and backend agree on value, counters, and errors."""
+    compiled = compile_program(program)
+    try:
+        machine_value, machine_stats = run(program)
+    except MachineError as failure:
+        with pytest.raises(MachineError) as caught:
+            compiled.execute()
+        assert str(caught.value) == str(failure)
+        return
+    value, stats = compiled.execute()
+    assert value == machine_value
+    assert machine_observation(value) == machine_observation(machine_value)
+    assert _stats_dict(stats) == _stats_dict(machine_stats)
+    assert stats.matches(machine_stats)
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize("name,ctx,term", CORPUS, ids=corpus_ids())
+    def test_corpus_entry(self, name, ctx, term):
+        # Open entries are closed over their contexts so the whole corpus
+        # runs; the redexes survive the close-over intact.
+        closed = close_over(ctx, term)
+        cc.infer(cc.Context.empty(), closed)
+        _differential(_compile_closed(closed))
+
+    @pytest.mark.parametrize(
+        "name,term,expected", CLOSED_GROUND_PROGRAMS, ids=closed_ground_ids()
+    )
+    def test_ground_observations(self, name, term, expected):
+        program = _compile_closed(term)
+        value, _stats = compile_program(program).execute()
+        assert machine_observation(value) == expected
+
+    def test_separately_compiled_runs_are_structurally_equal(self):
+        # Two independent compile_program calls over the same program
+        # share the machine's frozen value classes, so results compare
+        # structurally across compilations.
+        program = _compile_closed(close_over(*CORPUS[0][1:]))
+        left, left_stats = compile_program(program).execute()
+        right, right_stats = compile_program(program).execute()
+        assert left == right
+        assert _stats_dict(left_stats) == _stats_dict(right_stats)
+
+    def test_deep_program_runs_off_the_default_stack(self):
+        # A succ-tower past the machine's deep-term threshold: both
+        # executors switch to their dedicated deep-stack thread.  Built
+        # directly at the hoisted level (the surface pipeline has its own
+        # deep-program handling; this targets the executors).
+        from repro.machine.hoist import Program
+
+        deep: cccc.Term = cccc.Zero()
+        for _ in range(3_000):
+            deep = cccc.Succ(deep)
+        _differential(Program({}, deep))
+
+
+class TestSessionBackend:
+    def test_run_engine_compiled(self):
+        session = api.Session()
+        result = session.run(r"(\ (x : Nat). succ x) 41", engine="compiled")
+        assert result.observation == 42
+        assert result.backend == "compiled"
+        assert result.artifact is not None
+        assert result.compile_result is not None  # cold: full compile ran
+
+    def test_compiled_matches_machine_document(self):
+        source = r"(\ (f : Nat -> Nat) (x : Nat). f (f x)) (\ (y : Nat). succ y) 5"
+        machine_doc = api.Session().run(source).to_dict()
+        compiled_doc = api.Session().run(source, engine="compiled").to_dict()
+        compiled_doc.pop("artifact")
+        # "term": the machine document keeps the source spelling while the
+        # compiled one is α-canonical (so warm artifact hits — which never
+        # see the original spelling — render identically to cold runs);
+        # both spell the same α-class.
+        session = api.Session()
+        with session.activate():
+            from repro.surface import parse_term
+
+            assert cc.pretty(cc.intern(parse_term(source))) == compiled_doc.pop("term")
+            machine_doc.pop("term")
+        skip = {"backend", "session", "cache_hits", "diagnostics"}
+        assert {k: v for k, v in machine_doc.items() if k not in skip} == {
+            k: v for k, v in compiled_doc.items() if k not in skip
+        }
+        assert machine_doc["backend"] == "machine"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.Session().run("0", engine="turbo")
+        with pytest.raises(ValueError, match="unknown backend"):
+            validate_backend("turbo")
+
+    def test_warm_session_hit_skips_compile(self):
+        session = api.Session()
+        source = r"(\ (x : Nat). succ x) 41"
+        cold = session.run(source, engine="compiled")
+        warm = session.run(source, engine="compiled")
+        assert warm.compile_result is None  # in-memory artifact hit
+        assert warm.artifact == cold.artifact
+        assert warm.to_dict() == cold.to_dict()
+
+
+class TestErrorParity:
+    def test_fuel_exhaustion_documents_match(self):
+        # The polymorphic application spends verification fuel, so fuel=0
+        # exhausts mid-pipeline on both backends.
+        starved = r"(\ (A : Type) (x : A). x) Nat 3"
+        jobs = [
+            {"id": "m", "kind": "run", "program": starved, "fuel": 0},
+            {"id": "c", "kind": "compile_py", "program": starved, "fuel": 0},
+        ]
+        report = api.execute_jobs(jobs)
+        by_id = {result.id: result for result in report.results}
+        assert not by_id["m"].ok and not by_id["c"].ok
+        assert by_id["m"].error == by_id["c"].error
+        assert by_id["m"].error["type"] == "NormalizationDepthExceeded"
+
+    def test_ill_typed_documents_match(self):
+        jobs = [
+            {"id": "m", "kind": "run", "program": "succ true"},
+            {"id": "c", "kind": "compile_py", "program": "succ true"},
+        ]
+        report = api.execute_jobs(jobs)
+        by_id = {result.id: result for result in report.results}
+        assert by_id["m"].error == by_id["c"].error
+        assert by_id["m"].error["type"] == "TypeCheckError"
+
+    def test_runtime_error_text_matches_machine(self):
+        # A hand-built ill-formed machine program errors identically under
+        # both executors (the backend stages errors lazily, like the
+        # machine raises them lazily).
+        from repro.machine.hoist import Program
+
+        program = Program({}, cccc.App(cccc.Zero(), cccc.Zero()))
+        with pytest.raises(MachineError) as machine_err:
+            run(program)
+        with pytest.raises(MachineError) as compiled_err:
+            compile_program(program).execute()
+        assert str(compiled_err.value) == str(machine_err.value)
+
+
+class TestArtifacts:
+    def _program_and_meta(self):
+        program = _compile_closed(close_over(*CORPUS[0][1:]))
+        return program, ArtifactMeta(check_steps=7, verify_steps=3, verified=True)
+
+    def test_roundtrip(self):
+        program, meta = self._program_and_meta()
+        compiled = compile_program(program)
+        blob = encode_artifact(compiled.program, meta)
+        decoded, decoded_meta = decode_artifact(blob)
+        assert decoded_meta == meta
+        assert list(decoded.code_table) == list(compiled.program.code_table)
+        for label, code in compiled.program.code_table.items():
+            assert cccc.alpha_equal(decoded.code_table[label], code)
+        assert cccc.alpha_equal(decoded.main, compiled.program.main)
+        # Recompiling the decoded program reproduces the content hash.
+        assert compile_program(decoded).source_hash == compiled.source_hash
+
+    def test_corruption_rejected(self):
+        program, meta = self._program_and_meta()
+        pristine = encode_artifact(compile_program(program).program, meta)
+        torn = bytearray(pristine)
+        torn[len(torn) // 2] ^= 0xFF
+        with pytest.raises(WireDecodeError):
+            decode_artifact(bytes(torn))
+        with pytest.raises(WireDecodeError, match="bad magic"):
+            decode_artifact(b"NOPE" + pristine[4:])
+        with pytest.raises(WireDecodeError, match="trailing garbage"):
+            decode_artifact(pristine + b"\x00")
+
+    def test_key_is_alpha_invariant_and_option_sensitive(self):
+        left = cc.intern(cc.Lam("x", cc.Nat(), cc.Var("x")))
+        right = cc.intern(cc.Lam("y", cc.Nat(), cc.Var("y")))
+        assert artifact_key(left, engine="nbe", verify=True) == artifact_key(
+            right, engine="nbe", verify=True
+        )
+        assert artifact_key(left, engine="nbe", verify=True) != artifact_key(
+            left, engine="nbe", verify=False
+        )
+        assert artifact_key(left, engine="nbe", verify=True) != artifact_key(
+            left, engine="subst", verify=True
+        )
+
+    def test_torn_persistent_row_is_a_miss(self, tmp_path):
+        # A corrupt blob in the artifact table degrades to a miss.
+        session = api.Session()
+        session.attach_memo_store(str(tmp_path / "store.sqlite"))
+        state = session.state
+        key = b"k" * 24
+        state.persistent.store.put_artifact(key, 0, b"garbage-not-an-artifact")
+        assert load_artifact(state, key) is None
+        session.detach_memo_store()
+
+    def test_store_and_load_across_sessions(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        program, meta = self._program_and_meta()
+        compiled = compile_program(program)
+        key = b"\x07" * 24
+
+        writer = api.Session(name="writer")
+        writer.attach_memo_store(path)
+        store_artifact(writer.state, key, compiled, meta)
+        writer.detach_memo_store()  # flush
+
+        reader = api.Session(name="reader")
+        reader.attach_memo_store(path)
+        found = load_artifact(reader.state, key)
+        assert found is not None
+        loaded, loaded_meta = found
+        assert loaded_meta == meta
+        assert loaded.source_hash == compiled.source_hash
+        assert reader.state.persistent.store.artifact_hits == 1
+        reader.detach_memo_store()
+
+
+class TestWorkloadDifferential:
+    def test_generated_corpus_payloads_match_machine(self):
+        # Generated service workloads: the compile_py payload equals the
+        # machine run payload modulo the backend-only keys, job for job.
+        specs = job_corpus(seed=11, count=6, kinds=("run",))
+        runs = [dict(spec, id=f"m{i}") for i, spec in enumerate(specs)]
+        compiles = [
+            dict(spec, kind="compile_py", id=f"c{i}") for i, spec in enumerate(specs)
+        ]
+        report = api.execute_jobs(runs + compiles)
+        by_id = {result.id: result for result in report.results}
+        for index in range(len(specs)):
+            machine = by_id[f"m{index}"]
+            compiled = by_id[f"c{index}"]
+            assert machine.ok and compiled.ok
+            left = {k: v for k, v in machine.payload.items() if k != "backend"}
+            right = {
+                k: v
+                for k, v in compiled.payload.items()
+                if k not in ("backend", "artifact")
+            }
+            assert left == right
+
+    def test_pooled_compile_py_matches_solo_with_shared_store(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        specs = [
+            dict(spec, kind="compile_py", id=f"j{i}")
+            for i, spec in enumerate(job_corpus(seed=3, count=4, kinds=("run",)))
+        ] * 2  # repeat: the second pass hits the shared artifact table
+        specs = [dict(spec, id=f"{spec['id']}-{n}") for n, spec in enumerate(specs)]
+        solo = api.execute_jobs(specs, workers=0, memo_store=path + ".solo")
+        pooled = api.execute_jobs(specs, workers=2, memo_store=path + ".pool")
+        assert solo.canonical() == pooled.canonical()
+        assert all(result.ok for result in solo.results)
+
+
+class TestHoistInvariant:
+    def test_nested_code_references_only_earlier_labels(self):
+        # Nested closures hoist innermost-first; the __debug__ guard in
+        # hoist() would raise if a block referenced a later label.
+        term = cc.Lam(
+            "x", cc.Nat(), cc.Lam("y", cc.Nat(), cc.Lam("z", cc.Nat(), cc.Var("x")))
+        )
+        program = _compile_closed(term)
+        earlier: set = set()
+        for label, code in program.code_table.items():
+            assert cccc.free_vars(code) <= earlier
+            earlier.add(label)
+
+    def test_violation_detected(self):
+        import importlib
+
+        # ``repro.machine`` re-exports the hoist *function* under the
+        # submodule's name, so fetch the module itself.
+        hoist_module = importlib.import_module("repro.machine.hoist")
+
+        # Forge a table whose first entry references a label allocated later.
+        bad = cccc.CodeLam("env", cccc.Unit(), "arg", cccc.Unit(), cccc.Var("code$1"))
+        good = cccc.CodeLam("env", cccc.Unit(), "arg", cccc.Unit(), cccc.Var("arg"))
+        with pytest.raises(AssertionError, match="hoist invariant"):
+            hoist_module._check_earlier_labels({"code$0": bad, "code$1": good})
+        # In order, the same table passes.
+        hoist_module._check_earlier_labels({"code$1": good, "code$0": bad})
+
+
+class TestCompiledStats:
+    def test_counter_mirror_roundtrip(self):
+        counters = [10, 2, 3, 4, 5, 6, 7]
+        stats = CompiledStats.from_counters(counters)
+        assert stats.steps == 10 and stats.env_allocs == 6
+        assert stats.max_frame_size == 7  # env_allocs > 0 → widest env
+        machine = stats.to_machine()
+        assert _stats_dict(machine) == _stats_dict(stats)
+        assert stats.matches(machine)
+
+    def test_no_envs_means_no_frames(self):
+        stats = CompiledStats.from_counters([1, 0, 0, 0, 0, 0, 0])
+        assert stats.max_frame_size == 0
+        assert stats.as_dict()["steps"] == 1

@@ -45,6 +45,7 @@ def _mixed_jobs() -> list[dict]:
         {"id": "m9", "kind": "reset", "key": "a"},
         {"id": "m10", "kind": "normalize", "program": REDEX, "key": "a"},
         {"id": "m11", "kind": "stats"},
+        {"id": "m12", "kind": "compile_py", "program": REDEX, "key": "b"},
     ]
 
 
@@ -106,6 +107,21 @@ class TestExecutor:
         # stats: constant deterministic payload, telemetry rides in meta.
         assert by_id["m11"].payload == {"stats": True}
         assert "cache_stats" in by_id["m11"].meta["stats"]
+        # compile_py is run through the host backend: same payload modulo
+        # the backend-only keys.
+        assert by_id["m12"].payload["value"] == 42
+        assert by_id["m12"].payload["backend"] == "compiled"
+        machine = {
+            key: value
+            for key, value in by_id["m5"].payload.items()
+            if key != "backend"
+        }
+        compiled = {
+            key: value
+            for key, value in by_id["m12"].payload.items()
+            if key not in ("backend", "artifact")
+        }
+        assert compiled == machine
 
     def test_payloads_are_alpha_canonical(self):
         # α-variants of one program produce byte-identical payloads.
