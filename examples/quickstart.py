@@ -12,7 +12,11 @@ layer:
 
 Every entrypoint returns a structured result — the term, its type, the
 reduction steps spent, the engine used, cache-hit counts — which is also
-what ``python -m repro check --json`` prints.
+what ``python -m repro check --json`` prints.  Step 5 turns on the
+opt-in profiler (``repro.obs``) to attribute those costs per pipeline
+phase — the same data ``python -m repro profile`` renders as
+flamegraph JSON, and ``batch --profile`` / ``serve --metrics-interval``
+surface for batches and live pools.
 
 Run:  python examples/quickstart.py
 """
@@ -59,6 +63,19 @@ def main() -> None:
     identity = session.compile(r"\ (A : Type) (x : A). x")
     print("\nthe compiled polymorphic identity:")
     print(cccc.pretty(identity.target))
+
+    # 5. Opt-in profiling: activate a collector and run the whole pipeline
+    #    again — every phase's cost (typecheck fuel, machine steps, per-
+    #    label β counts) is attributed without changing any result.  The
+    #    CLI equivalent is `python -m repro profile file.cc`, which emits
+    #    the same data as speedscope-loadable flamegraph JSON.
+    from repro import obs
+
+    with obs.activate() as profile:
+        session.run(source)
+    print("\nprofiled phases:")
+    for phase, total in profile.totals()["phases"].items():
+        print(f"  {phase:>10} : {total['weight']}")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,12 @@ Starts an elastic endpoint in the background (the same stack as
    are byte-identical to running the same jobs in-process.
 2. **A stats poll** — the ``/metrics``-style inline job kind that reports
    pool and endpoint telemetry even under load.
-3. **A chaotic stream** — the client drops, stalls, and truncates its own
+3. **A live metrics subscription** — ``watch_stats()`` streams periodic
+   ``{"op": "metrics"}`` snapshots (pool health, supervisor scaling
+   signals, queue depths) interleaved with the results of a running
+   batch, printed as one-line summaries; the watched batch's payloads
+   stay byte-identical to the unwatched run.
+4. **A chaotic stream** — the client drops, stalls, and truncates its own
    connection at scheduled job coordinates, and reconnect-plus-resubmit
    heals every fault: same bytes, just later.
 
@@ -67,7 +72,32 @@ def main() -> None:
             f"{stats['endpoint']['delivered']} delivered"
         )
 
-        # 3. Client-side connection chaos: drop/stall/truncate at exact
+        # 3. Live telemetry: subscribe to the metrics stream and print a
+        # one-line pool health summary per snapshot while a batch (padded
+        # with sleep jobs so it spans a few intervals) streams through.
+        from repro.obs import summarize_snapshot
+
+        watched = jobs + [
+            {"id": f"zz{i}", "kind": "sleep", "seconds": 0.08} for i in range(3)
+        ]
+        with ServiceClient(server.host, server.port, window=4) as client:
+            client.watch_stats(
+                interval=0.05,
+                callback=lambda snap: print(f"  [pool] {summarize_snapshot(snap)}"),
+            )
+            documents = client.run_batch(watched)
+            client.unwatch_stats()
+        stripped = [
+            {key: value for key, value in doc.items() if key != "meta"}
+            for doc in documents[: len(jobs)]
+        ]
+        assert stripped == solo, "watching the pool changed result bytes"
+        print(
+            f"{len(client.metrics)} live snapshot(s) during the batch; "
+            "results unchanged"
+        )
+
+        # 4. Client-side connection chaos: drop/stall/truncate at exact
         # job coordinates, healed by reconnect-and-resubmit.
         plan = FaultPlan.generate(
             7,

@@ -27,6 +27,12 @@ via ``-e/--expr``:
 * ``decompile`` — compile, then translate back through the Figure 8
   model; print the CC image and whether ``e ≡ (e⁺)°`` held.
 * ``hoist``     — compile and print the static code table.
+* ``profile``   — run a program under the per-span cost profiler
+  (:mod:`repro.obs`) and emit a deterministic speedscope flamegraph:
+  pipeline phases weighted by the same fuel/step counters the results
+  carry, per-code-label β-entry counts inside the execute phase, and
+  byte-identical totals between ``--target machine`` and ``--target py``.
+  ``batch --profile PATH`` profiles a whole solo job stream the same way.
 * ``batch``     — execute a stream of service jobs (JSONL file or a
   generated ``gen/`` corpus) in-process or across a worker pool:
   ``--workers N`` shards the batch over N processes (0 = solo),
@@ -45,9 +51,13 @@ via ``-e/--expr``:
   server over an elastic worker pool (``--min-workers``/``--max-workers``)
   with admission control (``--conn-window``, ``--max-inflight``),
   per-client fair share and fuel quotas (``--fuel-quota``), per-job
-  deadlines, and graceful drain on SIGTERM (zero accepted-and-lost).
+  deadlines, and graceful drain on SIGTERM (zero accepted-and-lost);
+  ``--metrics-interval N`` streams live NDJSON telemetry snapshots, and
+  clients may subscribe to the same stream with the ``watch`` op.
 * ``store``     — maintain a persistent memo store: ``stat`` reports row
-  and seal-validity counts, ``scrub`` rebuilds the file from its
+  and seal-validity counts plus payload byte totals for both the memo and
+  compiled-artifact (``RPYC``) tables — including sealed-but-unloadable
+  artifact orphans, ``scrub`` rebuilds the file from its
   validly-sealed rows (salvaging a torn store), ``compact`` deletes
   invalid rows in place and vacuums.
 
@@ -244,6 +254,40 @@ def _cmd_run(session: Session, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(session: Session, args: argparse.Namespace) -> int:
+    """``profile``: run the pipeline under the cost collector, emit speedscope.
+
+    The per-phase weights are the same deterministic counters the result
+    objects carry (check/verify/machine steps), so the flamegraph totals
+    reconcile exactly with ``run --json`` — and are identical between the
+    machine and compiled backends for the same program.
+    """
+    from repro import obs
+
+    source = _read_source(args)
+    engine = "compiled" if args.target == "py" else None
+    with obs.activate() as profile:
+        result = session.run(source, verify=not args.no_verify, engine=engine)
+    subject = args.file if args.file is not None else "<expr>"
+    document = profile.to_speedscope(name=subject)
+    if args.output is None:
+        return _emit_json(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    shown = result.observation if result.observation is not None else type(result.value).__name__
+    totals = profile.totals()
+    print(f"value    : {shown}")
+    for phase in obs.PHASES:
+        record = totals["phases"].get(phase)
+        if record is not None:
+            print(f"{phase:<9}: {record['weight']}")
+    for label, count in totals.get("labels", {}).items():
+        print(f"  {label:<7}: {count} entries")
+    print(f"profile  : {args.output} (load it in speedscope)")
+    return 0
+
+
 def _cmd_link(session: Session, args: argparse.Namespace) -> int:
     ctx = cc.Context.empty()
     with session.activate():
@@ -358,41 +402,60 @@ def _conn_chaos_plan(specs: list[dict], seed: int) -> "object":
 
 
 def _cmd_batch(session: Session, args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro import api
 
-    try:
-        specs = _read_job_specs(args)
-        if args.wire == "binary":
-            from repro.gen.jobs import binary_specs
+    profile_scope = nullcontext(None)
+    if args.profile is not None:
+        if args.workers or args.connect is not None:
+            # Worker processes profile their own address spaces; only the
+            # in-process solo path shares the collector's slot.
+            raise ReproError(
+                "--profile requires an in-process solo run (omit --workers/--connect)"
+            )
+        from repro import obs
 
-            specs = binary_specs(specs)
-        if args.connect is not None:
-            plan = None
-            if args.chaos_seed is not None:
-                plan = _conn_chaos_plan(specs, args.chaos_seed)
-            report = api.execute_jobs(
-                specs,
-                connect=args.connect,
-                engine=args.engine,
-                fault_plan=plan,
-                client_options={"window": args.window},
-            )
-        else:
-            plan = None
-            if args.chaos_seed is not None:
-                plan = _chaos_plan(specs, args.chaos_seed)
-            report = api.execute_jobs(
-                specs,
-                workers=args.workers,
-                engine=args.engine,
-                job_timeout=args.job_timeout,
-                memo_store=args.memo_store,
-                fault_plan=plan,
-            )
+        profile_scope = obs.activate()
+    try:
+        with profile_scope as profile:
+            specs = _read_job_specs(args)
+            if args.wire == "binary":
+                from repro.gen.jobs import binary_specs
+
+                specs = binary_specs(specs)
+            if args.connect is not None:
+                plan = None
+                if args.chaos_seed is not None:
+                    plan = _conn_chaos_plan(specs, args.chaos_seed)
+                report = api.execute_jobs(
+                    specs,
+                    connect=args.connect,
+                    engine=args.engine,
+                    fault_plan=plan,
+                    client_options={"window": args.window},
+                )
+            else:
+                plan = None
+                if args.chaos_seed is not None:
+                    plan = _chaos_plan(specs, args.chaos_seed)
+                report = api.execute_jobs(
+                    specs,
+                    workers=args.workers,
+                    engine=args.engine,
+                    job_timeout=args.job_timeout,
+                    memo_store=args.memo_store,
+                    fault_plan=plan,
+                )
     except (ValueError, json.JSONDecodeError) as error:
         # Malformed job specs (bad JSON, unknown kinds/fields) get the
         # CLI's one-line error contract, not a traceback.
         raise ReproError(f"bad job stream: {error}") from error
+    if profile is not None:
+        with open(args.profile, "w", encoding="utf-8") as handle:
+            json.dump(profile.to_speedscope(name=f"batch of {len(specs)}"), handle, indent=2)
+            handle.write("\n")
+        print(f"profile: {args.profile}", file=sys.stderr)
     if args.json:
         _emit_json(report.to_dict())
     else:
@@ -431,6 +494,7 @@ def _cmd_serve(session: Session, args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         fuel_quota=args.fuel_quota,
         fault_plan=plan,
+        metrics_interval=args.metrics_interval,
     )
     return 0
 
@@ -543,6 +607,32 @@ def main(argv: list[str] | None = None) -> int:
             )
         sub.set_defaults(handler=handler)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run a program under the cost profiler; emit a speedscope flamegraph",
+    )
+    _add_input_arguments(profile)
+    profile.add_argument(
+        "--target",
+        choices=("machine", "py"),
+        default="machine",
+        help="execution backend to profile (per-phase totals are identical)",
+    )
+    profile.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip re-checking the output in CC-CC (drops the verify phase)",
+    )
+    profile.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the speedscope JSON here and print a summary "
+        "(default: the JSON goes to stdout)",
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
     batch = commands.add_parser(
         "batch",
         help="execute a service job stream, in-process or across a worker pool",
@@ -606,6 +696,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=32,
         help="jobs the --connect client keeps in flight at once",
+    )
+    batch.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="profile the batch (solo runs only) and write speedscope JSON here",
     )
     batch.add_argument("--gen-seed", type=int, default=0, help="generated-corpus seed")
     batch.add_argument(
@@ -677,6 +773,14 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="per-client fuel clamp threaded into the kernel checkers",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print one NDJSON metrics snapshot (pool, endpoint, supervisor) "
+        "per interval while serving",
     )
     serve.add_argument(
         "--chaos-plan",

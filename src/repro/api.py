@@ -73,6 +73,29 @@ __all__ = [
 
 _SESSION_IDS = itertools.count(1)
 
+#: The profiling hook: ``repro.obs.activate()`` installs a Profile
+#: collector here; every entrypoint checks the slot (one list indexing,
+#: no import of ``repro.obs``) and records phase attributions when it is
+#: non-None.  A process that never profiles never imports the obs
+#: package at all — the byte-identity tests rely on that.
+_PROFILE: list = [None]
+
+_MACHINE_COUNTER_FIELDS = (
+    "steps",
+    "closure_allocs",
+    "tuple_allocs",
+    "projections",
+    "code_lookups",
+    "max_frame_size",
+    "env_allocs",
+    "max_env_size",
+)
+
+
+def _machine_counters(stats: Any) -> dict[str, int]:
+    """Execution counters as a dict — MachineStats and CompiledStats alike."""
+    return {name: getattr(stats, name, 0) for name in _MACHINE_COUNTER_FIELDS}
+
 
 # --------------------------------------------------------------------------
 # Structured results.
@@ -390,7 +413,13 @@ class Session:
     def parse(self, source: str) -> ParseResult:
         """Parse surface text into a CC term (no type checking)."""
         with self.activate():
-            return ParseResult(term=parse_term(source), source=source, session=self.name)
+            term = parse_term(source)
+            profile = _PROFILE[0]
+            if profile is not None:
+                # Parsing spends no fuel; its deterministic weight is the
+                # size of the term it produced.
+                profile.phase("parse", weight=cc.term_size(term))
+            return ParseResult(term=term, source=source, session=self.name)
 
     def check(self, program: str | cc.Term, ctx: cc.Context | None = None) -> CheckResult:
         """Type check ``program`` (text or term) under ``ctx`` (empty default)."""
@@ -400,13 +429,17 @@ class Session:
             before = self._state.hit_counts()
             budget = self.budget()
             type_ = cc.infer(context, term, budget)
+            hits = self._hit_delta(before)
+            profile = _PROFILE[0]
+            if profile is not None:
+                profile.phase("typecheck", weight=budget.spent, counters=hits)
             return CheckResult(
                 term=term,
                 type_=type_,
                 steps=budget.spent,
                 engine=self.engine,
                 session=self.name,
-                cache_hits=self._hit_delta(before),
+                cache_hits=hits,
             )
 
     def normalize(
@@ -436,6 +469,11 @@ class Session:
                 value = cc.normalize(context, term, normalize_budget)
             else:
                 value = normalize_subst(context, term, normalize_budget)
+            hits = self._hit_delta(before)
+            profile = _PROFILE[0]
+            if profile is not None:
+                profile.phase("typecheck", weight=check_budget.spent)
+                profile.phase("normalize", weight=normalize_budget.spent, counters=hits)
             return NormalizeResult(
                 term=term,
                 value=value,
@@ -444,7 +482,7 @@ class Session:
                 check_steps=check_budget.spent,
                 engine=engine,
                 session=self.name,
-                cache_hits=self._hit_delta(before),
+                cache_hits=hits,
             )
 
     def compile(
@@ -479,6 +517,14 @@ class Session:
                 if verify
                 else ("verification skipped (verify=False)",)
             )
+            hits = self._hit_delta(before)
+            profile = _PROFILE[0]
+            if profile is not None:
+                profile.phase("typecheck", weight=check_budget.spent, counters=hits)
+                # The translation itself is fuel-free; its deterministic
+                # weight is the size of the CC-CC term it emitted.
+                profile.phase("closconv", weight=cccc.term_size(compilation.target))
+                profile.phase("verify", weight=verify_budget.spent)
             return CompileResult(
                 compilation=compilation,
                 steps=check_budget.spent + verify_budget.spent,
@@ -486,7 +532,7 @@ class Session:
                 verify_steps=verify_budget.spent,
                 engine=self.engine,
                 session=self.name,
-                cache_hits=self._hit_delta(before),
+                cache_hits=hits,
                 diagnostics=diagnostics,
             )
 
@@ -514,7 +560,17 @@ class Session:
         with self.activate():
             compiled = self.compile(program, ctx=ctx, verify=verify)
             hoisted = hoist(compiled.target)
-            value, stats = run(hoisted)
+            profile = _PROFILE[0]
+            label_counts: dict[str, int] | None = {} if profile is not None else None
+            value, stats = run(hoisted, label_counts=label_counts)
+            if profile is not None:
+                profile.phase("hoist", weight=hoisted.code_count)
+                profile.phase(
+                    "execute",
+                    weight=stats.steps,
+                    counters=_machine_counters(stats),
+                    labels=label_counts,
+                )
             return RunResult(
                 compile_result=compiled,
                 program=hoisted,
@@ -557,7 +613,14 @@ class Session:
         with self.activate():
             term = self._coerce(program)
             source = cc.intern(term)
-            cacheable = ctx is None or len(ctx) == 0
+            profile = _PROFILE[0]
+            cacheable = (ctx is None or len(ctx) == 0) and profile is None
+            # Profiled runs stage a freshly *instrumented* program: its
+            # block closures carry the per-label counter dict, so it must
+            # neither come from nor enter the artifact caches.  Results
+            # are unaffected — cold and warm runs are byte-identical by
+            # the artifact tier's fuel-replay contract.
+            label_counts: dict[str, int] | None = {} if profile is not None else None
             key = (
                 artifact_key(source, engine=self.engine, verify=verify)
                 if cacheable
@@ -577,7 +640,7 @@ class Session:
             else:
                 compile_result = self.compile(term, ctx=ctx, verify=verify)
                 hoisted = hoist(compile_result.target)
-                compiled_program = compile_program(hoisted)
+                compiled_program = compile_program(hoisted, label_counts=label_counts)
                 meta = ArtifactMeta(
                     check_steps=compile_result.check_steps,
                     verify_steps=compile_result.verify_steps,
@@ -586,6 +649,14 @@ class Session:
                 if key is not None:
                     store_artifact(self._state, key, compiled_program, meta)
             value, stats = compiled_program.execute()
+            if profile is not None:
+                profile.phase("hoist", weight=compiled_program.code_count)
+                profile.phase(
+                    "execute",
+                    weight=stats.steps,
+                    counters=_machine_counters(stats),
+                    labels=label_counts,
+                )
             return RunResult(
                 compile_result=compile_result,
                 program=compiled_program.program,
@@ -642,12 +713,16 @@ class Session:
             check_substitution(ctx, gamma, budget)
             linked = link(ctx, term, gamma)
             type_ = cc.infer(cc.Context.empty(), linked, budget)
+            hits = self._hit_delta(before)
+            profile = _PROFILE[0]
+            if profile is not None:
+                profile.phase("link", weight=budget.spent, counters=hits)
             return LinkResult(
                 term=linked,
                 type_=type_,
                 steps=budget.spent,
                 session=self.name,
-                cache_hits=self._hit_delta(before),
+                cache_hits=hits,
                 diagnostics=(f"linked {len(gamma.mapping)} import(s) (Γ ⊢ γ checked)",),
             )
 
@@ -673,7 +748,13 @@ class Session:
     def _coerce(self, program: str | cc.Term) -> cc.Term:
         """Surface text → term; terms pass through."""
         if isinstance(program, str):
-            return parse_term(program)
+            term = parse_term(program)
+            profile = _PROFILE[0]
+            if profile is not None:
+                # Parse cost is term size: the parser is single-pass, and
+                # node count is the deterministic stand-in for its work.
+                profile.phase("parse", weight=cc.term_size(term))
+            return term
         return program
 
     def _hit_delta(self, before: dict[str, int]) -> dict[str, int]:

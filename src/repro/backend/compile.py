@@ -529,23 +529,56 @@ class CompiledProgram:
         return value, CompiledStats.from_counters(counters)
 
 
-def _build(program: Program) -> tuple[dict[str, BlockFn], StagedFn]:
+def _counted_block(label: str, block: BlockFn, counts: dict[str, int]) -> BlockFn:
+    """Wrap a staged block with a per-label entry counter (profiling mode).
+
+    The counter dict is captured in the closure, so instrumented programs
+    are staged fresh per profiled run and never enter the artifact caches;
+    the wrapper fires once per block entry — the exact sites where the
+    machine's ``lookup_code`` counts, so per-label totals agree with the
+    oracle and sum to ``code_lookups``.
+    """
+
+    def counted(env_value: Value, arg_value: Value, c: list, _b=block) -> Value:
+        counts[label] = counts.get(label, 0) + 1
+        return _b(env_value, arg_value, c)
+
+    return counted
+
+
+def _build(
+    program: Program, label_counts: dict[str, int] | None = None
+) -> tuple[dict[str, BlockFn], StagedFn]:
     table: dict[str, BlockFn] = {}
     apply_value = _make_apply(table)
     code_table = program.code_table
     for label, code in code_table.items():
-        table[label] = _stage_block(code, table, code_table, apply_value)
+        block = _stage_block(code, table, code_table, apply_value)
+        if label_counts is not None:
+            # Wrap *as inserted*: later blocks' ``app_known`` fast paths
+            # capture table entries at stage time, so wrapping afterwards
+            # would miss every statically resolved β.
+            block = _counted_block(label, block, label_counts)
+        table[label] = block
     main = _stage(program.main, {}, 0, table, code_table, apply_value)
     return table, main
 
 
-def compile_program(program: Program) -> CompiledProgram:
+def compile_program(
+    program: Program, label_counts: dict[str, int] | None = None
+) -> CompiledProgram:
     """Stage a hoisted program into a :class:`CompiledProgram`.
 
     The program is α-canonicalized first so the compiled artifact (and its
     content hash) is independent of the session's gensym history; the
     machine value classes carry no binder names, so canonicalization is
     invisible to runtime results.
+
+    ``label_counts`` (profiling mode) instruments every staged block with
+    a per-label entry counter writing into the given dict; instrumented
+    programs must not be cached (the counter dict is baked into the
+    closures), which the API layer enforces by bypassing the artifact
+    caches whenever a profile is active.
     """
     interned = Program(
         {
@@ -558,9 +591,11 @@ def compile_program(program: Program) -> CompiledProgram:
         cccc.term_size(code) for code in interned.code_table.values()
     )
     if size > _DEEP_TERM_THRESHOLD:
-        table, main = _with_deep_stack(lambda: _build(interned), size)  # type: ignore[misc]
+        table, main = _with_deep_stack(  # type: ignore[misc]
+            lambda: _build(interned, label_counts), size
+        )
     else:
-        table, main = _build(interned)
+        table, main = _build(interned, label_counts)
     return CompiledProgram(
         program=interned,
         source_hash=_source_hash(interned),

@@ -137,9 +137,13 @@ class _Machine:
     program: Program
     stats: MachineStats
     code_values: dict[str, MCode] = field(default_factory=dict)
+    label_counts: dict[str, int] | None = None
 
     def lookup_code(self, label: str) -> cccc.CodeLam:
         self.stats.code_lookups += 1
+        counts = self.label_counts
+        if counts is not None:
+            counts[label] = counts.get(label, 0) + 1
         code = self.program.code_table.get(label)
         if code is None:
             raise MachineError(f"unknown code label {label!r}")
@@ -289,17 +293,26 @@ def _run_guarded(machine: _Machine, term: cccc.Term, size: int) -> Value:
     return result[0]
 
 
-def run(program: Program, stats: MachineStats | None = None) -> tuple[Value, MachineStats]:
+def run(
+    program: Program,
+    stats: MachineStats | None = None,
+    label_counts: dict[str, int] | None = None,
+) -> tuple[Value, MachineStats]:
     """Execute a hoisted program to a value, returning (value, counters).
 
     Deep programs (main plus code-table bodies past
     ``_DEEP_TERM_THRESHOLD`` nodes) are evaluated under a dedicated
     deep-stack thread so that evaluation depth is bounded by memory, not
     the interpreter's default recursion limit.
+
+    ``label_counts`` (profiling mode) receives per-code-label β-entry
+    counts — one increment per ``lookup_code``, so the counts sum to
+    ``stats.code_lookups`` exactly.  When None (the default) the hot loop
+    pays a single attribute check per β and nothing else.
     """
     if stats is None:
         stats = MachineStats()
-    machine = _Machine(program, stats)
+    machine = _Machine(program, stats, label_counts=label_counts)
     size = cccc.term_size(program.main) + sum(
         cccc.term_size(code) for code in program.code_table.values()
     )

@@ -1,0 +1,60 @@
+"""Metrics snapshots for the endpoint's subscribable telemetry stream.
+
+A snapshot is one NDJSON-able dict: the dispatcher's full
+:class:`~repro.service.dispatcher.PoolStats` (including per-slot health
+and persistent-store counters), the elastic supervisor's scaling signals
+(queue depth, completion rate, memo hit rate, watermarks), and — when the
+endpoint builds it — endpoint telemetry and per-connection fair-share
+queue depths.  Snapshots are telemetry, not results: they ride the wire
+as ``{"op": "metrics", ...}`` documents, out-of-band of every job result,
+so subscribing cannot perturb payload bytes or drain semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["pool_snapshot", "summarize_snapshot"]
+
+
+def pool_snapshot(dispatcher: Any, supervisor: Any = None) -> dict[str, Any]:
+    """One metrics snapshot of a dispatcher (and its supervisor, if any).
+
+    ``at`` is wall-clock (timeline-class data — snapshots are never part
+    of any determinism gate).
+    """
+    snapshot: dict[str, Any] = {
+        "at": time.time(),
+        "pool": dispatcher.stats().to_dict(),
+    }
+    if supervisor is not None:
+        snapshot["supervisor"] = supervisor.signals()
+    return snapshot
+
+
+def summarize_snapshot(snapshot: dict[str, Any]) -> str:
+    """A one-line human summary of a snapshot (pool health at a glance)."""
+    pool = snapshot.get("pool", {})
+    slots = pool.get("slots", {})
+    alive = sum(1 for health in slots.values() if health.get("alive"))
+    broken = sum(1 for health in slots.values() if health.get("broken"))
+    parts = [
+        f"workers {pool.get('active', pool.get('workers', 0))}",
+        f"alive {alive}/{len(slots)}" if slots else "alive ?",
+        f"pending {pool.get('pending', 0)}",
+        f"done {pool.get('completed', 0)}",
+        f"failed {pool.get('failed', 0)}",
+    ]
+    if broken:
+        parts.append(f"broken {broken}")
+    supervisor = snapshot.get("supervisor")
+    if supervisor:
+        parts.append(f"rate {supervisor.get('completion_rate', 0.0):.1f}/s")
+        memo_rate = supervisor.get("memo_hit_rate")
+        if memo_rate is not None:
+            parts.append(f"memo {memo_rate:.0%}")
+    endpoint = snapshot.get("endpoint")
+    if endpoint:
+        parts.append(f"conns {endpoint.get('connections', 0)}")
+    return " | ".join(parts)

@@ -1,0 +1,96 @@
+"""The wire-job trace schema: deterministic events vs. wall-clock timeline.
+
+A traced job (``Job.trace = True``) carries a ``trace`` document in its
+result *meta* — never in the deterministic payload, so traced results
+remain byte-identical to untraced ones under ``JobResult.canonical()``.
+The document has two sections:
+
+- ``events`` — the **deterministic** section: monotonic, ordered records
+  whose every field is a pure function of the job stream and the fault
+  plan (submit sequence numbers, execution kind, completion ok/attempts).
+  Two same-seed chaos runs produce byte-identical ``events`` sections;
+  ``benchmarks/bench_e24_obs.py`` gates exactly that.
+- ``timeline`` — the **wall-clock** section: anything scheduling- or
+  warmth-dependent (dispatch slot assignments, monotonic timestamps,
+  requeues of stranded non-culprits, cache-hit deltas).  Free to differ
+  run to run; useful for humans, excluded from the determinism gates.
+
+Event kinds, in causal order through the stack::
+
+    submit    {seq}                 dispatcher accepted the job
+    execute   {kind}                the executor ran it (solo or worker)
+    complete  {ok, attempts}        final disposition, dead letters included
+
+    dispatch  {slot, at}            handed to a worker slot        (timeline)
+    requeue   {slot, at}            stranded by a dying worker     (timeline)
+    memo      {cache_hits, at}      per-call cache-hit deltas      (timeline)
+
+The builders here are the schema's single source of truth; the service
+modules construct the dicts inline (no import on the untraced path) and
+the tests validate them against :func:`validate_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "DETERMINISTIC_EVENTS",
+    "TIMELINE_EVENTS",
+    "deterministic_section",
+    "new_trace",
+    "validate_trace",
+]
+
+#: Event kinds allowed in the deterministic ``events`` section.
+DETERMINISTIC_EVENTS = frozenset({"submit", "execute", "complete"})
+
+#: Event kinds allowed in the wall-clock ``timeline`` section.
+TIMELINE_EVENTS = frozenset({"dispatch", "requeue", "memo"})
+
+#: Field names that may carry wall-clock or scheduling values; they are
+#: confined to the timeline section.
+_WALLCLOCK_FIELDS = frozenset({"at", "slot", "elapsed_seconds", "cache_hits"})
+
+
+def new_trace() -> dict[str, list]:
+    """An empty trace document (both sections present, in schema order)."""
+    return {"events": [], "timeline": []}
+
+
+def deterministic_section(result: Any) -> list[dict[str, Any]] | None:
+    """The deterministic ``events`` of a result (object or wire dict).
+
+    Returns None when the result carries no trace — untraced jobs, or
+    documents from a pre-trace peer.  This is what the determinism gates
+    compare across same-seed runs.
+    """
+    meta = result.get("meta", {}) if isinstance(result, dict) else result.meta
+    trace = (meta or {}).get("trace")
+    if trace is None:
+        return None
+    return trace.get("events", [])
+
+
+def validate_trace(trace: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``trace`` conforms to the schema.
+
+    Checks section membership, event-kind vocabulary, and that no
+    wall-clock field leaked into the deterministic section.
+    """
+    unknown = set(trace) - {"events", "timeline"}
+    if unknown:
+        raise ValueError(f"unknown trace sections: {sorted(unknown)}")
+    for event in trace.get("events", []):
+        kind = event.get("ev")
+        if kind not in DETERMINISTIC_EVENTS:
+            raise ValueError(f"non-deterministic event kind in events: {kind!r}")
+        leaked = set(event) & _WALLCLOCK_FIELDS
+        if leaked:
+            raise ValueError(
+                f"wall-clock field(s) {sorted(leaked)} in deterministic event {kind!r}"
+            )
+    for entry in trace.get("timeline", []):
+        kind = entry.get("ev")
+        if kind not in TIMELINE_EVENTS:
+            raise ValueError(f"unknown timeline event kind: {kind!r}")

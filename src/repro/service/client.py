@@ -113,6 +113,11 @@ class ServiceClient:
         self.reconnects = 0
         self.resubmitted = 0
         self.shed_retries = 0
+        # Live-telemetry subscription state: snapshots accumulate here and
+        # feed the optional callback as they arrive mid-batch.
+        self.metrics: list[dict[str, Any]] = []
+        self._metrics_callback: Any = None
+        self._watch_interval: float | None = None
 
     @classmethod
     def from_address(cls, address: str, **options: Any) -> "ServiceClient":
@@ -130,6 +135,12 @@ class ServiceClient:
                 # Announce the session namespace; the welcome reply rides
                 # the stream and is skipped by the batch loop's op filter.
                 self._send_line({"op": "hello", "session": self.session})
+                if self._watch_interval is not None:
+                    # Subscriptions are per-socket server-side; re-announce
+                    # so a reconnect resumes the metrics stream.
+                    self._send_line(
+                        {"op": "watch", "interval": self._watch_interval}
+                    )
                 return
             except OSError:
                 self._disconnect()
@@ -310,6 +321,12 @@ class ServiceClient:
                     # Server drained under us: treat as loss; resubmit to
                     # whatever comes back up (or time out trying).
                     self._disconnect()
+                elif document.get("op") == "metrics":
+                    # Live-telemetry snapshot riding the result stream:
+                    # collected out-of-band, never matched to a job.
+                    self.metrics.append(document)
+                    if self._metrics_callback is not None:
+                        self._metrics_callback(document)
                 continue
             job_id = document.get("id")
             spec = unacked.pop(job_id, None)
@@ -335,3 +352,34 @@ class ServiceClient:
         """One ``stats`` poll: the endpoint + pool telemetry document."""
         [document] = self.run_batch([{"id": "stats-poll", "kind": "stats"}])
         return document
+
+    def watch_stats(self, interval: float = 0.5, callback: Any = None) -> None:
+        """Subscribe to the endpoint's live metrics stream.
+
+        Snapshots (``{"op": "metrics", ...}`` documents: pool stats with
+        per-slot health, endpoint counters, supervisor scaling signals,
+        per-connection queue depths) arrive interleaved with result lines
+        during :meth:`run_batch`; each is appended to :attr:`metrics` and
+        handed to ``callback`` as it lands.  The subscription survives
+        reconnects (it is re-announced after the hello) and never touches
+        job results — a watched batch is byte-identical to an unwatched
+        one.  Call :meth:`unwatch_stats` to stop.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive seconds")
+        self._watch_interval = float(interval)
+        self._metrics_callback = callback
+        if self._sock is None:
+            self._connect()  # _connect announces the subscription
+        else:
+            self._send_line({"op": "watch", "interval": self._watch_interval})
+
+    def unwatch_stats(self) -> None:
+        """Cancel a :meth:`watch_stats` subscription (keep collected snapshots)."""
+        self._watch_interval = None
+        self._metrics_callback = None
+        if self._sock is not None:
+            try:
+                self._send_line({"op": "unwatch"})
+            except OSError:  # pragma: no cover - socket died; nothing to cancel
+                self._disconnect()

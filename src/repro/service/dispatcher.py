@@ -86,7 +86,7 @@ import multiprocessing
 import queue as queue_module
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from hashlib import blake2b
 from typing import Any, Iterable, Mapping
 
@@ -133,24 +133,25 @@ class PoolStats:
     slots: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
-            "workers": self.workers,
-            "active": self.active,
-            "pending": self.pending,
-            "submitted": self.submitted,
-            "completed": self.completed,
-            "failed": self.failed,
-            "requeued": self.requeued,
-            "restarts": self.restarts,
-            "timeouts": self.timeouts,
-            "exhausted": self.exhausted,
-            "scale_ups": self.scale_ups,
-            "scale_downs": self.scale_downs,
-            "jobs_per_slot": {str(slot): n for slot, n in sorted(self.jobs_per_slot.items())},
-            "cache_hits": dict(self.cache_hits),
-            "persist": None if self.persist is None else dict(self.persist),
-            "slots": {slot: dict(health) for slot, health in sorted(self.slots.items())},
-        }
+        """The JSON wire form, built by field introspection.
+
+        Iterating ``dataclasses.fields`` (rather than hand-listing keys)
+        means a newly added counter reaches the wire automatically — the
+        drift test in ``tests/test_obs.py`` asserts the key set matches
+        the field set, so a counter can never again be silently dropped
+        from the endpoint's stats payload.
+        """
+        document: dict[str, Any] = {}
+        for spec in dataclass_fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "jobs_per_slot":
+                value = {str(slot): n for slot, n in sorted(value.items())}
+            elif spec.name == "slots":
+                value = {slot: dict(health) for slot, health in sorted(value.items())}
+            elif isinstance(value, dict):
+                value = dict(value)
+            document[spec.name] = value
+        return document
 
 
 @dataclass
@@ -168,6 +169,9 @@ class _Pending:
     on_done: Any = None
     done: threading.Event = field(default_factory=threading.Event)
     result: JobResult | None = None
+    # Wall-clock trace entries (dispatch/requeue), populated only for
+    # traced jobs; merged into the result meta's trace timeline section.
+    trace_timeline: list = field(default_factory=list)
 
 
 class _WorkerHandle:
@@ -698,6 +702,12 @@ class Dispatcher:
     def _send(self, handle: _WorkerHandle, pending: _Pending) -> None:
         """Put one job on a worker queue (caller holds the lock)."""
         pending.begun_at = None
+        if pending.job.trace:
+            # Slot assignment and timing are scheduling-dependent: timeline
+            # section, never the deterministic events.
+            pending.trace_timeline.append(
+                {"ev": "dispatch", "slot": handle.slot, "at": time.monotonic()}
+            )
         handle.queue.put(
             json.dumps(
                 {
@@ -806,6 +816,8 @@ class Dispatcher:
             self._jobs_per_slot[slot] = self._jobs_per_slot.get(slot, 0) + 1
             result = JobResult.from_dict(document)
             result.meta["attempts"] = pending.attempts + 1
+            if pending.job.trace:
+                self._stamp_trace_locked(pending, result)
             pending.result = result
             self._counts["completed"] += 1
             if not result.ok:
@@ -880,6 +892,29 @@ class Dispatcher:
                 if now >= due_at:
                     self._respawn_slot(slot)
 
+    def _stamp_trace_locked(self, pending: _Pending, result: JobResult) -> None:
+        """Assemble a traced job's final trace document in its result meta.
+
+        Deterministic ``events``: the dispatcher's submit (sequence number
+        — a pure function of submission order), the executor's events, and
+        a completion record whose attempt count is a pure function of the
+        failure history (same-seed chaos runs agree byte for byte).  The
+        wall-clock ``timeline`` prepends the dispatcher's dispatch/requeue
+        entries to the executor's.
+        """
+        trace = result.meta.get("trace") or {"events": [], "timeline": []}
+        events = [{"ev": "submit", "seq": pending.sequence}]
+        events.extend(trace.get("events", ()))
+        attempts = result.meta.get("attempts", pending.attempts + 1)
+        if events and events[-1].get("ev") == "complete":
+            events[-1] = {**events[-1], "attempts": attempts}
+        else:
+            events.append({"ev": "complete", "ok": result.ok, "attempts": attempts})
+        result.meta["trace"] = {
+            "events": events,
+            "timeline": list(pending.trace_timeline) + list(trace.get("timeline", ())),
+        }
+
     def _dead_letter_locked(
         self, pending: _Pending, error_type: str, message: str, exhausted: bool
     ) -> None:
@@ -901,6 +936,8 @@ class Dispatcher:
             },
             meta={"slot": pending.slot, "attempts": pending.attempts},
         )
+        if pending.job.trace:
+            self._stamp_trace_locked(pending, pending.result)
         self._counts["completed"] += 1
         self._counts["failed"] += 1
         if exhausted:
@@ -1024,6 +1061,12 @@ class Dispatcher:
             )
             for pending in stranded:
                 self._counts["requeued"] += 1
+                if pending.job.trace:
+                    # Which non-culprit jobs get stranded depends on where
+                    # the crash caught the queue: timeline, not events.
+                    pending.trace_timeline.append(
+                        {"ev": "requeue", "slot": slot, "at": time.monotonic()}
+                    )
                 self._send(replacement, pending)
             self._space.notify_all()
 
@@ -1045,6 +1088,15 @@ class ElasticSupervisor(threading.Thread):
     deterministic in arrival order, and deterministic payloads never
     depend on slot assignment at all, so an elastic pool produces the
     same bytes as a fixed one.
+
+    Beyond queue depth, each tick derives two richer signals from the
+    pool stats — the **completion rate** (jobs/second since the previous
+    tick) and the **memo hit rate** (persistent-tier hits over
+    hits+misses, None without a store) — published via :meth:`signals`
+    and streamed by the endpoint's metrics subscription.  A pool that is
+    *stalled* (more queued work than workers and several consecutive
+    ticks with zero completions) grows even below the depth watermark:
+    depth alone cannot distinguish "busy" from "stuck behind long jobs".
     """
 
     def __init__(
@@ -1071,6 +1123,32 @@ class ElasticSupervisor(threading.Thread):
         self.cooldown = cooldown
         self.events: list[tuple[str, int, int]] = []
         self._halt = threading.Event()
+        self._signals_lock = threading.Lock()
+        self._signals: dict[str, Any] = {
+            "depth": 0,
+            "active": 0,
+            "completion_rate": 0.0,
+            "memo_hit_rate": None,
+            "high_watermark": high_watermark,
+            "low_watermark": low_watermark,
+            "min_workers": min_workers,
+            "max_workers": max_workers,
+            "scale_ups": 0,
+            "scale_downs": 0,
+            "stalled_ticks": 0,
+        }
+
+    def signals(self) -> dict[str, Any]:
+        """The latest derived scaling signals (JSON-safe snapshot).
+
+        ``completion_rate`` is jobs/second completed since the previous
+        supervision tick; ``memo_hit_rate`` is the persistent tier's
+        hits/(hits+misses) over the pool's lifetime (None without a
+        store).  Refreshed once per ``interval`` by the run loop, so a
+        metrics stream can read it without touching the dispatcher lock.
+        """
+        with self._signals_lock:
+            return dict(self._signals)
 
     def stop(self) -> None:
         """Stop the supervision loop and wait for the thread to exit."""
@@ -1078,22 +1156,63 @@ class ElasticSupervisor(threading.Thread):
         if self.is_alive():
             self.join(timeout=5.0)
 
+    @staticmethod
+    def _memo_hit_rate(persist: dict[str, Any] | None) -> float | None:
+        if not persist:
+            return None
+        # Defensive key matching: the store counters are named *_hits /
+        # *_misses per tier; summing by suffix survives a renamed tier.
+        hits = sum(v for k, v in persist.items() if k.endswith("hits"))
+        misses = sum(v for k, v in persist.items() if k.endswith("misses"))
+        total = hits + misses
+        return hits / total if total else None
+
     def run(self) -> None:  # pragma: no cover - exercised via integration tests
         last_scale = 0.0
+        last_completed: int | None = None
+        last_tick = time.monotonic()
+        stalled_ticks = 0
         while not self._halt.wait(self.interval):
             try:
-                depth = self.dispatcher.queue_depth()
-                active = self.dispatcher.active_workers()
+                stats = self.dispatcher.stats()
             except Exception:
                 return  # the pool was torn down under us; nothing to supervise
+            depth = stats.pending
+            active = stats.active
             now = time.monotonic()
+            elapsed = now - last_tick
+            completed_delta = (
+                0 if last_completed is None else stats.completed - last_completed
+            )
+            rate = completed_delta / elapsed if elapsed > 0 else 0.0
+            last_completed = stats.completed
+            last_tick = now
+            # A stalled pool has queued work and idle-looking throughput:
+            # depth alone cannot tell "busy" from "stuck behind long jobs".
+            if depth > active and completed_delta == 0:
+                stalled_ticks += 1
+            else:
+                stalled_ticks = 0
+            with self._signals_lock:
+                self._signals.update(
+                    depth=depth,
+                    active=active,
+                    completion_rate=round(rate, 3),
+                    memo_hit_rate=self._memo_hit_rate(stats.persist),
+                    scale_ups=stats.scale_ups,
+                    scale_downs=stats.scale_downs,
+                    stalled_ticks=stalled_ticks,
+                )
             if active == 0 or now - last_scale < self.cooldown:
                 continue
-            if depth > self.high_watermark * active and active < self.max_workers:
+            over_depth = depth > self.high_watermark * active
+            stalled = depth > active and stalled_ticks >= 5
+            if (over_depth or stalled) and active < self.max_workers:
                 slot = self.dispatcher.grow()
                 if slot is not None:
                     self.events.append(("up", slot, depth))
                     last_scale = now
+                    stalled_ticks = 0
             elif depth < self.low_watermark * active and active > self.min_workers:
                 slot = self.dispatcher.shrink()
                 if slot is not None:

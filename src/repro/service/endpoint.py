@@ -51,6 +51,17 @@ queue depth past the high watermark grows the pool (new workers warm from
 the shared persistent memo store), an idle pool shrinks back.  Capacity
 and timing change; bytes do not.
 
+**Live telemetry.**  Beyond the inline ``stats`` poll, a client may send
+``{"op": "watch", "interval": 0.5}`` to subscribe to a periodic metrics
+stream: the endpoint pushes ``{"op": "metrics", ...}`` snapshots (pool
+stats with per-slot health, endpoint counters, supervisor scaling signals,
+per-connection queue depths) between result lines until ``{"op":
+"unwatch"}``, the socket closes, or the endpoint drains.  Metrics
+documents carry no ``id``, so result-keyed clients skip them structurally;
+the snapshots are telemetry only and never perturb job results or drain
+semantics.  ``serve --metrics-interval N`` additionally prints the same
+snapshots as NDJSON lines server-side.
+
 **Redelivery.**  A result whose connection died before (or during)
 delivery is retained, keyed by session and job id; when the client
 reconnects (announcing the same session) and resubmits — the bundled
@@ -72,6 +83,7 @@ import json
 import re
 import signal
 import threading
+import time
 from collections import deque
 from typing import Any, Mapping
 
@@ -109,6 +121,7 @@ class _Connection:
         self.write_lock = asyncio.Lock()
         self.closed = False
         self.session: str | None = None  # hello-announced client identity
+        self.watch_task: asyncio.Task | None = None  # metrics subscription
 
     @property
     def namespace(self) -> str:
@@ -177,6 +190,9 @@ class Endpoint:
             hands one plan to both).
         supervisor: an optional :class:`ElasticSupervisor` the endpoint
             starts alongside the server and stops on drain.
+        metrics_interval: when set, the endpoint prints one NDJSON metrics
+            snapshot to stdout every ``metrics_interval`` seconds while
+            serving (the server-side twin of the ``watch`` subscription).
     """
 
     def __init__(
@@ -190,9 +206,12 @@ class Endpoint:
         fuel_quota: int | None = None,
         fault_plan: FaultPlan | Mapping[str, Any] | None = None,
         supervisor: ElasticSupervisor | None = None,
+        metrics_interval: float | None = None,
     ) -> None:
         if conn_window < 1 or max_inflight < conn_window:
             raise ValueError("need 1 <= conn_window <= max_inflight")
+        if metrics_interval is not None and metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive seconds")
         self.dispatcher = dispatcher
         self.host = host
         self.port = port
@@ -200,6 +219,8 @@ class Endpoint:
         self.max_inflight = max_inflight
         self.fuel_quota = fuel_quota
         self.supervisor = supervisor
+        self.metrics_interval = metrics_interval
+        self._metrics_task: asyncio.Task | None = None
         plan = FaultPlan.coerce(fault_plan)
         self._injector = None if plan is None else FaultInjector(plan)
         self._server: asyncio.AbstractServer | None = None
@@ -233,6 +254,10 @@ class Endpoint:
         self._scheduler_task = asyncio.ensure_future(self._schedule())
         if self.supervisor is not None and not self.supervisor.is_alive():
             self.supervisor.start()
+        if self.metrics_interval is not None:
+            self._metrics_task = asyncio.ensure_future(
+                self._print_metrics(self.metrics_interval)
+            )
 
     async def serve_until_drained(self) -> None:
         """Block until :meth:`drain` completes (signal-driven serving)."""
@@ -249,6 +274,13 @@ class Endpoint:
             await self._server.wait_closed()
         if self.supervisor is not None:
             await asyncio.get_running_loop().run_in_executor(None, self.supervisor.stop)
+        # Metrics streams stop first: telemetry must never delay (or
+        # interleave into) the final result flush.
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+        for conn in list(self._connections):
+            if conn.watch_task is not None:
+                conn.watch_task.cancel()
         # Readers stop at the next line boundary (they check the flag); wake
         # any parked on a full window so they notice.
         for conn in list(self._connections):
@@ -302,6 +334,47 @@ class Endpoint:
             "draining": self._draining,
         }
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One live-telemetry document: pool, endpoint, supervisor, queues.
+
+        ``at`` is the only wall-clock field a consumer should expect to
+        vary run-to-run at equal load; everything else is counters.  The
+        pool half is the full introspected :class:`PoolStats` document
+        (per-slot health included), so a metrics stream is a superset of
+        the inline ``stats`` poll.
+        """
+        snapshot: dict[str, Any] = {
+            "op": "metrics",
+            "at": time.time(),
+            "pool": self.dispatcher.stats().to_dict(),
+            "endpoint": self.telemetry(),
+            "queues": {
+                conn.namespace: {"queued": len(conn.queue), "inflight": conn.inflight}
+                for conn in self._connections
+            },
+        }
+        if self.supervisor is not None:
+            snapshot["supervisor"] = self.supervisor.signals()
+        return snapshot
+
+    async def _watch_loop(self, conn: _Connection, interval: float) -> None:
+        """Push metrics snapshots to one subscribed connection."""
+        try:
+            while not self._draining and not conn.closed:
+                await conn.send(self.metrics_snapshot())
+                await asyncio.sleep(interval)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass  # subscription ends with the socket; results are unaffected
+
+    async def _print_metrics(self, interval: float) -> None:
+        """Server-side metrics stream: one NDJSON snapshot per interval."""
+        try:
+            while not self._draining:
+                await asyncio.sleep(interval)
+                print(json.dumps(self.metrics_snapshot()), flush=True)
+        except asyncio.CancelledError:
+            pass
+
     # -- connection handling --------------------------------------------------
 
     async def _on_connection(
@@ -316,6 +389,9 @@ class Endpoint:
             pass
         finally:
             conn.closed = True
+            if conn.watch_task is not None:
+                conn.watch_task.cancel()
+                conn.watch_task = None
             self._connections.discard(conn)
             # Undelivered results and in-flight work owned by this socket
             # become orphans awaiting resubmit-on-reconnect adoption.
@@ -379,6 +455,26 @@ class Endpoint:
                         "conn_window": self.conn_window,
                     }
                 )
+                continue
+            if spec.get("op") == "watch":
+                interval = spec.get("interval", 1.0)
+                if not isinstance(interval, (int, float)) or interval <= 0:
+                    await conn.send(
+                        _error_doc(None, BAD_JOB_TYPE, "'interval' must be positive seconds")
+                    )
+                    continue
+                if conn.watch_task is not None:
+                    conn.watch_task.cancel()
+                # A floor keeps a hostile subscriber from turning the
+                # metrics stream into a stats()-hammering busy loop.
+                conn.watch_task = asyncio.ensure_future(
+                    self._watch_loop(conn, max(0.05, float(interval)))
+                )
+                continue
+            if spec.get("op") == "unwatch":
+                if conn.watch_task is not None:
+                    conn.watch_task.cancel()
+                    conn.watch_task = None
                 continue
             await self._admit(conn, spec)
 
@@ -594,6 +690,7 @@ def _build(
     conn_window: int = 32,
     max_inflight: int = 128,
     fuel_quota: int | None = None,
+    metrics_interval: float | None = None,
     **dispatcher_options: Any,
 ) -> Endpoint:
     """Construct the dispatcher + supervisor + endpoint stack for ``serve``."""
@@ -625,6 +722,7 @@ def _build(
         fuel_quota=fuel_quota,
         fault_plan=fault_plan,
         supervisor=supervisor,
+        metrics_interval=metrics_interval,
     )
 
 

@@ -146,6 +146,25 @@ def execute_job(session: "Session", job: Job) -> JobResult:
             "cache_stats": session.cache_stats(),
             "hit_counts": dict(hits_after),
         }
+    if job.trace:
+        # The trace rides the telemetry half, never the payload, so traced
+        # results stay byte-identical to untraced ones.  ``events`` holds
+        # only deterministic fields; wall-clock and warmth-dependent data
+        # (elapsed time, cache-hit deltas) go to ``timeline``.  Schema:
+        # repro.obs.trace.
+        meta["trace"] = {
+            "events": [
+                {"ev": "execute", "kind": job.kind},
+                {"ev": "complete", "ok": ok},
+            ],
+            "timeline": [
+                {
+                    "ev": "memo",
+                    "elapsed_seconds": meta["elapsed_seconds"],
+                    "cache_hits": dict(meta["cache_hits"]),
+                }
+            ],
+        }
     return JobResult(id=job_id, ok=ok, payload=payload, error=error, meta=meta)
 
 

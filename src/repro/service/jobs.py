@@ -38,6 +38,12 @@ a structured ``JobTimeout`` dead-letter document (an overdue worker is
 recycled exactly like a pool-level timeout), and the service endpoint maps
 client-supplied per-job deadlines onto this field.
 
+``trace`` opts the job into structured event tracing: the dispatcher and
+executor record submit/execute/complete events (plus a wall-clock
+timeline) into the result's ``meta["trace"]`` — out-of-band of the
+deterministic payload, so traced results stay byte-identical to untraced
+ones.  The schema lives in :mod:`repro.obs.trace`.
+
 A **result** is split in two, and the split is load-bearing:
 
 * ``payload`` (or ``error``) is the *deterministic* half — every term is
@@ -113,6 +119,7 @@ class Job:
     wire: int = 1  # wire-format version this spec speaks
     term_b64: str | None = None  # binary DAG program (wire >= 2)
     deadline: float | None = None  # wall-clock seconds the job may spend in the pool
+    trace: bool = False  # record a structured event trace in the result meta
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -162,6 +169,8 @@ class Job:
             spec["term_b64"] = self.term_b64
         if self.deadline is not None:
             spec["deadline"] = self.deadline
+        if self.trace:
+            spec["trace"] = True
         return spec
 
     @classmethod
@@ -181,6 +190,7 @@ class Job:
             "wire",
             "term_b64",
             "deadline",
+            "trace",
         }
         unknown = set(spec) - known
         if unknown:
@@ -204,6 +214,7 @@ class Job:
             wire=spec.get("wire", 1),
             term_b64=spec.get("term_b64"),
             deadline=spec.get("deadline"),
+            trace=bool(spec.get("trace", False)),
         )
 
 

@@ -645,8 +645,37 @@ def _salvage_artifacts(conn: sqlite3.Connection, path: Any) -> tuple[list[tuple]
     return _salvage(conn, path, table="artifact")
 
 
+def _artifact_orphans(artifacts: list[tuple]) -> int:
+    """Validly-sealed artifact rows whose blob is not a loadable artifact.
+
+    The seal proves the row survived storage intact; the ``RPYC``
+    magic/version sniff proves the bytes are an artifact this build can
+    stage.  A sealed row failing the sniff is an *orphan* — typically
+    written by a different artifact version — and will read as a miss
+    forever, so ``store stat`` surfaces it as reclaimable.
+    """
+    from repro.backend.artifact import ARTIFACT_VERSION, _MAGIC
+
+    orphans = 0
+    for _key, _steps, blob, _seal in artifacts:
+        header = bytes(blob[: len(_MAGIC) + 1])
+        if header[: len(_MAGIC)] != _MAGIC:
+            orphans += 1
+            continue
+        # The version varint follows the magic; version 1..127 is one byte.
+        if len(header) <= len(_MAGIC) or header[len(_MAGIC)] != ARTIFACT_VERSION:
+            orphans += 1
+    return orphans
+
+
 def store_stat(path: Any) -> dict[str, Any]:
-    """Inspect a store: row counts, seal validity, file size.  Read-only."""
+    """Inspect a store: row counts, seal validity, byte totals.  Read-only.
+
+    Reports the memo table and the compiled-backend ``artifact`` table
+    side by side: scanned/valid/invalid row counts, the total payload
+    bytes held by the validly-sealed rows of each, and the count of
+    sealed-but-unloadable artifact orphans (see :func:`_artifact_orphans`).
+    """
     conn = _open_for_maintenance(path)
     try:
         valid, scanned = _salvage(conn, path)
@@ -659,9 +688,12 @@ def store_stat(path: Any) -> dict[str, Any]:
         "entries": scanned,
         "valid": len(valid),
         "invalid": scanned - len(valid),
+        "memo_bytes": sum(len(row[2]) for row in valid),
         "artifact_entries": artifact_scanned,
         "artifact_valid": len(artifacts),
         "artifact_invalid": artifact_scanned - len(artifacts),
+        "artifact_bytes": sum(len(row[2]) for row in artifacts),
+        "artifact_orphaned": _artifact_orphans(artifacts),
     }
 
 
